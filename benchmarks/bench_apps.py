@@ -1,0 +1,110 @@
+"""Benchmarks for the application layer (monitoring, cycles, windows).
+
+Not paper figures; these size the cost of the watchlist / sliding-window
+/ cycle-detection machinery the paper's applications section motivates.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.cycles import CycleMonitor
+from repro.apps.fraud import RiskMonitor, RiskPolicy
+from repro.core.monitor import MultiPairMonitor, SlidingWindowMonitor
+from repro.graph import datasets
+from repro.graph.generators import community_graph
+from repro.workloads.queries import hot_queries
+
+
+@pytest.fixture(scope="module")
+def transaction_graph():
+    return community_graph(10, 30, 0.12, 200, seed=3)
+
+
+def bench_apps_multipair_update(benchmark, config):
+    """One update fanned out to a 5-pair watchlist on a dataset analogue."""
+    graph = datasets.load("WG", config.scale)
+    monitor = MultiPairMonitor(graph, k=6)
+    for query in hot_queries(graph, 5, 6, 0.10, seed=config.seed):
+        if (query.s, query.t) not in monitor.pairs():
+            monitor.watch(query.s, query.t)
+    u = next(iter(graph.vertices()))
+    v = next(x for x in graph.vertices() if x != u)
+
+    def toggle():
+        if graph.has_edge(u, v):
+            monitor.delete_edge(u, v)
+            monitor.insert_edge(u, v)
+        else:
+            monitor.insert_edge(u, v)
+            monitor.delete_edge(u, v)
+
+    benchmark(toggle)
+
+
+def bench_apps_risk_monitor_stream(benchmark, transaction_graph):
+    """300 transactions through a 3-pair risk watchlist."""
+    rng = random.Random(5)
+    accounts = list(transaction_graph.vertices())
+    events = [tuple(rng.sample(accounts, 2)) for _ in range(300)]
+
+    def run_stream():
+        monitor = RiskMonitor(
+            transaction_graph.copy(),
+            RiskPolicy(threshold=10.0, max_hops=4),
+        )
+        monitor.watch(0, 299)
+        monitor.watch(35, 170)
+        monitor.watch(61, 244)
+        for u, v in events:
+            if monitor.graph.has_edge(u, v):
+                monitor.expire(u, v)
+            else:
+                monitor.transaction(u, v)
+        return len(monitor.alerts)
+
+    benchmark.pedantic(run_stream, rounds=3, iterations=1)
+
+
+def bench_apps_sliding_window(benchmark, transaction_graph):
+    """A 200-event timestamped window stream over one watched pair."""
+    rng = random.Random(6)
+    accounts = list(transaction_graph.vertices())
+    stream = []
+    clock = 0.0
+    for _ in range(200):
+        clock += rng.expovariate(1.0)
+        u, v = rng.sample(accounts, 2)
+        stream.append((u, v, clock))
+
+    def run_stream():
+        monitor = MultiPairMonitor(transaction_graph.copy(), k=4)
+        monitor.watch(0, 299)
+        window = SlidingWindowMonitor(monitor, window=60.0)
+        window.replay(stream)
+        return window.live_edges()
+
+    benchmark.pedantic(run_stream, rounds=3, iterations=1)
+
+
+def bench_apps_cycle_monitor(benchmark, transaction_graph):
+    """Cycle tracking through one account under edge churn."""
+    rng = random.Random(7)
+    graph = transaction_graph.copy()
+    monitor = CycleMonitor(graph, 0, k=4)
+    accounts = list(graph.vertices())
+    events = [tuple(rng.sample(accounts, 2)) for _ in range(50)]
+
+    def run_stream():
+        for u, v in events:
+            if graph.has_edge(u, v):
+                monitor.delete_edge(u, v)
+            else:
+                monitor.insert_edge(u, v)
+        for u, v in reversed(events):
+            if graph.has_edge(u, v):
+                monitor.delete_edge(u, v)
+            else:
+                monitor.insert_edge(u, v)
+
+    benchmark.pedantic(run_stream, rounds=3, iterations=1)

@@ -1,0 +1,51 @@
+"""Fig. 10 — hot query pairs (regeneration + timing)."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import fig10_hot
+from repro.graph import datasets
+from repro.workloads.queries import hot_queries
+from repro.workloads.runner import cpe_factory, recompute_factory, run_dynamic
+from repro.workloads.updates import relevant_update_stream
+
+
+@pytest.fixture(scope="module")
+def figure(config):
+    result = publish(fig10_hot.run(config), "fig10_hot.txt")
+    # shape: CPE_update wins the mean on hot pairs too
+    cpe = result.series("CPE mean")
+    pe = result.series("PathEnum mean")
+    wins = sum(1 for c, p in zip(cpe, pe) if c <= p)
+    assert wins >= len(cpe) - 1
+    return result
+
+
+@pytest.fixture(scope="module")
+def workload(config):
+    graph = datasets.load("PK", config.scale)
+    query = hot_queries(graph, 1, config.k, 0.01, seed=config.seed)[0]
+    updates = relevant_update_stream(
+        graph, query.s, query.t, query.k, 4, 4, seed=config.seed
+    )
+    return graph, query, updates
+
+
+def bench_fig10_cpe_hot_stream(benchmark, figure, workload):
+    """Full dynamic run (startup + stream) on a top-1% pair: CPE."""
+    graph, query, updates = workload
+    benchmark.pedantic(
+        lambda: run_dynamic(cpe_factory, graph, query, updates),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def bench_fig10_recompute_hot_stream(benchmark, workload):
+    """Full dynamic run on the same pair: PathEnum-recompute."""
+    graph, query, updates = workload
+    benchmark.pedantic(
+        lambda: run_dynamic(recompute_factory, graph, query, updates),
+        rounds=3,
+        iterations=1,
+    )

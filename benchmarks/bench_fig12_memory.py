@@ -1,0 +1,39 @@
+"""Fig. 12 — index memory usage (regeneration + accounting timing)."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.core.enumerator import CpeEnumerator
+from repro.experiments import fig12_memory
+from repro.graph import datasets
+from repro.workloads.queries import hot_queries
+
+KS = (4, 5, 6, 7)
+
+
+@pytest.fixture(scope="module")
+def figure(config):
+    result = publish(fig12_memory.run(config, ks=KS), "fig12_memory.txt")
+    # shape: the index-to-result ratio falls as k grows (partial paths
+    # are shared across exponentially many full paths)
+    ratio_col = result.headers.index("Idx/Rst %")
+    for name in ("LJ", "TW"):
+        ratios = [r[ratio_col] for r in result.rows if r[0] == name]
+        assert ratios[-1] < ratios[0]
+    return result
+
+
+def bench_fig12_memory_stats(benchmark, figure, config):
+    """Cost of the index size accounting itself."""
+    graph = datasets.load("LJ", config.scale)
+    query = hot_queries(graph, 1, 6, 0.05, seed=config.seed)[0]
+    cpe = CpeEnumerator(graph.copy(), query.s, query.t, 6)
+    benchmark(cpe.memory_stats)
+
+
+def bench_fig12_result_materialization(benchmark, config):
+    """Cost of materializing the full result set (the AvgRst side)."""
+    graph = datasets.load("LJ", config.scale)
+    query = hot_queries(graph, 1, 6, 0.05, seed=config.seed)[0]
+    cpe = CpeEnumerator(graph.copy(), query.s, query.t, 6)
+    benchmark.pedantic(cpe.startup, rounds=3, iterations=1)

@@ -1,0 +1,64 @@
+"""Fig. 6 — start-up stage efficiency (regeneration + per-method timing)."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import fig6_startup
+from repro.graph import datasets
+from repro.workloads.queries import hot_queries
+from repro.workloads.runner import (
+    bcjoin_runner,
+    cpe_startup_runner,
+    csm_startup_runner,
+    pathenum_runner,
+)
+
+
+@pytest.fixture(scope="module")
+def figure(config):
+    result = publish(fig6_startup.run(config), "fig6_startup.txt")
+    # shape: CPE_startup stays within a small factor of PathEnum on every
+    # dataset (the paper's headline static claim), and CSM* is slowest
+    # wherever it is reported.
+    pe = result.series("PathEnum")
+    cpe = result.series("CPE_startup")
+    assert all(c <= 5 * p + 1.0 for p, c in zip(pe, cpe))
+    csm_col = result.headers.index("CSM*")
+    for row in result.rows:
+        if row[csm_col] != "-":
+            assert row[csm_col] >= row[result.headers.index("CPE_startup")]
+    return result
+
+
+@pytest.fixture(scope="module")
+def workload(config):
+    graph = datasets.load("LJ", config.scale)
+    query = hot_queries(graph, 1, config.k, 0.01, seed=config.seed)[0]
+    return graph, query
+
+
+def _bench(benchmark, runner, workload):
+    graph, q = workload
+    benchmark.pedantic(
+        lambda: runner(graph, q.s, q.t, q.k), rounds=3, iterations=1
+    )
+
+
+def bench_fig6_cpe_startup(benchmark, figure, workload):
+    """CPE_startup: construction + enumeration on a hot LJ pair."""
+    _bench(benchmark, cpe_startup_runner, workload)
+
+
+def bench_fig6_pathenum(benchmark, workload):
+    """PathEnum on the same query."""
+    _bench(benchmark, pathenum_runner, workload)
+
+
+def bench_fig6_bcjoin(benchmark, workload):
+    """BC-JOIN on the same query."""
+    _bench(benchmark, bcjoin_runner, workload)
+
+
+def bench_fig6_csm(benchmark, workload):
+    """CSM* initial matching on the same query."""
+    _bench(benchmark, csm_startup_runner, workload)

@@ -1,0 +1,61 @@
+"""Fig. 7 — update stage efficiency (regeneration + per-method timing)."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import fig7_update
+from repro.graph import datasets
+from repro.workloads.queries import hot_queries
+from repro.workloads.runner import cpe_factory, csm_factory, recompute_factory
+from repro.workloads.updates import relevant_update_stream
+
+
+@pytest.fixture(scope="module")
+def figure(config):
+    result = publish(fig7_update.run(config), "fig7_update.txt")
+    # shape: CPE_update beats the recompute baseline on the mean for the
+    # overwhelming majority of datasets (the paper's headline claim).
+    cpe = result.series("CPE mean")
+    pe = result.series("PathEnum mean")
+    wins = sum(1 for c, p in zip(cpe, pe) if c <= p)
+    assert wins >= len(cpe) - 2
+    return result
+
+
+@pytest.fixture(scope="module")
+def workload(config):
+    graph = datasets.load("SK", config.scale)
+    query = hot_queries(graph, 1, config.k, 0.10, seed=config.seed)[0]
+    updates = relevant_update_stream(
+        graph, query.s, query.t, query.k, 5, 5, seed=config.seed
+    )
+    return graph, query, updates
+
+
+def _bench_stream(benchmark, factory, workload):
+    graph, query, updates = workload
+    enum = factory(graph.copy(), query.s, query.t, query.k)
+    enum.startup()
+
+    def run_stream():
+        for upd in updates:
+            enum.apply(upd)
+        for upd in reversed(updates):  # undo, restoring the state
+            enum.apply(upd.inverted())
+
+    benchmark.pedantic(run_stream, rounds=3, iterations=1)
+
+
+def bench_fig7_cpe_update(benchmark, figure, workload):
+    """CPE_update over a relevant update stream (applied and undone)."""
+    _bench_stream(benchmark, cpe_factory, workload)
+
+
+def bench_fig7_pathenum_recompute(benchmark, workload):
+    """PathEnum-recompute over the same stream."""
+    _bench_stream(benchmark, recompute_factory, workload)
+
+
+def bench_fig7_csm(benchmark, workload):
+    """CSM* over the same stream."""
+    _bench_stream(benchmark, csm_factory, workload)

@@ -1,0 +1,61 @@
+"""Fig. 8 — CPE_update insertion vs deletion (regeneration + timing)."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.core.enumerator import CpeEnumerator
+from repro.experiments import fig8_insdel
+from repro.graph import datasets
+from repro.workloads.queries import hot_queries
+from repro.workloads.updates import relevant_update_stream
+
+
+@pytest.fixture(scope="module")
+def figure(config):
+    result = publish(fig8_insdel.run(config), "fig8_insdel.txt")
+    # shape: per-dataset insertion and deletion costs are the same order
+    # of magnitude wherever both sides did real work
+    for row in result.rows:
+        ins, dele = row[1], row[2]
+        if ins > 0.01 and dele > 0.01:
+            assert ins / dele < 50 and dele / ins < 50
+    return result
+
+
+@pytest.fixture(scope="module")
+def cpe(config):
+    graph = datasets.load("PK", config.scale)
+    query = hot_queries(graph, 1, config.k, 0.10, seed=config.seed)[0]
+    updates = relevant_update_stream(
+        graph, query.s, query.t, query.k, 4, 0, seed=config.seed
+    )
+    enum = CpeEnumerator(graph.copy(), query.s, query.t, query.k)
+    enum.startup()
+    return enum, updates
+
+
+def bench_fig8_insert_then_delete(benchmark, figure, cpe):
+    """One relevant insertion immediately undone by its deletion."""
+    enum, updates = cpe
+    if not updates:
+        pytest.skip("no relevant updates for this workload")
+    u, v = updates[0].u, updates[0].v
+
+    def toggle():
+        enum.insert_edge(u, v)
+        enum.delete_edge(u, v)
+
+    benchmark(toggle)
+
+
+def bench_fig8_irrelevant_update(benchmark, cpe):
+    """An update outside the induced subgraph: near-zero cost."""
+    enum, _ = cpe
+    enum.graph.add_vertex("iso_a")
+    enum.graph.add_vertex("iso_b")
+
+    def toggle():
+        enum.insert_edge("iso_a", "iso_b")
+        enum.delete_edge("iso_a", "iso_b")
+
+    benchmark(toggle)

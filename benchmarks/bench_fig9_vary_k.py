@@ -1,0 +1,49 @@
+"""Fig. 9 — effect of the hop constraint k (regeneration + timing)."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.core.enumerator import CpeEnumerator
+from repro.experiments import fig9_vary_k
+from repro.graph import datasets
+from repro.workloads.queries import hot_queries
+
+KS = (4, 5, 6, 7)
+
+
+@pytest.fixture(scope="module")
+def figure(config):
+    result = publish(fig9_vary_k.run(config, ks=KS), "fig9_vary_k.txt")
+    # shape: for each dataset the result count grows with k while the
+    # CPE update cost grows far slower than the recompute cost does
+    for name in ("WG", "AM"):
+        rows = [r for r in result.rows if r[0] == name]
+        sizes = [r[result.headers.index("|P| avg")] for r in rows]
+        assert sizes[-1] >= sizes[0]
+    return result
+
+
+@pytest.fixture(scope="module", params=KS)
+def workload(request, config):
+    k = request.param
+    graph = datasets.load("WG", config.scale)
+    query = hot_queries(graph, 1, k, 0.10, seed=config.seed)[0]
+    enum = CpeEnumerator(graph.copy(), query.s, query.t, k)
+    enum.startup()
+    return enum
+
+
+def bench_fig9_cpe_update_at_k(benchmark, figure, workload):
+    """CPE_update toggle cost as k varies (parametrized)."""
+    enum = workload
+    # a relevant edge: shortcut the query endpoints' neighborhoods
+    u = next(iter(enum.graph.out_neighbors(enum.s)), None)
+    v = next(iter(enum.graph.in_neighbors(enum.t)), None)
+    if u is None or v is None or u == v or enum.graph.has_edge(u, v):
+        pytest.skip("no toggleable relevant edge")
+
+    def toggle():
+        enum.insert_edge(u, v)
+        enum.delete_edge(u, v)
+
+    benchmark(toggle)

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every ``bench_figN`` module does two things:
+
+1. regenerates the paper table/figure through its experiment driver
+   (printed to stdout — run with ``-s`` to see it — and saved under
+   ``benchmarks/results/``), asserting the qualitative *shape* the
+   paper reports;
+2. times the representative operations with pytest-benchmark.
+
+Knobs: ``REPRO_BENCH_SCALE`` (default 0.5), ``REPRO_BENCH_QUERIES``,
+``REPRO_BENCH_UPDATES`` control the workload size.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    """The benchmark-suite experiment configuration."""
+    base = dict(
+        scale=float(os.environ.get("REPRO_BENCH_SCALE", 0.5)),
+        num_queries=int(os.environ.get("REPRO_BENCH_QUERIES", 2)),
+        num_updates=int(os.environ.get("REPRO_BENCH_UPDATES", 10)),
+        seed=7,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def publish(result: ExperimentResult, filename: str) -> ExperimentResult:
+    """Print a regenerated table and persist it for the record."""
+    text = result.format()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+    return result
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """Session-wide benchmark configuration."""
+    return bench_config()

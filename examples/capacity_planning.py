@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Capacity planning: decide what is safe to monitor before indexing it.
+
+A monitoring deployment has a budget: each watched pair costs memory
+(its partial path index) and per-update time (proportional to its
+Δ|P|).  This example uses the estimation utilities to triage candidate
+pairs *without* building their indexes first:
+
+1. rank candidate pairs by the cheap walk-count upper bound;
+2. refine the borderline ones with the sampling estimator;
+3. admit pairs under the budget, build their monitors, and compare the
+   estimates against the real index sizes;
+4. run a self-audit (`repro.core.verify`) after a burst of updates.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import random
+
+from repro.core.estimate import estimate_path_count, walk_count_bound
+from repro.core.monitor import MultiPairMonitor
+from repro.core.verify import verify_enumerator
+from repro.graph.generators import preferential_attachment_graph
+
+K = 5
+PATH_BUDGET = 120  # max |P| we are willing to maintain per pair
+CANDIDATES = 12
+
+
+def main() -> None:
+    rng = random.Random(31)
+    graph = preferential_attachment_graph(1500, 3, seed=8)
+    users = sorted(graph.vertices(), key=graph.degree, reverse=True)
+
+    candidates = []
+    while len(candidates) < CANDIDATES:
+        s = rng.choice(users[:40])  # hot endpoints: some will blow the budget
+        t = rng.choice(users[:200])
+        if s != t and (s, t) not in candidates:
+            candidates.append((s, t))
+
+    print(f"triaging {len(candidates)} candidate pairs (k={K}, "
+          f"budget |P| <= {PATH_BUDGET})\n")
+    print(f"{'pair':>14}  {'walk bound':>10}  {'sampled |P|':>11}  decision")
+    admitted = []
+    for s, t in candidates:
+        bound = walk_count_bound(graph, s, t, K)
+        if bound == 0:
+            print(f"{str((s, t)):>14}  {bound:>10}  {'-':>11}  skip (no walks)")
+            continue
+        if bound <= PATH_BUDGET:
+            print(f"{str((s, t)):>14}  {bound:>10}  {'-':>11}  admit (bound ok)")
+            admitted.append((s, t))
+            continue
+        sampled = estimate_path_count(graph, s, t, K, samples=300, seed=1)
+        decision = "admit (sampled)" if sampled <= PATH_BUDGET else "REJECT"
+        print(f"{str((s, t)):>14}  {bound:>10}  {sampled:>11.0f}  {decision}")
+        if sampled <= PATH_BUDGET:
+            admitted.append((s, t))
+
+    print(f"\nbuilding monitors for {len(admitted)} admitted pairs...")
+    monitor = MultiPairMonitor(graph, K)
+    for s, t in admitted:
+        paths = monitor.watch(s, t)
+        stats = monitor.enumerator_for(s, t).memory_stats()
+        flag = "  (over budget!)" if len(paths) > PATH_BUDGET else ""
+        print(f"    {str((s, t)):>14}: |P|={len(paths):>6}  "
+              f"index ~{stats.approx_bytes:>8} B{flag}")
+
+    print("\napplying a burst of 200 updates...")
+    vertices = list(graph.vertices())
+    for _ in range(200):
+        u, v = rng.sample(vertices, 2)
+        if graph.has_edge(u, v):
+            monitor.delete_edge(u, v)
+        else:
+            monitor.insert_edge(u, v)
+
+    print("auditing every maintained index against recomputation:")
+    for s, t in admitted:
+        findings = verify_enumerator(monitor.enumerator_for(s, t))
+        status = "OK" if not findings else f"FAILED: {findings[:2]}"
+        print(f"    {str((s, t)):>14}: {status}")
+        assert not findings
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Financial-crimes detection: live risk scores over a transaction graph.
+
+The paper's first motivating application: money laundering is flagged by
+short transaction flows between suspect accounts, and platforms see
+thousands of new transactions per second — so the k-st path set backing
+a risk score must be *maintained*, not recomputed.
+
+This example
+
+1. builds a transaction network with dense intra-bank communities and
+   sparse cross-bank transfers (where layering schemes hide);
+2. registers a watchlist of suspect account pairs, one ``CpeEnumerator``
+   per pair (k = 5 — the "short flow paths" of the FATF red flags);
+3. streams random transactions (arrivals) and expirations (a sliding
+   window) and updates each pair's risk score from only the changed
+   paths, raising an alert when a score crosses the threshold;
+4. compares the cumulative update cost against recompute-from-scratch.
+
+Each monitored pair owns a private copy of the graph: a
+``CpeEnumerator``'s index is only valid if every mutation flows through
+it, so independent monitors cannot share one mutable graph object.
+
+Run:  python examples/fraud_detection.py
+"""
+
+import random
+import time
+
+from repro import CpeEnumerator
+from repro.baselines.recompute import RecomputeEnumerator
+from repro.graph.generators import community_graph
+
+HOP_CONSTRAINT = 5
+ALERT_THRESHOLD = 3.0
+NUM_TRANSACTIONS = 300
+
+
+def path_weight(path) -> float:
+    """Shorter flows are stronger laundering indicators."""
+    return 1.0 / (len(path) - 1)
+
+
+def main() -> None:
+    rng = random.Random(2023)
+    # 8 banks x 25 accounts, dense internal flows, sparse cross-bank ones
+    network = community_graph(8, 25, 0.18, 140, seed=11)
+    accounts = list(network.vertices())
+
+    watchlist = [(3, 187), (30, 140), (51, 199)]
+    monitors = {}
+    scores = {}
+    for src, dst in watchlist:
+        cpe = CpeEnumerator(network.copy(), src, dst, HOP_CONSTRAINT)
+        monitors[(src, dst)] = cpe
+        scores[(src, dst)] = sum(path_weight(p) for p in cpe.startup())
+
+    print("initial risk scores:")
+    for pair, score in scores.items():
+        print(f"    {pair}: {score:.3f}")
+
+    alerts = []
+    update_cost = 0.0
+    began = time.perf_counter()
+    for step in range(NUM_TRANSACTIONS):
+        u, v = rng.sample(accounts, 2)
+        insert = not network.has_edge(u, v)
+        if insert:
+            network.add_edge(u, v)  # new transaction arrives
+        else:
+            network.remove_edge(u, v)  # old transaction expires
+        for pair, cpe in monitors.items():
+            result = cpe.insert_edge(u, v) if insert else cpe.delete_edge(u, v)
+            update_cost += result.total_seconds
+            delta = sum(path_weight(p) for p in result.paths)
+            scores[pair] += delta if insert else -delta
+            if insert and delta > 0 and scores[pair] > ALERT_THRESHOLD:
+                alerts.append((step, pair, scores[pair]))
+    elapsed = time.perf_counter() - began
+
+    print(f"\nprocessed {NUM_TRANSACTIONS} transactions in {elapsed:.2f}s "
+          f"({update_cost * 1e3:.1f} ms spent inside CPE_update)")
+    print(f"alerts raised: {len(alerts)}")
+    for step, pair, score in alerts[:5]:
+        print(f"    step {step}: pair {pair} risk {score:.2f}")
+
+    print("final risk scores:")
+    for pair, score in scores.items():
+        print(f"    {pair}: {score:.3f}")
+
+    # sanity: the incrementally maintained score equals a recomputation
+    for pair, cpe in monitors.items():
+        fresh = sum(path_weight(p) for p in cpe.startup())
+        assert abs(fresh - scores[pair]) < 1e-9, "maintained score drifted"
+
+    # contrast with the recompute strategy on one pair
+    src, dst = watchlist[0]
+    rec = RecomputeEnumerator(network.copy(), src, dst, HOP_CONSTRAINT)
+    rec.startup()
+    began = time.perf_counter()
+    recompute_updates = 30
+    for _ in range(recompute_updates):
+        u, v = rng.sample(accounts, 2)
+        if rec.graph.has_edge(u, v):
+            rec.delete_edge(u, v)
+        else:
+            rec.insert_edge(u, v)
+    recompute_cost = time.perf_counter() - began
+    per_cpe = update_cost / (NUM_TRANSACTIONS * len(watchlist))
+    per_rec = recompute_cost / recompute_updates
+    print(
+        f"\nper-update cost: CPE_update {per_cpe * 1e6:.0f} us vs "
+        f"recompute {per_rec * 1e6:.0f} us "
+        f"({per_rec / max(per_cpe, 1e-12):.0f}x slower)"
+    )
+
+
+if __name__ == "__main__":
+    main()

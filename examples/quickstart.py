@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: hop-constrained s-t path enumeration on a dynamic graph.
+
+Builds a small directed graph, runs the start-up enumeration
+(``CPE_startup``), then streams edge updates through ``CPE_update`` and
+prints exactly the new/deleted paths after each one — the workflow of
+Figure 1 in the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CpeEnumerator, DynamicDiGraph
+
+
+def main() -> None:
+    # The dynamic graph: vertices are any hashable objects.
+    graph = DynamicDiGraph(
+        [
+            ("s", "a"), ("s", "b"),
+            ("a", "c"), ("b", "c"),
+            ("c", "t"), ("a", "t"),
+        ]
+    )
+
+    # One enumerator per monitored query q(s, t, k).
+    cpe = CpeEnumerator(graph, s="s", t="t", k=3)
+
+    print("start-up enumeration (all 3-st paths):")
+    for path in sorted(cpe.startup(), key=len):
+        print("   ", " -> ".join(path))
+    print(f"join plan: l={cpe.plan.l}, r={cpe.plan.r}, pairs={cpe.plan.pairs}")
+
+    # Updates flow through the enumerator so index + distances stay exact.
+    print("\ninsert edge (b, t):")
+    result = cpe.insert_edge("b", "t")
+    for path in result.paths:
+        print("    new:", " -> ".join(path))
+    print(f"    maintenance took {result.maintain_seconds * 1e6:.0f} us")
+
+    print("\ndelete edge (c, t):")
+    result = cpe.delete_edge("c", "t")
+    for path in result.paths:
+        print("    deleted:", " -> ".join(path))
+
+    print("\ncurrent result set:")
+    for path in sorted(cpe.startup(), key=len):
+        print("   ", " -> ".join(path))
+
+    stats = cpe.memory_stats()
+    print(
+        f"\nindex: {stats.left_paths} left partials, "
+        f"{stats.right_paths} right partials, ~{stats.approx_bytes} bytes"
+    )
+
+
+if __name__ == "__main__":
+    main()

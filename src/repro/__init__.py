@@ -1,0 +1,31 @@
+"""repro — hop-constrained s-t simple path enumeration on dynamic graphs.
+
+A from-scratch Python reproduction of the ICDE 2023 paper
+"Hop-Constrained s-t Simple Path Enumeration on Large Dynamic Graphs":
+the CPE partial-path index (``CPE_startup`` / ``CPE_update``), every
+baseline it is evaluated against, synthetic analogues of the evaluation
+datasets, and a benchmark harness regenerating each table and figure.
+
+Quick start::
+
+    from repro import CpeEnumerator
+    from repro.graph import DynamicDiGraph
+
+    g = DynamicDiGraph([(0, 1), (1, 2), (0, 2)])
+    cpe = CpeEnumerator(g, s=0, t=2, k=3)
+    print(cpe.startup())              # [(0, 2), (0, 1, 2)]
+    print(cpe.insert_edge(1, 3).paths)
+"""
+
+from repro.core.enumerator import CpeEnumerator, UpdateResult
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CpeEnumerator",
+    "UpdateResult",
+    "DynamicDiGraph",
+    "EdgeUpdate",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Application-level components built on the CPE core.
+
+The paper motivates dynamic k-st path enumeration with three
+applications (Section I); this package provides a production-shaped
+implementation of each, plus the hop-constrained cycle monitoring
+problem of Qiu et al. (PVLDB 2018) that the related-work section cites:
+
+- :mod:`repro.apps.fraud` — transaction risk scoring with alerting
+  (financial crimes detection);
+- :mod:`repro.apps.social` — Katz-style tie strength maintenance
+  (social network relationship evaluation);
+- :mod:`repro.apps.reliability` — terminal reliability from the live
+  path set (communication network analysis);
+- :mod:`repro.apps.cycles` — hop-constrained cycles through a watched
+  vertex, maintained under edge updates.
+"""
+
+from repro.apps.cycles import CycleMonitor
+from repro.apps.fraud import RiskMonitor, RiskPolicy
+from repro.apps.reliability import ReliabilityEstimator
+from repro.apps.social import TieStrengthMonitor
+
+__all__ = [
+    "RiskMonitor",
+    "RiskPolicy",
+    "TieStrengthMonitor",
+    "ReliabilityEstimator",
+    "CycleMonitor",
+]

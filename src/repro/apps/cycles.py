@@ -1,0 +1,163 @@
+"""Hop-constrained cycle monitoring on dynamic graphs.
+
+The related-work section cites real-time constrained cycle detection
+(Qiu et al., PVLDB 2018): report every simple cycle of length at most
+``k`` through a watched vertex as edges arrive and expire — the core of
+transaction-loop fraud detection.
+
+A cycle through the center ``c`` decomposes uniquely as the edge
+``(c, w)`` followed by a simple path ``w ⤳ c`` that visits ``c`` only
+at its end.  :class:`CycleMonitor` therefore keeps one
+:class:`~repro.core.enumerator.CpeEnumerator` with query
+``q(w, c, k - 1)`` per out-neighbor ``w`` of ``c``, all sharing the
+monitored graph:
+
+- an update not incident to ``c``'s out-edges is *observed* by every
+  sub-enumerator; the new/deleted cycles are the union of their deltas
+  (disjoint across enumerators, since a cycle determines its ``w``);
+- inserting ``(c, w)`` spawns a fresh sub-enumerator whose start-up
+  result is exactly the set of new cycles; deleting ``(c, w)`` retires
+  it, reporting its current result as the deleted cycles;
+- a self-loop ``(c, c)`` is the unique length-1 cycle, tracked directly.
+
+Cycles are reported in canonical form ``(c, w, ..., c)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.enumerator import CpeEnumerator
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
+
+Cycle = Tuple[Vertex, ...]
+
+
+@dataclass
+class CycleUpdate:
+    """Outcome of one edge update: exactly the changed cycles."""
+
+    update: EdgeUpdate
+    new_cycles: List[Cycle] = field(default_factory=list)
+    deleted_cycles: List[Cycle] = field(default_factory=list)
+
+    @property
+    def delta_count(self) -> int:
+        """Net change in the number of monitored cycles."""
+        return len(self.new_cycles) - len(self.deleted_cycles)
+
+
+class CycleMonitor:
+    """Maintain all simple cycles of length <= k through one vertex."""
+
+    def __init__(self, graph: DynamicDiGraph, center: Vertex, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.graph = graph
+        self.center = center
+        self.k = k
+        self._subs: Dict[Vertex, CpeEnumerator] = {}
+        self._counts: Dict[Vertex, int] = {}
+        self._self_loop = graph.has_edge(center, center)
+        graph.add_vertex(center)
+        for w in list(graph.out_neighbors(center)):
+            if w != center:
+                self._spawn(w)
+
+    # ------------------------------------------------------------------
+    def _spawn(self, w: Vertex) -> List[Cycle]:
+        """Create the sub-enumerator for out-neighbor ``w``."""
+        if self.k < 2:
+            # no room for a 2+-hop cycle; track presence only
+            self._subs[w] = None  # type: ignore[assignment]
+            self._counts[w] = 0
+            return []
+        sub = CpeEnumerator(self.graph, w, self.center, self.k - 1)
+        self._subs[w] = sub
+        cycles = [self._close(p) for p in sub.startup()]
+        self._counts[w] = len(cycles)
+        return cycles
+
+    def _close(self, path) -> Cycle:
+        """Prefix a ``w -> c`` path with the center."""
+        return (self.center,) + tuple(path)
+
+    # ------------------------------------------------------------------
+    def cycles(self) -> Set[Cycle]:
+        """The current set of monitored cycles (recomputed from indexes)."""
+        out: Set[Cycle] = set()
+        if self._self_loop:
+            out.add((self.center, self.center))
+        for sub in self._subs.values():
+            if sub is not None:
+                out.update(self._close(p) for p in sub.startup())
+        return out
+
+    def cycle_count(self) -> int:
+        """Number of monitored cycles, from maintained counters."""
+        return sum(self._counts.values()) + (1 if self._self_loop else 0)
+
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> CycleUpdate:
+        """Process an edge arrival; returns exactly the new cycles."""
+        update = EdgeUpdate(u, v, True)
+        outcome = CycleUpdate(update)
+        if self.graph.has_edge(u, v):
+            return outcome
+        if u == self.center and v == self.center:
+            self.graph.add_edge(u, v)
+            self._self_loop = True
+            outcome.new_cycles.append((u, v))
+            return outcome
+        self.graph.add_edge(u, v)
+        for w, sub in self._subs.items():
+            if sub is None:
+                continue
+            result = sub.observe(update)
+            fresh = [self._close(p) for p in result.paths]
+            outcome.new_cycles.extend(fresh)
+            self._counts[w] += len(fresh)
+        if u == self.center:
+            outcome.new_cycles.extend(self._spawn(v))
+        return outcome
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> CycleUpdate:
+        """Process an edge expiration; returns exactly the deleted cycles."""
+        update = EdgeUpdate(u, v, False)
+        outcome = CycleUpdate(update)
+        if not self.graph.has_edge(u, v):
+            return outcome
+        if u == self.center and v == self.center:
+            self.graph.remove_edge(u, v)
+            self._self_loop = False
+            outcome.deleted_cycles.append((u, v))
+            return outcome
+        if u == self.center:
+            retiring = self._subs.pop(v, None)
+            self._counts.pop(v, None)
+            if retiring is not None:
+                outcome.deleted_cycles.extend(
+                    self._close(p) for p in retiring.startup()
+                )
+        self.graph.remove_edge(u, v)
+        for w, sub in self._subs.items():
+            if sub is None:
+                continue
+            result = sub.observe(update)
+            gone = [self._close(p) for p in result.paths]
+            outcome.deleted_cycles.extend(gone)
+            self._counts[w] -= len(gone)
+        return outcome
+
+    def apply(self, update: EdgeUpdate) -> CycleUpdate:
+        """Process one :class:`EdgeUpdate`."""
+        if update.insert:
+            return self.insert_edge(update.u, update.v)
+        return self.delete_edge(update.u, update.v)
+
+    def __repr__(self) -> str:
+        return (
+            f"CycleMonitor(center={self.center!r}, k={self.k}, "
+            f"out_neighbors={len(self._subs)}, cycles={self.cycle_count()})"
+        )

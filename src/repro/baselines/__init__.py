@@ -1,0 +1,44 @@
+"""Baseline algorithms the paper compares against.
+
+Static k-st path enumerators (Section VI / Fig. 6):
+
+- :func:`repro.baselines.bruteforce.enumerate_paths` — unpruned DFS,
+  the correctness oracle;
+- :class:`repro.baselines.tdfs.TDfsEnumerator` — T-DFS-style pruned DFS;
+- :class:`repro.baselines.bcdfs.BcDfsEnumerator` — barrier-based DFS;
+- :class:`repro.baselines.bcjoin.BcJoinEnumerator` — the bidirectional
+  join at the fixed ``ceil(k/2)`` cut;
+- :class:`repro.baselines.pathenum.PathEnumEnumerator` — the SIGMOD'21
+  online-index method with a cost-based optimizer.
+
+Dynamic baselines (Figs. 7–10):
+
+- :class:`repro.baselines.recompute.RecomputeEnumerator` — rerun a
+  static method per update and diff the results;
+- :class:`repro.baselines.csm.CsmStarEnumerator` — a continuous
+  subgraph matching stand-in at the index-light end of the CSM spectrum
+  (update-localized search, candidate filter only; see DESIGN.md §4);
+- :class:`repro.baselines.csm_dcg.CsmDcgEnumerator` — the index-heavy
+  end: TurboFlux/IEDyn-style incremental walk-support counters with
+  counter-guided delta enumeration.
+"""
+
+from repro.baselines.bruteforce import enumerate_paths as bruteforce_paths
+from repro.baselines.tdfs import TDfsEnumerator
+from repro.baselines.bcdfs import BcDfsEnumerator
+from repro.baselines.bcjoin import BcJoinEnumerator
+from repro.baselines.pathenum import PathEnumEnumerator
+from repro.baselines.recompute import RecomputeEnumerator
+from repro.baselines.csm import CsmStarEnumerator
+from repro.baselines.csm_dcg import CsmDcgEnumerator
+
+__all__ = [
+    "bruteforce_paths",
+    "TDfsEnumerator",
+    "BcDfsEnumerator",
+    "BcJoinEnumerator",
+    "PathEnumEnumerator",
+    "RecomputeEnumerator",
+    "CsmStarEnumerator",
+    "CsmDcgEnumerator",
+]

@@ -1,0 +1,48 @@
+"""Unpruned bounded DFS — the correctness oracle.
+
+Enumerates every simple path ``s -> t`` with at most ``k`` hops by plain
+backtracking.  Exponential and unindexed by design: every other
+algorithm in the repository is differentially tested against this one on
+small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.core.paths import Path
+from repro.graph.digraph import DynamicDiGraph, Vertex
+
+
+def enumerate_paths(
+    graph: DynamicDiGraph, s: Vertex, t: Vertex, k: int
+) -> Iterator[Path]:
+    """Yield all k-st simple paths, in DFS discovery order.
+
+    ``s == t`` yields nothing (the paper's queries have distinct
+    endpoints; cycles are a different problem).
+    """
+    if s == t or k < 1:
+        return
+    stack: List[Path] = [(s,)]
+    while stack:
+        path = stack.pop()
+        tail = path[-1]
+        if tail == t:
+            yield path
+            continue
+        if len(path) - 1 >= k:
+            continue
+        for y in graph.out_neighbors(tail):
+            if y not in path:
+                stack.append(path + (y,))
+
+
+def count_paths(graph: DynamicDiGraph, s: Vertex, t: Vertex, k: int) -> int:
+    """``|P|`` by brute force."""
+    return sum(1 for _ in enumerate_paths(graph, s, t, k))
+
+
+def path_set(graph: DynamicDiGraph, s: Vertex, t: Vertex, k: int) -> set:
+    """The result as a set (test helper)."""
+    return set(enumerate_paths(graph, s, t, k))

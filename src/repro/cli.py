@@ -1,0 +1,323 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+- ``query DATASET S T K`` — run one k-st query (CPE_startup) and print
+  the paths (or just the count with ``--count``);
+- ``stats DATASET`` — Table I statistics for one dataset analogue;
+- ``experiment NAME`` — run one experiment driver (``table1``, ``fig6``
+  … ``fig12``, or ``all``) and print its table;
+- ``datasets`` — list the registered dataset analogues.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import ExperimentConfig
+
+
+def _experiment_modules():
+    from repro.experiments import (
+        ablation,
+        csm_variants,
+        density_sweep,
+        throughput,
+        fig6_startup,
+        fig7_update,
+        fig8_insdel,
+        fig9_vary_k,
+        fig10_hot,
+        fig11_scalability,
+        fig12_memory,
+        table1,
+    )
+
+    return {
+        "table1": table1,
+        "fig6": fig6_startup,
+        "fig7": fig7_update,
+        "fig8": fig8_insdel,
+        "fig9": fig9_vary_k,
+        "fig10": fig10_hot,
+        "fig11": fig11_scalability,
+        "fig12": fig12_memory,
+        "ablation": ablation,
+        "throughput": throughput,
+        "density": density_sweep,
+        "csm": csm_variants,
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hop-constrained s-t simple path enumeration on dynamic graphs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="run one k-st query on a dataset analogue")
+    q.add_argument("dataset")
+    q.add_argument("s", type=int)
+    q.add_argument("t", type=int)
+    q.add_argument("k", type=int)
+    q.add_argument("--scale", type=float, default=0.25)
+    q.add_argument("--count", action="store_true", help="print only |P|")
+
+    st = sub.add_parser("stats", help="Table I statistics for one dataset")
+    st.add_argument("dataset")
+    st.add_argument("--scale", type=float, default=0.25)
+
+    ex = sub.add_parser("experiment", help="run an experiment driver")
+    ex.add_argument("name", help="table1, fig6..fig12, or all")
+    ex.add_argument("--scale", type=float, default=None)
+    ex.add_argument("--queries", type=int, default=None)
+    ex.add_argument("--updates", type=int, default=None)
+    ex.add_argument("--seed", type=int, default=None)
+    ex.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    ex.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="also write each table to DIR/<experiment>.txt",
+    )
+
+    sub.add_parser("datasets", help="list registered dataset analogues")
+
+    gw = sub.add_parser(
+        "gen-workload",
+        help="write a result-relevant update stream for a query to a file",
+    )
+    gw.add_argument("dataset")
+    gw.add_argument("s", type=int)
+    gw.add_argument("t", type=int)
+    gw.add_argument("k", type=int)
+    gw.add_argument("output")
+    gw.add_argument("--insertions", type=int, default=100)
+    gw.add_argument("--deletions", type=int, default=100)
+    gw.add_argument("--scale", type=float, default=0.25)
+    gw.add_argument("--seed", type=int, default=7)
+
+    mo = sub.add_parser(
+        "monitor",
+        help="replay an update stream against one or more watched pairs",
+    )
+    mo.add_argument("dataset")
+    mo.add_argument("stream", help="update stream file (+/- u v lines)")
+    mo.add_argument(
+        "--pair", action="append", required=True, metavar="S:T",
+        help="watched pair, repeatable (e.g. --pair 3:42)",
+    )
+    mo.add_argument("--k", type=int, default=6)
+    mo.add_argument("--scale", type=float, default=0.25)
+    mo.add_argument("--verbose", action="store_true",
+                    help="print every changed path")
+
+    rp = sub.add_parser(
+        "report",
+        help="build a markdown report from archived experiment CSVs",
+    )
+    rp.add_argument("directory", help="directory with <experiment>.csv files")
+    rp.add_argument("output", nargs="?", help="output .md (default: stdout)")
+
+    vf = sub.add_parser(
+        "verify",
+        help="audit a maintained index against recomputation after a stream",
+    )
+    vf.add_argument("dataset")
+    vf.add_argument("s", type=int)
+    vf.add_argument("t", type=int)
+    vf.add_argument("k", type=int)
+    vf.add_argument("--stream", help="update stream file to apply first")
+    vf.add_argument("--scale", type=float, default=0.25)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "gen-workload":
+        return _cmd_gen_workload(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
+    if args.command == "report":
+        from repro.experiments.report import main as report_main
+
+        argv_tail = [args.directory]
+        if args.output:
+            argv_tail.append(args.output)
+        return report_main(argv_tail)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    return _cmd_experiment(args)
+
+
+def _cmd_verify(args) -> int:
+    from repro.core.enumerator import CpeEnumerator
+    from repro.core.verify import verify_enumerator
+    from repro.graph import datasets
+    from repro.graph.io import read_update_stream
+
+    graph = datasets.load(args.dataset, args.scale)
+    cpe = CpeEnumerator(graph, args.s, args.t, args.k)
+    cpe.startup()
+    applied = 0
+    if args.stream:
+        for update in read_update_stream(args.stream):
+            cpe.apply(update)
+            applied += 1
+    findings = verify_enumerator(cpe)
+    print(f"applied {applied} updates; index holds "
+          f"{cpe.memory_stats().path_count} partial paths")
+    if findings:
+        print(f"AUDIT FAILED ({len(findings)} findings):")
+        for finding in findings[:20]:
+            print(f"    {finding}")
+        return 1
+    print("audit OK: maintained state equals recomputation")
+    return 0
+
+
+def _cmd_datasets() -> int:
+    from repro.graph import datasets
+
+    for name in datasets.DATASET_ORDER:
+        spec = datasets.spec(name)
+        print(f"{name:4s} {spec.full_name:20s} {spec.family}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.graph import datasets
+    from repro.graph.stats import diameter_estimate
+
+    graph = datasets.load(args.dataset, args.scale)
+    stats = diameter_estimate(graph)
+    for key, value in stats.as_row().items():
+        print(f"{key:8s} {value}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.core.enumerator import CpeEnumerator
+    from repro.graph import datasets
+
+    graph = datasets.load(args.dataset, args.scale)
+    if not (graph.has_vertex(args.s) and graph.has_vertex(args.t)):
+        print("error: s/t not in the graph", file=sys.stderr)
+        return 2
+    cpe = CpeEnumerator(graph, args.s, args.t, args.k)
+    paths = cpe.startup()
+    if args.count:
+        print(len(paths))
+    else:
+        for path in sorted(paths, key=lambda p: (len(p), p)):
+            print(" -> ".join(str(v) for v in path))
+        print(f"# {len(paths)} paths, plan l={cpe.plan.l} r={cpe.plan.r}")
+    return 0
+
+
+def _cmd_gen_workload(args) -> int:
+    from repro.graph import datasets
+    from repro.graph.io import write_update_stream
+    from repro.workloads.updates import relevant_update_stream
+
+    graph = datasets.load(args.dataset, args.scale)
+    stream = relevant_update_stream(
+        graph, args.s, args.t, args.k,
+        num_insertions=args.insertions,
+        num_deletions=args.deletions,
+        seed=args.seed,
+    )
+    if not stream:
+        print("error: no relevant updates exist for this query "
+              "(induced subgraph too small)", file=sys.stderr)
+        return 2
+    count = write_update_stream(stream, args.output)
+    print(f"wrote {count} updates to {args.output}")
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    from repro.core.monitor import MultiPairMonitor
+    from repro.graph import datasets
+    from repro.graph.io import read_update_stream
+
+    pairs = []
+    for raw in args.pair:
+        try:
+            s_text, t_text = raw.split(":", 1)
+            pairs.append((int(s_text), int(t_text)))
+        except ValueError:
+            print(f"error: bad --pair {raw!r}, expected S:T", file=sys.stderr)
+            return 2
+    graph = datasets.load(args.dataset, args.scale)
+    monitor = MultiPairMonitor(graph, args.k)
+    for s, t in pairs:
+        initial = monitor.watch(s, t)
+        print(f"watch ({s}, {t}): {len(initial)} initial paths")
+    stream = read_update_stream(args.stream)
+    totals = {pair: 0 for pair in pairs}
+    for update in stream:
+        results = monitor.apply(update)
+        for pair, result in results.items():
+            if not result.paths:
+                continue
+            sign = +1 if update.insert else -1
+            totals[pair] += sign * len(result.paths)
+            print(f"{update}  pair {pair}: "
+                  f"{'+' if update.insert else '-'}{len(result.paths)} paths")
+            if args.verbose:
+                for path in result.paths:
+                    print("    " + " -> ".join(str(v) for v in path))
+    print("net path-count change per pair:")
+    for pair, total in totals.items():
+        print(f"    {pair}: {total:+d}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    modules = _experiment_modules()
+    names = list(modules) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in modules]
+    if unknown:
+        print(f"error: unknown experiment(s) {unknown}; "
+              f"known: {', '.join(modules)}", file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.queries is not None:
+        overrides["num_queries"] = args.queries
+    if args.updates is not None:
+        overrides["num_updates"] = args.updates
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = ExperimentConfig.from_env(**overrides)
+    save_dir = None
+    if args.save:
+        from pathlib import Path
+
+        save_dir = Path(args.save)
+        save_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        result = modules[name].run(config)
+        rendered = result.to_csv() if args.csv else result.format()
+        print(rendered)
+        print()
+        if save_dir is not None:
+            suffix = "csv" if args.csv else "txt"
+            (save_dir / f"{name}.{suffix}").write_text(
+                rendered + "\n", encoding="utf-8"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: the CPE algorithm family.
+
+- :mod:`repro.core.paths` — path representation and checks;
+- :mod:`repro.core.distance` — hop-capped dynamic distance maps;
+- :mod:`repro.core.plan` — the join plan (cut positions per path length);
+- :mod:`repro.core.index` — the partial path-based index (LP / RP);
+- :mod:`repro.core.construction` — Algorithm 2 (bidirectional build);
+- :mod:`repro.core.enumeration` — Algorithm 1 and the delta join;
+- :mod:`repro.core.maintenance` — Algorithms 3–5 (edge insert/delete);
+- :mod:`repro.core.enumerator` — the :class:`CpeEnumerator` facade
+  (``CPE_startup`` + ``CPE_update``);
+- :mod:`repro.core.monitor` — multi-pair and sliding-window monitoring;
+- :mod:`repro.core.serialize` — snapshot/restore of live enumerators.
+"""
+
+from repro.core.enumerator import CpeEnumerator, UpdateResult
+from repro.core.index import PartialPathIndex
+from repro.core.monitor import MultiPairMonitor, SlidingWindowMonitor
+from repro.core.plan import JoinPlan
+
+__all__ = [
+    "CpeEnumerator",
+    "UpdateResult",
+    "PartialPathIndex",
+    "JoinPlan",
+    "MultiPairMonitor",
+    "SlidingWindowMonitor",
+]

@@ -1,0 +1,96 @@
+"""Join-based enumeration on the index (Section III-B).
+
+- :func:`enumerate_full` — Algorithm 1: for every plan pair ``(i, j)``
+  join ``LP_i(v_c)`` with ``RP_j(v_c)`` over the middle vertices, with a
+  vertex-disjointness check; each k-st path appears exactly once
+  (Theorems 1–2).
+- :func:`enumerate_delta` — the update enumeration: joins in which at
+  least one side belongs to the changed part of the index, i.e.
+  ``ΔLP ⋈ RP  ∪  (LP − ΔLP) ⋈ ΔRP`` (Theorem 3).  Used with the
+  *post-addition* index for insertions and the *pre-removal* index for
+  deletions, so "``RP``" always denotes the variant that contains the
+  changed paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.index import PartialPathIndex, PathBuckets
+from repro.core.paths import Path
+
+
+def enumerate_full(index: PartialPathIndex) -> Iterator[Path]:
+    """Yield every k-st path currently represented by the index."""
+    if index.direct_edge:
+        yield (index.s, index.t)
+    left, right = index.left, index.right
+    for i, j in index.plan:
+        left_bucket = left.bucket(i)
+        right_bucket = right.bucket(j)
+        if not left_bucket or not right_bucket:
+            continue
+        # Iterate middle vertices present on both sides, driving from the
+        # smaller map.
+        if len(left_bucket) <= len(right_bucket):
+            middles = (v for v in left_bucket if v in right_bucket)
+        else:
+            middles = (v for v in right_bucket if v in left_bucket)
+        for vc in middles:
+            right_paths = right_bucket[vc]
+            for lp in left_bucket[vc]:
+                lp_set = set(lp)
+                for rp in right_paths:
+                    if lp_set.isdisjoint(rp[1:]):
+                        yield lp + rp[1:]
+
+
+def enumerate_delta(
+    index: PartialPathIndex,
+    left_delta: PathBuckets,
+    right_delta: PathBuckets,
+    direct_edge_changed: bool = False,
+) -> Iterator[Path]:
+    """Yield the full paths with at least one changed partial path.
+
+    The two join terms are disjoint by construction (the second term
+    explicitly skips left paths that are in the delta), so every changed
+    full path is produced exactly once.
+    """
+    if direct_edge_changed:
+        yield (index.s, index.t)
+    left, right = index.left, index.right
+    for i, j in index.plan:
+        # Term 1: changed left x full right.
+        delta_left_bucket = left_delta.bucket(i)
+        if delta_left_bucket:
+            right_bucket = right.bucket(j)
+            for vc, delta_paths in delta_left_bucket.items():
+                right_paths = right_bucket.get(vc)
+                if not right_paths:
+                    continue
+                for lp in delta_paths:
+                    lp_set = set(lp)
+                    for rp in right_paths:
+                        if lp_set.isdisjoint(rp[1:]):
+                            yield lp + rp[1:]
+        # Term 2: unchanged left x changed right.
+        delta_right_bucket = right_delta.bucket(j)
+        if delta_right_bucket:
+            left_bucket = left.bucket(i)
+            for vc, delta_paths in delta_right_bucket.items():
+                left_paths = left_bucket.get(vc)
+                if not left_paths:
+                    continue
+                for lp in left_paths:
+                    if left_delta.contains(vc, lp):
+                        continue
+                    lp_set = set(lp)
+                    for rp in delta_paths:
+                        if lp_set.isdisjoint(rp[1:]):
+                            yield lp + rp[1:]
+
+
+def count_full(index: PartialPathIndex) -> int:
+    """Number of k-st paths without materializing them as a list."""
+    return sum(1 for _ in enumerate_full(index))

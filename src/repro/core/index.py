@@ -1,0 +1,240 @@
+"""The partial path-based index (Section III-A).
+
+For a query ``q(s, t, k)`` the index holds:
+
+- ``LP_i(v)`` — every admissible simple path ``s -> v`` with ``i`` hops
+  (``1 <= i <= l``), avoiding ``t``, satisfying ``i + Dist_t[v] <= k``;
+- ``RP_j(v)`` — every admissible simple path ``v -> t`` with ``j`` hops
+  (``1 <= j <= r``), avoiding ``s``, satisfying ``j + Dist_s[v] <= k``;
+- the :class:`~repro.core.plan.JoinPlan` with ``l + r = k``;
+- whether the direct edge ``(s, t)`` exists (the length-1 path cannot be
+  represented as a join of two non-empty partial paths, so it is tracked
+  explicitly — see DESIGN.md §3).
+
+Right partial paths are stored in *forward* orientation ``(v, ..., t)``
+so that joining is plain tuple concatenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.core.paths import Path, hops
+from repro.core.plan import JoinPlan
+from repro.graph.digraph import Vertex
+
+Bucket = Dict[Vertex, Set[Path]]
+
+
+class PathBuckets:
+    """One side of the index: paths bucketed by ``(length, key vertex)``.
+
+    The key vertex is the path's *cut-side* endpoint — the last vertex
+    for left partial paths, the first for right partial paths.  The
+    caller passes it explicitly so the same container serves both sides
+    (and the maintenance delta records).
+    """
+
+    __slots__ = ("_by_len", "_count")
+
+    def __init__(self) -> None:
+        self._by_len: Dict[int, Bucket] = {}
+        self._count = 0
+
+    def add(self, vertex: Vertex, path: Path) -> bool:
+        """Insert ``path`` under ``(hops(path), vertex)``; True if new."""
+        bucket = self._by_len.setdefault(hops(path), {})
+        paths = bucket.setdefault(vertex, set())
+        if path in paths:
+            return False
+        paths.add(path)
+        self._count += 1
+        return True
+
+    def remove(self, vertex: Vertex, path: Path) -> bool:
+        """Remove ``path``; True if it was present."""
+        length = hops(path)
+        bucket = self._by_len.get(length)
+        if bucket is None:
+            return False
+        paths = bucket.get(vertex)
+        if paths is None or path not in paths:
+            return False
+        paths.discard(path)
+        self._count -= 1
+        if not paths:
+            del bucket[vertex]
+            if not bucket:
+                del self._by_len[length]
+        return True
+
+    def contains(self, vertex: Vertex, path: Path) -> bool:
+        """Membership test under ``(hops(path), vertex)``."""
+        bucket = self._by_len.get(hops(path))
+        if bucket is None:
+            return False
+        paths = bucket.get(vertex)
+        return paths is not None and path in paths
+
+    def bucket(self, length: int) -> Bucket:
+        """All vertex buckets at ``length`` (live mapping; may be empty)."""
+        return self._by_len.get(length, {})
+
+    def level_dict(self, length: int) -> Bucket:
+        """The live bucket at ``length``, created if missing.
+
+        Bulk-insert fast path for the construction level search: callers
+        write path sets directly and report the added count through
+        :meth:`note_added`.
+        """
+        return self._by_len.setdefault(length, {})
+
+    def note_added(self, count: int) -> None:
+        """Adjust the path counter after direct ``level_dict`` writes."""
+        self._count += count
+
+    def at(self, vertex: Vertex, length: int) -> Set[Path]:
+        """Paths at ``(vertex, length)`` (live set; may be empty)."""
+        return self._by_len.get(length, {}).get(vertex, set())
+
+    def at_vertex(self, vertex: Vertex) -> Iterator[Tuple[int, Path]]:
+        """All ``(length, path)`` entries keyed at ``vertex``."""
+        for length, bucket in self._by_len.items():
+            for path in bucket.get(vertex, ()):
+                yield length, path
+
+    def paths(self) -> Iterator[Path]:
+        """Every stored path."""
+        for bucket in self._by_len.values():
+            for path_set in bucket.values():
+                yield from path_set
+
+    def entries(self) -> Iterator[Tuple[int, Vertex, Path]]:
+        """Every ``(length, vertex, path)`` triple."""
+        for length, bucket in self._by_len.items():
+            for vertex, path_set in bucket.items():
+                for path in path_set:
+                    yield length, vertex, path
+
+    def lengths(self) -> Iterator[int]:
+        """Lengths with at least one stored path."""
+        return iter(self._by_len)
+
+    def count_at_length(self, length: int) -> int:
+        """Number of paths of exactly ``length`` hops."""
+        return sum(len(ps) for ps in self._by_len.get(length, {}).values())
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathBuckets):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def as_dict(self) -> Dict[int, Dict[Vertex, Set[Path]]]:
+        """A normalized copy (empty buckets dropped) for comparisons."""
+        return {
+            length: {v: set(ps) for v, ps in bucket.items() if ps}
+            for length, bucket in self._by_len.items()
+            if any(bucket.values())
+        }
+
+    def __repr__(self) -> str:
+        return f"PathBuckets(paths={self._count})"
+
+
+@dataclass(frozen=True)
+class IndexMemoryStats:
+    """Memory accounting for Fig. 12.
+
+    ``path_count`` / ``vertex_slots`` count stored paths and their total
+    vertex entries; ``approx_bytes`` estimates the resident size the way
+    the paper's "AvgIdx" measures its C++ index (vertex ids as machine
+    words plus per-path overhead).
+    """
+
+    left_paths: int
+    right_paths: int
+    vertex_slots: int
+
+    @property
+    def path_count(self) -> int:
+        """Total stored partial paths."""
+        return self.left_paths + self.right_paths
+
+    @property
+    def approx_bytes(self) -> int:
+        """8 bytes per vertex slot + 16 bytes per path record."""
+        return 8 * self.vertex_slots + 16 * self.path_count
+
+
+class PartialPathIndex:
+    """The partial path index for one query ``q(s, t, k)``."""
+
+    __slots__ = ("s", "t", "k", "plan", "left", "right", "direct_edge")
+
+    def __init__(self, s: Vertex, t: Vertex, k: int, plan: JoinPlan) -> None:
+        if s == t:
+            raise ValueError("s and t must differ")
+        if plan.k != k:
+            raise ValueError(f"plan is for k={plan.k}, query has k={k}")
+        self.s = s
+        self.t = t
+        self.k = k
+        self.plan = plan
+        self.left = PathBuckets()
+        self.right = PathBuckets()
+        self.direct_edge = False
+
+    # ------------------------------------------------------------------
+    # Left side (paths s -> v, keyed by their last vertex)
+    # ------------------------------------------------------------------
+    def add_left(self, path: Path) -> bool:
+        """Store a left partial path; True if new."""
+        return self.left.add(path[-1], path)
+
+    def remove_left(self, path: Path) -> bool:
+        """Drop a left partial path; True if present."""
+        return self.left.remove(path[-1], path)
+
+    def has_left(self, path: Path) -> bool:
+        """Whether a left partial path is stored."""
+        return self.left.contains(path[-1], path)
+
+    # ------------------------------------------------------------------
+    # Right side (paths v -> t in forward orientation, keyed by first vertex)
+    # ------------------------------------------------------------------
+    def add_right(self, path: Path) -> bool:
+        """Store a right partial path; True if new."""
+        return self.right.add(path[0], path)
+
+    def remove_right(self, path: Path) -> bool:
+        """Drop a right partial path; True if present."""
+        return self.right.remove(path[0], path)
+
+    def has_right(self, path: Path) -> bool:
+        """Whether a right partial path is stored."""
+        return self.right.contains(path[0], path)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def memory_stats(self) -> IndexMemoryStats:
+        """Size accounting for the memory experiment (Fig. 12)."""
+        slots = sum(len(p) for p in self.left.paths())
+        slots += sum(len(p) for p in self.right.paths())
+        return IndexMemoryStats(
+            left_paths=len(self.left),
+            right_paths=len(self.right),
+            vertex_slots=slots,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialPathIndex(s={self.s!r}, t={self.t!r}, k={self.k}, "
+            f"l={self.plan.l}, r={self.plan.r}, "
+            f"|LP|={len(self.left)}, |RP|={len(self.right)}, "
+            f"direct_edge={self.direct_edge})"
+        )

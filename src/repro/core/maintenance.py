@@ -1,0 +1,467 @@
+"""Index maintenance under edge updates (Section IV-B).
+
+The maintained invariant (DESIGN.md §3): with respect to the *current*
+graph and *current* distance maps,
+
+- ``LP_i(w)`` holds **all** simple ``s -> w`` paths of length ``i <= l``
+  avoiding ``t`` with ``i + Dist_t[w] <= k``;
+- ``RP_j(w)`` holds **all** simple ``w -> t`` paths of length ``j <= r``
+  avoiding ``s`` with ``j + Dist_s[w] <= k``.
+
+**Insertion** of ``(u, v)`` only adds content (distances only decrease,
+graph paths only appear).  Three sources of additions, in order:
+
+1. distance-map repair (Algorithm 3, via
+   :meth:`~repro.core.distance.DistanceMap.relax_insert`);
+2. *admissibility repair*: for each relaxed vertex the lengths that just
+   became admissible gain every existing path of that length, found with
+   a distance-pruned DFS (the generalization of the paper's UDFS — see
+   DESIGN.md for why extending only newly-added paths is insufficient);
+3. *new-edge paths*: every partial path traversing ``(u, v)``, grown
+   outward from the edge with the same admissibility pruning.
+
+**Deletion** of ``(u, v)`` only removes content:
+
+1. *edge-using removals*: paths whose first traversal of ``(u, v)`` is
+   their last hop are located by extending the index at ``u``/``v`` with
+   hash probes, then propagated to longer paths through neighbor probes
+   (the paper's ``(k + d_avg) x Δ|P|`` removal);
+2. distance tightening (Algorithm 5, via
+   :meth:`~repro.core.distance.DistanceMap.tighten_delete`);
+3. *admissibility-loss removals*: whole ``(vertex, length)`` buckets
+   whose lengths stopped being admissible.
+
+Deletions are **recorded first and applied after** the update
+enumeration ran on the intact index, matching the paper's "keep the
+paths that should be removed and delete them after finishing the update
+enumeration".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.distance import DistanceMap
+from repro.core.index import PartialPathIndex, PathBuckets
+from repro.core.paths import Path
+from repro.graph.digraph import DynamicDiGraph, Vertex
+
+
+@dataclass
+class UpdateRecord:
+    """The changed part of the index for one edge update.
+
+    For an insertion the buckets hold ``LP'``/``RP'`` (added paths); for
+    a deletion they hold the pending removals.  ``direct_changed`` flags
+    the length-1 path ``(s, t)``; ``changed`` is False when the update
+    was a no-op (edge already present / already absent).
+    """
+
+    insert: bool
+    changed: bool
+    left_delta: PathBuckets = field(default_factory=PathBuckets)
+    right_delta: PathBuckets = field(default_factory=PathBuckets)
+    direct_changed: bool = False
+    relaxed_s: int = 0
+    relaxed_t: int = 0
+    tightened_s: int = 0
+    tightened_t: int = 0
+
+    @property
+    def delta_partial_paths(self) -> int:
+        """Number of changed partial paths (|LP'| + |RP'|)."""
+        return len(self.left_delta) + len(self.right_delta)
+
+
+class IndexMaintainer:
+    """Keeps a :class:`PartialPathIndex` exact under edge updates.
+
+    The maintainer owns the update logic only; the caller (normally
+    :class:`repro.core.enumerator.CpeEnumerator`) mutates the graph
+    through :meth:`insert_edge` / :meth:`delete_edge`, runs the update
+    enumeration on the returned record, and — for deletions — applies
+    the pending removals with :meth:`apply_removals` afterwards.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        index: PartialPathIndex,
+        dist_s: DistanceMap,
+        dist_t: DistanceMap,
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self.dist_s = dist_s
+        self.dist_t = dist_t
+        self.s = index.s
+        self.t = index.t
+        self.k = index.k
+
+    # ==================================================================
+    # Insertion
+    # ==================================================================
+    def insert_edge(
+        self, u: Vertex, v: Vertex, graph_already_updated: bool = False
+    ) -> UpdateRecord:
+        """Apply ``e(u, v, +)``: mutate the graph, repair the index.
+
+        Returns the record of added partial paths; additions are already
+        applied to the index when this returns (the update enumeration
+        for insertions runs against the post-addition index).
+
+        ``graph_already_updated=True`` skips the graph mutation — used
+        when several maintainers share one graph (multi-query
+        monitoring) and the edge was inserted by an earlier one.
+        """
+        record = UpdateRecord(insert=True, changed=False)
+        if graph_already_updated:
+            if not self.graph.has_edge(u, v):
+                raise ValueError(f"edge ({u!r}, {v!r}) is not in the graph")
+        elif not self.graph.add_edge(u, v):
+            return record
+        record.changed = True
+        if u == v:
+            return record  # self-loops never occur in simple paths
+        if u == self.s and v == self.t and self.k >= 1:
+            self.index.direct_edge = True
+            record.direct_changed = True
+
+        changed_s = self.dist_s.relax_insert(u, v)
+        changed_t = self.dist_t.relax_insert(v, u)
+        record.relaxed_s = len(changed_s)
+        record.relaxed_t = len(changed_t)
+        if self.k < 2:
+            return record
+
+        self._repair_right(changed_s, record.right_delta)
+        self._repair_left(changed_t, record.left_delta)
+        self._new_edge_right(u, v, record.right_delta)
+        self._new_edge_left(u, v, record.left_delta)
+        return record
+
+    # ------------------------------------------------------------------
+    def _repair_right(
+        self, changed_s: Dict[Vertex, Tuple[int, int]], delta: PathBuckets
+    ) -> None:
+        """Add RP paths that became admissible because Dist_s decreased."""
+        k, r = self.k, self.index.plan.r
+        for w, (old, new) in changed_s.items():
+            if w == self.s or w == self.t:
+                continue
+            lo = max(1, k - old + 1)
+            hi = min(r, k - new)
+            if lo > hi:
+                continue
+            for path in self._forward_paths_to_t(w, lo, hi):
+                if self.index.add_right(path):
+                    delta.add(path[0], path)
+
+    def _repair_left(
+        self, changed_t: Dict[Vertex, Tuple[int, int]], delta: PathBuckets
+    ) -> None:
+        """Add LP paths that became admissible because Dist_t decreased."""
+        k, l = self.k, self.index.plan.l
+        for w, (old, new) in changed_t.items():
+            if w == self.s or w == self.t:
+                continue
+            lo = max(1, k - old + 1)
+            hi = min(l, k - new)
+            if lo > hi:
+                continue
+            for path in self._backward_paths_from_s(w, lo, hi):
+                if self.index.add_left(path):
+                    delta.add(path[-1], path)
+
+    def _forward_paths_to_t(self, start: Vertex, lo: int, hi: int) -> List[Path]:
+        """Simple ``start -> t`` paths with ``lo <= hops <= hi``, avoiding s.
+
+        Distance-pruned DFS: a partial path of length ``c`` at ``y`` is
+        extended only while ``c + Dist_t[y] <= hi`` still allows
+        completion within ``hi`` hops.
+        """
+        t, s = self.t, self.s
+        dist_t = self.dist_t
+        out_neighbors = self.graph.out_neighbors
+        results: List[Path] = []
+        stack: List[Path] = [(start,)]
+        while stack:
+            path = stack.pop()
+            length = len(path) - 1
+            tail = path[-1]
+            if tail == t:
+                if length >= lo:
+                    results.append(path)
+                continue
+            if length >= hi:
+                continue
+            nxt = length + 1
+            for y in out_neighbors(tail):
+                if y != s and y not in path and nxt + dist_t.get(y) <= hi:
+                    stack.append(path + (y,))
+        return results
+
+    def _backward_paths_from_s(self, end: Vertex, lo: int, hi: int) -> List[Path]:
+        """Simple ``s -> end`` paths with ``lo <= hops <= hi``, avoiding t."""
+        s, t = self.s, self.t
+        dist_s = self.dist_s
+        in_neighbors = self.graph.in_neighbors
+        results: List[Path] = []
+        stack: List[Path] = [(end,)]
+        while stack:
+            path = stack.pop()  # stored reversed-from-end: (end, ..., x)
+            length = len(path) - 1
+            head = path[-1]
+            if head == s:
+                if length >= lo:
+                    results.append(tuple(reversed(path)))
+                continue
+            if length >= hi:
+                continue
+            nxt = length + 1
+            for x in in_neighbors(head):
+                if x != t and x not in path and nxt + dist_s.get(x) <= hi:
+                    stack.append(path + (x,))
+        return results
+
+    # ------------------------------------------------------------------
+    def _new_edge_right(self, u: Vertex, v: Vertex, delta: PathBuckets) -> None:
+        """Add RP paths traversing ``(u, v)``.
+
+        Bases are ``(u,) + suffix`` for every admissible suffix at ``v``
+        (the admissibility repair already completed ``RP(v)``, so bases
+        cover every possible suffix); each base is then extended backward
+        through in-neighbors with the admissibility pruning, which is
+        monotone in the backward direction.
+        """
+        if u == self.s:
+            return  # a path starting s -> u -> ... is a full path, not an RP
+        k, r = self.k, self.index.plan.r
+        dist_s = self.dist_s
+        bases: List[Path] = []
+        if v == self.t:
+            if 1 <= r and 1 + dist_s.get(u) <= k:
+                bases.append((u, v))
+        else:
+            for length, rp in list(self.index.right.at_vertex(v)):
+                if length + 1 > r or length + 1 + dist_s.get(u) > k:
+                    continue
+                if u in rp:
+                    continue
+                bases.append((u,) + rp)
+        in_neighbors = self.graph.in_neighbors
+        s = self.s
+        stack: List[Path] = []
+        for base in bases:
+            if self.index.add_right(base):
+                delta.add(base[0], base)
+            stack.append(base)
+        while stack:
+            path = stack.pop()
+            nxt = len(path)  # hops after prepending one vertex
+            if nxt > r:
+                continue
+            for x in in_neighbors(path[0]):
+                if x == s or x in path or nxt + dist_s.get(x) > k:
+                    continue
+                extended = (x,) + path
+                if self.index.add_right(extended):
+                    delta.add(x, extended)
+                # Recurse regardless of newness: an extension added by the
+                # admissibility repair may still have missing extensions.
+                stack.append(extended)
+        return
+
+    def _new_edge_left(self, u: Vertex, v: Vertex, delta: PathBuckets) -> None:
+        """Add LP paths traversing ``(u, v)`` (mirror of the RP side)."""
+        if v == self.t:
+            return  # a path ... -> u -> t is a full path, not an LP
+        k, l = self.k, self.index.plan.l
+        dist_t = self.dist_t
+        bases: List[Path] = []
+        if u == self.s:
+            if 1 <= l and 1 + dist_t.get(v) <= k:
+                bases.append((u, v))
+        else:
+            for length, lp in list(self.index.left.at_vertex(u)):
+                if length + 1 > l or length + 1 + dist_t.get(v) > k:
+                    continue
+                if v in lp:
+                    continue
+                bases.append(lp + (v,))
+        out_neighbors = self.graph.out_neighbors
+        t = self.t
+        stack: List[Path] = []
+        for base in bases:
+            if self.index.add_left(base):
+                delta.add(base[-1], base)
+            stack.append(base)
+        while stack:
+            path = stack.pop()
+            nxt = len(path)
+            if nxt > l:
+                continue
+            for y in out_neighbors(path[-1]):
+                if y == t or y in path or nxt + dist_t.get(y) > k:
+                    continue
+                extended = path + (y,)
+                if self.index.add_left(extended):
+                    delta.add(y, extended)
+                stack.append(extended)
+        return
+
+    # ==================================================================
+    # Deletion
+    # ==================================================================
+    def delete_edge(
+        self, u: Vertex, v: Vertex, graph_already_updated: bool = False
+    ) -> UpdateRecord:
+        """Apply ``e(u, v, -)``: mutate graph and distances, record removals.
+
+        The removal records in the returned :class:`UpdateRecord` are
+        **not yet applied** to the index — run the update enumeration
+        first, then call :meth:`apply_removals`.
+
+        ``graph_already_updated=True`` skips the graph mutation (shared
+        graph, edge already removed by an earlier maintainer).
+        """
+        record = UpdateRecord(insert=False, changed=False)
+        if graph_already_updated:
+            if self.graph.has_edge(u, v):
+                raise ValueError(f"edge ({u!r}, {v!r}) is still in the graph")
+        elif not self.graph.remove_edge(u, v):
+            return record
+        record.changed = True
+        if u == v:
+            return record  # self-loops never occur in simple paths
+        if u == self.s and v == self.t and self.index.direct_edge:
+            record.direct_changed = True
+
+        if self.k >= 2:
+            self._mark_edge_using_left(u, v, record.left_delta)
+            self._mark_edge_using_right(u, v, record.right_delta)
+
+        changed_s = self.dist_s.tighten_delete(u, v)
+        changed_t = self.dist_t.tighten_delete(v, u)
+        record.tightened_s = len(changed_s)
+        record.tightened_t = len(changed_t)
+
+        if self.k >= 2:
+            self._mark_inadmissible_right(changed_s, record.right_delta)
+            self._mark_inadmissible_left(changed_t, record.left_delta)
+        return record
+
+    def apply_removals(self, record: UpdateRecord) -> None:
+        """Physically remove a deletion record's paths from the index."""
+        if record.insert:
+            raise ValueError("apply_removals is only meaningful for deletions")
+        for _, vertex, path in record.left_delta.entries():
+            self.index.left.remove(vertex, path)
+        for _, vertex, path in record.right_delta.entries():
+            self.index.right.remove(vertex, path)
+        if record.direct_changed:
+            self.index.direct_edge = False
+
+    # ------------------------------------------------------------------
+    def _mark_edge_using_left(
+        self, u: Vertex, v: Vertex, removed: PathBuckets
+    ) -> None:
+        """Mark every LP path traversing ``(u, v)``.
+
+        Seeds are stored paths whose final hop is ``(u, v)`` (built by
+        extending ``LP(u)`` and probing membership); marked paths
+        propagate to their stored extensions through per-out-neighbor
+        hash probes.
+        """
+        index_left = self.index.left
+        l = self.index.plan.l
+        queue: deque = deque()
+
+        def mark(path: Path) -> None:
+            if removed.add(path[-1], path):
+                queue.append(path)
+
+        if u == self.s:
+            seed = (u, v)
+            if index_left.contains(v, seed):
+                mark(seed)
+        else:
+            for length, lp in list(index_left.at_vertex(u)):
+                if length + 1 > l:
+                    continue
+                seed = lp + (v,)
+                if index_left.contains(v, seed):
+                    mark(seed)
+        out_neighbors = self.graph.out_neighbors
+        while queue:
+            path = queue.popleft()
+            if len(path) > l:  # hops == len(path) - 1; extensions exceed l
+                continue
+            for y in out_neighbors(path[-1]):
+                if y in path:
+                    continue
+                extended = path + (y,)
+                if index_left.contains(y, extended):
+                    mark(extended)
+
+    def _mark_edge_using_right(
+        self, u: Vertex, v: Vertex, removed: PathBuckets
+    ) -> None:
+        """Mark every RP path traversing ``(u, v)`` (mirror of LP side)."""
+        index_right = self.index.right
+        r = self.index.plan.r
+        queue: deque = deque()
+
+        def mark(path: Path) -> None:
+            if removed.add(path[0], path):
+                queue.append(path)
+
+        if v == self.t:
+            seed = (u, v)
+            if index_right.contains(u, seed):
+                mark(seed)
+        else:
+            for length, rp in list(self.index.right.at_vertex(v)):
+                if length + 1 > r:
+                    continue
+                seed = (u,) + rp
+                if index_right.contains(u, seed):
+                    mark(seed)
+        in_neighbors = self.graph.in_neighbors
+        while queue:
+            path = queue.popleft()
+            if len(path) > r:
+                continue
+            for x in in_neighbors(path[0]):
+                if x in path:
+                    continue
+                extended = (x,) + path
+                if index_right.contains(x, extended):
+                    mark(extended)
+
+    # ------------------------------------------------------------------
+    def _mark_inadmissible_right(
+        self, changed_s: Dict[Vertex, Tuple[int, int]], removed: PathBuckets
+    ) -> None:
+        """Mark RP buckets whose lengths stopped being admissible."""
+        k, r = self.k, self.index.plan.r
+        for w, (old, new) in changed_s.items():
+            lo = max(1, k - new + 1)
+            hi = min(r, k - old)
+            for j in range(lo, hi + 1):
+                for path in self.index.right.at(w, j):
+                    removed.add(w, path)
+
+    def _mark_inadmissible_left(
+        self, changed_t: Dict[Vertex, Tuple[int, int]], removed: PathBuckets
+    ) -> None:
+        """Mark LP buckets whose lengths stopped being admissible."""
+        k, l = self.k, self.index.plan.l
+        for w, (old, new) in changed_t.items():
+            lo = max(1, k - new + 1)
+            hi = min(l, k - old)
+            for i in range(lo, hi + 1):
+                for path in self.index.left.at(w, i):
+                    removed.add(w, path)

@@ -1,0 +1,192 @@
+"""Continuous monitoring utilities built on the CPE enumerator.
+
+Two pieces the paper's applications section implies but leaves to the
+reader:
+
+- :class:`MultiPairMonitor` — "we usually have a list of
+  suspects/candidates, and the k-st path enumeration algorithm on
+  dynamic graphs aims to monitor the suspect/candidate pairs": many
+  queries over *one* shared graph, each with its own partial path
+  index, all repaired by a single pass per update;
+- :class:`SlidingWindowMonitor` — the "arrival and expiration of
+  edges": a timestamped edge stream in which an edge expires
+  ``window`` time units after its arrival, driving insertions and
+  deletions automatically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.enumerator import CpeEnumerator, UpdateResult
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
+
+PairKey = Tuple[Vertex, Vertex]
+
+
+class MultiPairMonitor:
+    """Maintain k-st path results for many (s, t) pairs on one graph.
+
+    The monitor owns the graph: every update goes through
+    :meth:`insert_edge` / :meth:`delete_edge` / :meth:`apply`, which
+    mutate the graph once and let each registered enumerator observe
+    the change.  Returns ``{(s, t): UpdateResult}`` per update.
+    """
+
+    def __init__(self, graph: DynamicDiGraph, k: int) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.graph = graph
+        self.k = k
+        self._enumerators: Dict[PairKey, CpeEnumerator] = {}
+
+    # ------------------------------------------------------------------
+    def watch(self, s: Vertex, t: Vertex, k: Optional[int] = None) -> List:
+        """Register a pair; returns its initial result set."""
+        key = (s, t)
+        if key in self._enumerators:
+            raise ValueError(f"pair {key} is already watched")
+        enumerator = CpeEnumerator(self.graph, s, t, k if k is not None else self.k)
+        self._enumerators[key] = enumerator
+        return enumerator.startup()
+
+    def unwatch(self, s: Vertex, t: Vertex) -> bool:
+        """Stop monitoring a pair; True if it was watched."""
+        return self._enumerators.pop((s, t), None) is not None
+
+    def pairs(self) -> List[PairKey]:
+        """The currently watched pairs."""
+        return list(self._enumerators)
+
+    def enumerator_for(self, s: Vertex, t: Vertex) -> CpeEnumerator:
+        """The underlying enumerator of one pair (raises KeyError)."""
+        return self._enumerators[(s, t)]
+
+    def __len__(self) -> int:
+        return len(self._enumerators)
+
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> Dict[PairKey, UpdateResult]:
+        """Insert an edge; per-pair results with exactly the new paths."""
+        return self.apply(EdgeUpdate(u, v, True))
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> Dict[PairKey, UpdateResult]:
+        """Delete an edge; per-pair results with exactly the deleted paths."""
+        return self.apply(EdgeUpdate(u, v, False))
+
+    def apply(self, update: EdgeUpdate) -> Dict[PairKey, UpdateResult]:
+        """Apply one update to the shared graph and every index."""
+        changed = self.graph.apply_update(update)
+        if not changed:
+            return {
+                key: UpdateResult(update, changed=False)
+                for key in self._enumerators
+            }
+        return {
+            key: enumerator.observe(update)
+            for key, enumerator in self._enumerators.items()
+        }
+
+    def results(self) -> Dict[PairKey, List]:
+        """The current full result set of every pair."""
+        return {
+            key: enumerator.startup()
+            for key, enumerator in self._enumerators.items()
+        }
+
+
+@dataclass
+class WindowEvent:
+    """What one stream step did: the arrival plus any expirations."""
+
+    timestamp: float
+    arrivals: Dict[PairKey, UpdateResult] = field(default_factory=dict)
+    expirations: List[Dict[PairKey, UpdateResult]] = field(default_factory=list)
+
+    def new_paths(self, pair: PairKey) -> List:
+        """New paths for ``pair`` from this step's arrival."""
+        result = self.arrivals.get(pair)
+        return list(result.paths) if result else []
+
+    def deleted_paths(self, pair: PairKey) -> List:
+        """Deleted paths for ``pair`` from this step's expirations."""
+        out: List = []
+        for results in self.expirations:
+            result = results.get(pair)
+            if result:
+                out.extend(result.paths)
+        return out
+
+
+class SlidingWindowMonitor:
+    """Drive a :class:`MultiPairMonitor` from a timestamped edge stream.
+
+    Each offered edge ``(u, v, timestamp)`` is inserted and scheduled to
+    expire at ``timestamp + window``; offering an edge first expires
+    everything older than the new timestamp.  Re-offered edges have
+    their expiration extended (the common "last activity wins" window
+    semantics).
+    """
+
+    def __init__(self, monitor: MultiPairMonitor, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.monitor = monitor
+        self.window = window
+        self._expiry: Deque[Tuple[float, Vertex, Vertex]] = deque()
+        self._latest: Dict[Tuple[Vertex, Vertex], float] = {}
+        self._now = float("-inf")
+
+    @property
+    def now(self) -> float:
+        """The timestamp of the most recent stream activity."""
+        return self._now
+
+    def live_edges(self) -> int:
+        """Number of edges currently inside the window."""
+        return len(self._latest)
+
+    # ------------------------------------------------------------------
+    def offer(self, u: Vertex, v: Vertex, timestamp: float) -> WindowEvent:
+        """Process one arrival (and any expirations it triggers)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"timestamps must be non-decreasing "
+                f"({timestamp} < {self._now})"
+            )
+        event = WindowEvent(timestamp)
+        self._advance(timestamp, event)
+        self._now = timestamp
+        edge = (u, v)
+        if edge not in self._latest:
+            event.arrivals = self.monitor.insert_edge(u, v)
+        self._latest[edge] = timestamp
+        self._expiry.append((timestamp + self.window, u, v))
+        return event
+
+    def advance(self, timestamp: float) -> WindowEvent:
+        """Move time forward without an arrival (pure expiration)."""
+        if timestamp < self._now:
+            raise ValueError("timestamps must be non-decreasing")
+        event = WindowEvent(timestamp)
+        self._advance(timestamp, event)
+        self._now = timestamp
+        return event
+
+    def _advance(self, timestamp: float, event: WindowEvent) -> None:
+        while self._expiry and self._expiry[0][0] <= timestamp:
+            expires_at, u, v = self._expiry.popleft()
+            edge = (u, v)
+            latest = self._latest.get(edge)
+            if latest is None or latest + self.window > timestamp:
+                continue  # re-offered since: this expiration is stale
+            del self._latest[edge]
+            event.expirations.append(self.monitor.delete_edge(u, v))
+
+    def replay(
+        self, stream: Iterable[Tuple[Vertex, Vertex, float]]
+    ) -> List[WindowEvent]:
+        """Offer a whole stream; one :class:`WindowEvent` per element."""
+        return [self.offer(u, v, ts) for u, v, ts in stream]

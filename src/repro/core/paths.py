@@ -1,0 +1,70 @@
+"""Path representation and validation helpers.
+
+A path is an immutable tuple of vertices ``(v_0, v_1, ..., v_L)`` with
+``len(path) - 1`` edges — the paper's ``len(p)``.  Tuples hash, so the
+index stores them in sets and the maintenance deduplicates additions with
+O(1) membership checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.graph.digraph import DynamicDiGraph, Vertex
+
+Path = Tuple[Vertex, ...]
+
+
+def hops(path: Path) -> int:
+    """Number of edges in ``path`` (the paper's ``len(p)``)."""
+    return len(path) - 1
+
+
+def is_simple(path: Path) -> bool:
+    """Whether all vertices in ``path`` are distinct."""
+    return len(set(path)) == len(path)
+
+
+def exists_in(path: Path, graph: DynamicDiGraph) -> bool:
+    """Whether every consecutive pair of ``path`` is an edge of ``graph``."""
+    return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+
+def is_k_st_path(
+    path: Path, graph: DynamicDiGraph, s: Vertex, t: Vertex, k: int
+) -> bool:
+    """Whether ``path`` is a valid k-st simple path of ``graph``."""
+    if len(path) < 2 or path[0] != s or path[-1] != t:
+        return False
+    if hops(path) > k or not is_simple(path):
+        return False
+    return exists_in(path, graph)
+
+
+def join(left: Path, right: Path) -> Path:
+    """Concatenate a left partial path with a right partial path.
+
+    ``left`` ends at the cut vertex and ``right`` starts at it; the cut
+    vertex is kept once.  Raises :class:`ValueError` when the endpoints do
+    not meet.
+    """
+    if not left or not right or left[-1] != right[0]:
+        raise ValueError(
+            f"cannot join {left!r} with {right!r}: endpoints do not meet"
+        )
+    return left + right[1:]
+
+
+def uses_edge(path: Path, u: Vertex, v: Vertex) -> bool:
+    """Whether ``path`` traverses the directed edge ``(u, v)``."""
+    return any(a == u and b == v for a, b in zip(path, path[1:]))
+
+
+def sort_key(path: Path) -> Tuple[int, Path]:
+    """Canonical ordering (by length then lexicographic) for stable output."""
+    return (len(path), path)
+
+
+def canonical(paths: Iterable[Path]) -> Tuple[Path, ...]:
+    """Deterministically ordered tuple of ``paths`` (testing helper)."""
+    return tuple(sorted(paths, key=sort_key))

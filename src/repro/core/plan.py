@@ -1,0 +1,128 @@
+"""The join plan: one ``(i, j)`` cut per full-path length.
+
+Algorithm 2 records a pair ``(i, j)`` after every level search; the final
+plan contains exactly one pair for each total length ``2..k``, and the
+largest pair ``(l, r)`` satisfies ``l + r = k``.  Every full path of
+length ``L`` is produced by joining a left partial path of length ``i``
+with a right partial path of length ``j`` for the unique plan pair with
+``i + j = L`` — which is what makes the enumeration duplicate-free
+(Theorem 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """An immutable, validated join plan.
+
+    ``pairs`` must be the Algorithm 2 trace: it starts at ``(1, 1)`` and
+    each subsequent pair increments exactly one side, ending at
+    ``(l, r)`` with ``l + r = k``.  For ``k < 2`` the plan is empty (the
+    only possible result is the direct ``s -> t`` edge, which the index
+    tracks separately).
+    """
+
+    k: int
+    pairs: Tuple[Tuple[int, int], ...]
+    _by_length: Dict[int, Tuple[int, int]] = field(
+        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        self._validate()
+        object.__setattr__(
+            self, "_by_length", {i + j: (i, j) for i, j in self.pairs}
+        )
+
+    def _validate(self) -> None:
+        if self.k < 0:
+            raise ValueError("k must be non-negative")
+        if self.k < 2:
+            if self.pairs:
+                raise ValueError(f"k={self.k} admits no join pairs")
+            return
+        if not self.pairs or self.pairs[0] != (1, 1):
+            raise ValueError("plan must start at (1, 1)")
+        for (i0, j0), (i1, j1) in zip(self.pairs, self.pairs[1:]):
+            grow_left = (i1, j1) == (i0 + 1, j0)
+            grow_right = (i1, j1) == (i0, j0 + 1)
+            if not (grow_left or grow_right):
+                raise ValueError(
+                    f"plan step {(i0, j0)} -> {(i1, j1)} must grow one side by 1"
+                )
+        l, r = self.pairs[-1]
+        if l + r != self.k:
+            raise ValueError(f"final pair {(l, r)} must sum to k={self.k}")
+
+    # ------------------------------------------------------------------
+    @property
+    def l(self) -> int:
+        """Maximum stored left partial path length."""
+        return self.pairs[-1][0] if self.pairs else 0
+
+    @property
+    def r(self) -> int:
+        """Maximum stored right partial path length."""
+        return self.pairs[-1][1] if self.pairs else 0
+
+    def pair_for_length(self, total: int) -> Tuple[int, int]:
+        """The unique cut ``(i, j)`` with ``i + j == total``."""
+        return self._by_length[total]
+
+    def lengths(self) -> Iterator[int]:
+        """All full-path lengths the plan covers (``2..k``)."""
+        return iter(self._by_length)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def balanced_plan(k: int) -> JoinPlan:
+    """The static ``ceil(k/2)`` plan used by BC-JOIN (no dynamic cut).
+
+    Grows the left side first, so the pair for total length ``L`` is
+    ``(ceil(L/2), floor(L/2))``.
+    """
+    pairs: List[Tuple[int, int]] = []
+    i = j = 1
+    if k >= 2:
+        pairs.append((1, 1))
+        while i + j < k:
+            if i <= j:
+                i += 1
+            else:
+                j += 1
+            pairs.append((i, j))
+    return JoinPlan(k, tuple(pairs))
+
+
+def plan_from_growth(k: int, growth: List[str]) -> JoinPlan:
+    """Build a plan from Algorithm 2's growth decisions.
+
+    ``growth`` lists, in order, which side each level search after the
+    first two extended (``"left"`` or ``"right"``); its length must be
+    ``k - 2``.
+    """
+    pairs: List[Tuple[int, int]] = []
+    i = j = 1
+    if k >= 2:
+        pairs.append((1, 1))
+        for side in growth:
+            if side == "left":
+                i += 1
+            elif side == "right":
+                j += 1
+            else:
+                raise ValueError(f"unknown growth side {side!r}")
+            pairs.append((i, j))
+    plan = JoinPlan(k, tuple(pairs))
+    if k >= 2 and len(growth) != k - 2:
+        raise ValueError(f"need exactly {k - 2} growth steps, got {len(growth)}")
+    return plan

@@ -1,0 +1,108 @@
+"""A materialized result set maintained from update deltas.
+
+Downstream consumers (the examples' risk scores, tie strengths, route
+sets) all follow the same pattern: keep the full k-st path set (or an
+aggregate of it) and fold in each update's exact delta.
+:class:`MaintainedResultSet` packages that pattern with bookkeeping
+that is easy to get subtly wrong by hand (length histograms, fold
+ordering, drift auditing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set
+
+from repro.core.enumerator import CpeEnumerator, UpdateResult
+from repro.core.paths import Path
+from repro.graph.digraph import EdgeUpdate, Vertex
+
+
+class MaintainedResultSet:
+    """The live k-st path set of one enumerator, kept materialized.
+
+    Wraps a :class:`CpeEnumerator`: construct, then route every update
+    through :meth:`insert_edge` / :meth:`delete_edge` / :meth:`apply`.
+    """
+
+    def __init__(self, enumerator: CpeEnumerator) -> None:
+        self._cpe = enumerator
+        self._paths: Set[Path] = set(enumerator.startup())
+        self._by_length: Dict[int, int] = {}
+        for path in self._paths:
+            hops = len(path) - 1
+            self._by_length[hops] = self._by_length.get(hops, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def enumerator(self) -> CpeEnumerator:
+        """The wrapped enumerator."""
+        return self._cpe
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __contains__(self, path: Path) -> bool:
+        return path in self._paths
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._paths)
+
+    def paths(self) -> Set[Path]:
+        """A copy of the current path set."""
+        return set(self._paths)
+
+    def count(self) -> int:
+        """``|P|``."""
+        return len(self._paths)
+
+    def length_histogram(self) -> Dict[int, int]:
+        """``{hops: count}`` over the current result (copy)."""
+        return {h: c for h, c in self._by_length.items() if c}
+
+    def shortest(self) -> Optional[Path]:
+        """A shortest current path (None when empty)."""
+        if not self._paths:
+            return None
+        return min(self._paths, key=lambda p: (len(p), repr(p)))
+
+    def aggregate(self, weight: Callable[[Path], float]) -> float:
+        """Fold an arbitrary per-path weight over the current set."""
+        return sum(weight(p) for p in self._paths)
+
+    # ------------------------------------------------------------------
+    def _fold(self, result: UpdateResult, insert: bool) -> UpdateResult:
+        for path in result.paths:
+            hops = len(path) - 1
+            if insert:
+                self._paths.add(path)
+                self._by_length[hops] = self._by_length.get(hops, 0) + 1
+            else:
+                self._paths.discard(path)
+                self._by_length[hops] = self._by_length.get(hops, 0) - 1
+        return result
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
+        """Apply an insertion and fold its new paths in."""
+        return self._fold(self._cpe.insert_edge(u, v), insert=True)
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
+        """Apply a deletion and fold its deleted paths out."""
+        return self._fold(self._cpe.delete_edge(u, v), insert=False)
+
+    def apply(self, update: EdgeUpdate) -> UpdateResult:
+        """Apply one :class:`EdgeUpdate`."""
+        if update.insert:
+            return self.insert_edge(update.u, update.v)
+        return self.delete_edge(update.u, update.v)
+
+    # ------------------------------------------------------------------
+    def audit(self) -> bool:
+        """Whether the materialized set equals a re-enumeration."""
+        fresh = set(self._cpe.startup())
+        if fresh != self._paths:
+            return False
+        histogram: Dict[int, int] = {}
+        for path in fresh:
+            hops = len(path) - 1
+            histogram[hops] = histogram.get(hops, 0) + 1
+        return histogram == self.length_histogram()

@@ -1,0 +1,23 @@
+"""Experiment drivers regenerating every table and figure of Section V.
+
+Each module exposes ``run(config) -> ExperimentResult`` plus a
+``main()`` that prints the paper-shaped table:
+
+- :mod:`repro.experiments.table1` — dataset statistics;
+- :mod:`repro.experiments.fig6_startup` — start-up stage efficiency;
+- :mod:`repro.experiments.fig7_update` — update stage efficiency;
+- :mod:`repro.experiments.fig8_insdel` — insertion vs deletion;
+- :mod:`repro.experiments.fig9_vary_k` — effect of the hop constraint;
+- :mod:`repro.experiments.fig10_hot` — hot query pairs;
+- :mod:`repro.experiments.fig11_scalability` — component breakdown on TW;
+- :mod:`repro.experiments.fig12_memory` — index memory usage.
+
+All drivers honour the knobs in
+:class:`repro.experiments.common.ExperimentConfig` (environment
+variables ``REPRO_SCALE``, ``REPRO_QUERIES``, ``REPRO_UPDATES``,
+``REPRO_SEED``) so the same code scales from smoke test to full run.
+"""
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+
+__all__ = ["ExperimentConfig", "ExperimentResult"]

@@ -1,0 +1,136 @@
+"""Shared experiment infrastructure: configuration, results, formatting."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment driver.
+
+    The defaults are sized for a laptop-scale pure-Python run (a few
+    minutes across all experiments); the paper's full workload (1,000
+    random queries, 200 updates per query, full-size graphs) is reached
+    by raising ``scale``, ``num_queries`` and ``num_updates``.
+    """
+
+    scale: float = 0.25
+    num_queries: int = 3
+    num_updates: int = 20  # split evenly between insertions and deletions
+    k: int = 6
+    seed: int = 7
+    datasets: Optional[Tuple[str, ...]] = None  # None = registry order
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExperimentConfig":
+        """Build a config from ``REPRO_*`` environment variables."""
+        cfg = cls(
+            scale=float(os.environ.get("REPRO_SCALE", cls.scale)),
+            num_queries=int(os.environ.get("REPRO_QUERIES", cls.num_queries)),
+            num_updates=int(os.environ.get("REPRO_UPDATES", cls.num_updates)),
+            k=int(os.environ.get("REPRO_K", cls.k)),
+            seed=int(os.environ.get("REPRO_SEED", cls.seed)),
+        )
+        names = os.environ.get("REPRO_DATASETS")
+        if names:
+            cfg = replace(cfg, datasets=tuple(names.split(",")))
+        return replace(cfg, **overrides) if overrides else cfg
+
+    def dataset_names(self, default: Sequence[str]) -> Tuple[str, ...]:
+        """The datasets to run: explicit override or the driver default."""
+        return self.datasets if self.datasets is not None else tuple(default)
+
+
+@dataclass
+class ExperimentResult:
+    """A paper-shaped table: headers + rows + free-form notes."""
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the header count)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(list(values))
+
+    def series(self, column: str) -> List[object]:
+        """One column as a list (for assertions in the benchmarks)."""
+        idx = self.headers.index(column)
+        return [row[idx] for row in self.rows]
+
+    def row_for(self, key: object) -> List[object]:
+        """The first row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row keyed {key!r}")
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Fixed-width table rendering."""
+        cells = [self.headers] + [
+            [_fmt(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.headers))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        header = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (for downstream plotting)."""
+        out = [",".join(self.headers)]
+        for row in self.rows:
+            out.append(",".join(_fmt(value) for value in row))
+        return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ms(seconds: float) -> float:
+    """Seconds -> milliseconds (the unit of every timing table)."""
+    return seconds * 1e3
+
+
+def speedup(baseline: float, ours: float) -> float:
+    """How many times faster ``ours`` is than ``baseline``."""
+    if ours <= 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / ours
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / min / max of a sample (empty-safe)."""
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }

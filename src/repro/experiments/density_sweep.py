@@ -1,0 +1,93 @@
+"""Density sweep — where the dynamic advantage crosses over.
+
+Fig. 7's analysis attributes CPE_update's advantage to ``Δ|P| ≪ |P|``
+and notes the latencies *converge* where one update changes a large
+fraction of the result.  This sweep makes the crossover explicit:
+G(n, m) graphs of fixed size and growing density, one hot pair each,
+reporting the per-update cost ratio recompute/CPE together with the
+measured ``Δ|P| / |P|`` fraction.
+
+Expected shape: on near-empty graphs the ratio is ≈ 1 (both methods do
+almost nothing, and each update changes much of the tiny result); it
+grows monotonically-ish with density as |P| explodes while Δ|P| stays
+local.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult, ms
+from repro.graph.generators import gnm_random_graph
+from repro.workloads.queries import hot_queries
+from repro.workloads.runner import cpe_factory, recompute_factory, run_dynamic
+from repro.workloads.updates import relevant_update_stream
+
+DEFAULT_VERTICES = 600
+DEFAULT_DENSITIES = (2.0, 3.0, 4.0, 5.0, 6.0, 8.0)
+
+
+def run(
+    config: ExperimentConfig = None,
+    num_vertices: int = DEFAULT_VERTICES,
+    densities=DEFAULT_DENSITIES,
+) -> ExperimentResult:
+    """Regenerate the density sweep."""
+    config = config or ExperimentConfig.from_env()
+    result = ExperimentResult(
+        "Density sweep",
+        f"G(n={num_vertices}, m=d*n), k={config.k}: recompute/CPE ratio vs density",
+        [
+            "d_out", "CPE ms", "recompute ms", "ratio",
+            "|P|", "Δ|P| avg", "Δ|P|/|P| %",
+        ],
+    )
+    half = max(1, config.num_updates // 2)
+    for density in densities:
+        graph = gnm_random_graph(
+            num_vertices, int(density * num_vertices), seed=config.seed
+        )
+        query = hot_queries(
+            graph, 1, config.k, top_fraction=0.10, seed=config.seed
+        )[0]
+        updates = relevant_update_stream(
+            graph, query.s, query.t, query.k,
+            num_insertions=half, num_deletions=half, seed=config.seed,
+        )
+        if not updates:
+            result.add_row(density, 0.0, 0.0, 1.0, 0, 0.0, 0.0)
+            continue
+        cpe = run_dynamic(cpe_factory, graph, query, updates)
+        rec = run_dynamic(recompute_factory, graph, query, updates)
+        size = max(1, cpe.startup_paths)
+        mean_delta = (
+            sum(cpe.delta_counts) / len(cpe.delta_counts)
+            if cpe.delta_counts
+            else 0.0
+        )
+        ratio = (
+            rec.mean_update_seconds / cpe.mean_update_seconds
+            if cpe.mean_update_seconds > 0
+            else 1.0
+        )
+        result.add_row(
+            density,
+            ms(cpe.mean_update_seconds),
+            ms(rec.mean_update_seconds),
+            round(ratio, 1),
+            cpe.startup_paths,
+            round(mean_delta, 2),
+            round(100.0 * mean_delta / size, 1),
+        )
+    result.notes.append(
+        "the advantage grows as Δ|P|/|P| shrinks — the paper's explanation "
+        "for both the headline speedups and the tail-latency convergence"
+    )
+    return result
+
+
+def main() -> None:
+    """Print the table."""
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Figure 10 — efficiency on hot query pairs.
+
+The stress test: endpoints from the top 1% of the degree ordering,
+which produce extremely dense induced subgraphs and large result sets.
+Reports mean / tail per-update time of CPE_update, PathEnum-recompute
+and CSM*, plus the average number of changed paths.
+
+Expected shape: CPE_update still wins by orders of magnitude; its time
+grows with Δ|P|, which is much larger here than for random pairs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult, ms
+from repro.graph import datasets
+from repro.workloads.queries import hot_queries
+from repro.workloads.runner import (
+    cpe_factory,
+    csm_factory,
+    recompute_factory,
+    run_dynamic,
+)
+from repro.workloads.updates import relevant_update_stream
+
+DEFAULT_DATASETS = ("EP", "WG", "SK", "PK")
+
+
+def run(config: ExperimentConfig = None) -> ExperimentResult:
+    """Regenerate the Fig. 10 series."""
+    config = config or ExperimentConfig.from_env()
+    result = ExperimentResult(
+        "Fig. 10",
+        f"Hot query pairs, top-1% degree (per-update ms, k={config.k})",
+        [
+            "Dataset",
+            "CPE mean", "CPE p99.9",
+            "PathEnum mean", "CSM* mean",
+            "Δ|P| avg",
+        ],
+    )
+    half = max(1, config.num_updates // 2)
+    for name in config.dataset_names(DEFAULT_DATASETS):
+        graph = datasets.load(name, config.scale)
+        queries = hot_queries(
+            graph, config.num_queries, config.k,
+            top_fraction=0.01, seed=config.seed,
+        )
+        means = {"CPE_update": [], "PathEnum": [], "CSM*": []}
+        tails, deltas = [], []
+        for qi, query in enumerate(queries):
+            updates = relevant_update_stream(
+                graph, query.s, query.t, query.k,
+                num_insertions=half, num_deletions=half,
+                seed=config.seed + qi,
+            )
+            if not updates:
+                continue
+            for label, factory in (
+                ("CPE_update", cpe_factory),
+                ("PathEnum", recompute_factory),
+                ("CSM*", csm_factory),
+            ):
+                run_ = run_dynamic(factory, graph, query, updates)
+                means[label].append(run_.mean_update_seconds)
+                if label == "CPE_update":
+                    tails.append(run_.percentile_update_seconds(0.999))
+                    deltas.extend(run_.delta_counts)
+        result.add_row(
+            name,
+            ms(_mean(means["CPE_update"])),
+            ms(max(tails) if tails else 0.0),
+            ms(_mean(means["PathEnum"])),
+            ms(_mean(means["CSM*"])),
+            round(_mean(deltas), 1),
+        )
+    return result
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def main() -> None:
+    """Print the table."""
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Figure 6 — efficiency of the start-up stage on different datasets.
+
+Per dataset (k = 6, random query pairs): the mean query time of
+BC-JOIN, PathEnum, CSM* and CPE_startup (index construction included,
+as in the paper).  CSM* is reported only on the undirected datasets
+(AM, SK, LJ), matching the paper's note that the CSM systems support
+undirected graphs only.
+
+Expected shape: CPE_startup ~ PathEnum, both orders of magnitude faster
+than BC-JOIN; CSM* slowest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult, ms
+from repro.graph import datasets
+from repro.workloads.queries import random_queries
+from repro.workloads.runner import (
+    bcjoin_runner,
+    cpe_startup_runner,
+    csm_startup_runner,
+    pathenum_runner,
+    run_static,
+)
+
+METHODS = [
+    ("BC-JOIN", bcjoin_runner),
+    ("PathEnum", pathenum_runner),
+    ("CSM*", csm_startup_runner),
+    ("CPE_startup", cpe_startup_runner),
+]
+
+
+def run(config: ExperimentConfig = None) -> ExperimentResult:
+    """Regenerate the Fig. 6 series."""
+    config = config or ExperimentConfig.from_env()
+    result = ExperimentResult(
+        "Fig. 6",
+        f"Start-up stage query time (ms, k={config.k}, "
+        f"{config.num_queries} random queries/dataset)",
+        ["Dataset", "BC-JOIN", "PathEnum", "CSM*", "CPE_startup", "|P| avg"],
+    )
+    for name in config.dataset_names(datasets.DATASET_ORDER):
+        spec = datasets.spec(name)
+        graph = datasets.load(name, config.scale)
+        queries = random_queries(
+            graph, config.num_queries, config.k, seed=config.seed
+        )
+        times = {}
+        counts = []
+        for label, runner in METHODS:
+            if label == "CSM*" and spec.directed:
+                times[label] = None
+                continue
+            per_query = [run_static(runner, graph, q) for q in queries]
+            times[label] = ms(
+                sum(r.seconds for r in per_query) / len(per_query)
+            )
+            if label == "CPE_startup":
+                counts = [r.num_paths for r in per_query]
+        result.add_row(
+            name,
+            _cell(times["BC-JOIN"]),
+            _cell(times["PathEnum"]),
+            _cell(times["CSM*"]),
+            _cell(times["CPE_startup"]),
+            round(sum(counts) / max(1, len(counts)), 1),
+        )
+    result.notes.append(
+        "CSM* reported on undirected datasets only (AM, SK, LJ), as in the paper"
+    )
+    return result
+
+
+def _cell(value):
+    return "-" if value is None else value
+
+
+def main() -> None:
+    """Print the table."""
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

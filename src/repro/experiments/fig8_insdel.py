@@ -1,0 +1,75 @@
+"""Figure 8 — CPE_update against insertion vs deletion (k = 6).
+
+Per dataset: the mean CPE_update latency split by operation type, with
+the average number of changed paths per operation.  Expected shape:
+insertion ≈ deletion cost, both tracking Δ|P| (the paper's Section
+IV-B3 complexity analysis).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult, ms
+from repro.graph import datasets
+from repro.workloads.queries import hot_queries
+from repro.workloads.runner import cpe_factory, run_dynamic
+from repro.workloads.updates import relevant_update_stream
+
+
+def run(config: ExperimentConfig = None) -> ExperimentResult:
+    """Regenerate the Fig. 8 series."""
+    config = config or ExperimentConfig.from_env()
+    result = ExperimentResult(
+        "Fig. 8",
+        f"CPE_update insertion vs deletion (ms, k={config.k})",
+        [
+            "Dataset",
+            "insert mean", "delete mean",
+            "Δ|P| insert", "Δ|P| delete",
+        ],
+    )
+    half = max(1, config.num_updates // 2)
+    for name in config.dataset_names(datasets.DATASET_ORDER):
+        graph = datasets.load(name, config.scale)
+        queries = hot_queries(
+            graph, config.num_queries, config.k,
+            top_fraction=0.10, seed=config.seed,
+        )
+        ins_times, del_times, ins_deltas, del_deltas = [], [], [], []
+        for qi, query in enumerate(queries):
+            updates = relevant_update_stream(
+                graph, query.s, query.t, query.k,
+                num_insertions=half, num_deletions=half,
+                seed=config.seed + qi,
+            )
+            if not updates:
+                continue
+            run_ = run_dynamic(cpe_factory, graph, query, updates)
+            ins_times.append(run_.mean_seconds_for(True))
+            del_times.append(run_.mean_seconds_for(False))
+            ins_deltas.append(run_.mean_delta_for(True))
+            del_deltas.append(run_.mean_delta_for(False))
+        result.add_row(
+            name,
+            ms(_mean(ins_times)),
+            ms(_mean(del_times)),
+            round(_mean(ins_deltas), 1),
+            round(_mean(del_deltas), 1),
+        )
+    result.notes.append(
+        "running time tracks the number of new/deleted paths "
+        "(Section IV-B3 complexity analysis)"
+    )
+    return result
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def main() -> None:
+    """Print the table."""
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Figure 9 — effect of k on WG and AM.
+
+For k in a range: mean per-update time and tail latency of CPE_update,
+PathEnum-recompute and CSM*, plus the result counts (|P| grows
+exponentially with k; Δ|P| grows much more slowly — the core scalability
+claim).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult, ms
+from repro.graph import datasets
+from repro.workloads.queries import hot_queries
+from repro.workloads.runner import (
+    cpe_factory,
+    csm_factory,
+    recompute_factory,
+    run_dynamic,
+)
+from repro.workloads.updates import relevant_update_stream
+
+DEFAULT_DATASETS = ("WG", "AM")
+DEFAULT_KS = (4, 5, 6, 7)
+
+
+def run(
+    config: ExperimentConfig = None, ks: Sequence[int] = DEFAULT_KS
+) -> ExperimentResult:
+    """Regenerate the Fig. 9 series."""
+    config = config or ExperimentConfig.from_env()
+    result = ExperimentResult(
+        "Fig. 9",
+        "Effect of k (per-update ms; |P| and Δ|P| averaged per query)",
+        [
+            "Dataset", "k",
+            "CPE mean", "PathEnum mean", "CSM* mean",
+            "|P| avg", "Δ|P| avg",
+        ],
+    )
+    half = max(1, config.num_updates // 2)
+    for name in config.dataset_names(DEFAULT_DATASETS):
+        graph = datasets.load(name, config.scale)
+        for k in ks:
+            queries = hot_queries(
+                graph, config.num_queries, k,
+                top_fraction=0.10, seed=config.seed,
+            )
+            means = {label: [] for label, _ in _methods()}
+            sizes, deltas = [], []
+            for qi, query in enumerate(queries):
+                updates = relevant_update_stream(
+                    graph, query.s, query.t, k,
+                    num_insertions=half, num_deletions=half,
+                    seed=config.seed + qi,
+                )
+                if not updates:
+                    continue
+                for label, factory in _methods():
+                    run_ = run_dynamic(factory, graph, query, updates)
+                    means[label].append(run_.mean_update_seconds)
+                    if label == "CPE_update":
+                        sizes.append(run_.startup_paths)
+                        deltas.extend(run_.delta_counts)
+            result.add_row(
+                name, k,
+                ms(_mean(means["CPE_update"])),
+                ms(_mean(means["PathEnum"])),
+                ms(_mean(means["CSM*"])),
+                round(_mean(sizes), 1),
+                round(_mean(deltas), 2),
+            )
+    result.notes.append(
+        "|P| grows exponentially in k; Δ|P| does not (paper Fig. 9c/d)"
+    )
+    return result
+
+
+def _methods():
+    return [
+        ("CPE_update", cpe_factory),
+        ("PathEnum", recompute_factory),
+        ("CSM*", csm_factory),
+    ]
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def main() -> None:
+    """Print the table."""
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""Turn archived experiment outputs into a markdown report.
+
+``repro experiment all --csv --save results/`` archives every table as
+CSV; :func:`build_report` reads such a directory back and produces a
+markdown summary with derived columns (speedups, shape verdicts) — the
+pipeline behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Experiments whose CSVs we know how to summarize, in report order.
+KNOWN = (
+    "table1", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "ablation", "throughput",
+    "density", "csm",
+)
+
+
+def load_csv(path: PathLike) -> List[Dict[str, str]]:
+    """One archived CSV table as a list of row dicts."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def _as_float(cell: str) -> Optional[float]:
+    try:
+        return float(cell.replace(",", ""))
+    except (ValueError, AttributeError):
+        return None
+
+
+def _speedup_summary(rows, ours: str, theirs: str) -> str:
+    ratios = []
+    for row in rows:
+        mine = _as_float(row.get(ours, ""))
+        other = _as_float(row.get(theirs, ""))
+        if mine and other and mine > 0:
+            ratios.append(other / mine)
+    if not ratios:
+        return "n/a"
+    return (
+        f"{min(ratios):.1f}x – {max(ratios):.1f}x "
+        f"(median {sorted(ratios)[len(ratios) // 2]:.1f}x)"
+    )
+
+
+def summarize(name: str, rows: List[Dict[str, str]]) -> List[str]:
+    """Derived bullet points for one experiment's rows."""
+    lines: List[str] = []
+    if not rows:
+        return ["- (empty table)"]
+    if name == "fig6":
+        lines.append(
+            "- CPE_startup vs PathEnum: "
+            + _speedup_summary(rows, "CPE_startup", "PathEnum")
+        )
+    elif name in ("fig7", "fig10"):
+        lines.append(
+            "- CPE_update speedup over PathEnum-recompute: "
+            + _speedup_summary(rows, "CPE mean", "PathEnum mean")
+        )
+        lines.append(
+            "- CPE_update speedup over CSM*: "
+            + _speedup_summary(rows, "CPE mean", "CSM* mean")
+        )
+    elif name == "fig8":
+        pairs = [
+            (_as_float(r.get("insert mean", "")), _as_float(r.get("delete mean", "")))
+            for r in rows
+        ]
+        pairs = [(a, b) for a, b in pairs if a and b]
+        if pairs:
+            worst = max(max(a / b, b / a) for a, b in pairs)
+            lines.append(
+                f"- insert vs delete cost stays within {worst:.1f}x on "
+                f"every dataset"
+            )
+    elif name == "fig9":
+        sizes = [_as_float(r.get("|P| avg", "")) for r in rows]
+        sizes = [v for v in sizes if v is not None]
+        if sizes and max(sizes) > 0:
+            lines.append(
+                f"- |P| spans {min(sizes):.0f} – {max(sizes):.0f} across "
+                f"the k range while CPE stays flat"
+            )
+    elif name == "fig11":
+        overall = [_as_float(r.get("Overall", "")) for r in rows]
+        update = [_as_float(r.get("Update", "")) for r in rows]
+        pairs = [
+            (o, u) for o, u in zip(overall, update) if o and u and u > 0
+        ]
+        if pairs:
+            best = max(o / u for o, u in pairs)
+            lines.append(
+                f"- Update stays up to {best:.0f}x below a full static query"
+            )
+    elif name == "fig12":
+        ratios = [_as_float(r.get("Idx/Rst %", "")) for r in rows]
+        ratios = [v for v in ratios if v is not None]
+        if ratios:
+            lines.append(
+                f"- index/result ratio falls from {max(ratios):.0f}% to "
+                f"{min(ratios):.0f}% as k grows"
+            )
+    elif name == "throughput":
+        rates = [_as_float(r.get("CPE_update", "")) for r in rows]
+        rates = [v for v in rates if v]
+        if rates:
+            lines.append(
+                f"- CPE sustains {min(rates):,.0f} – {max(rates):,.0f} "
+                f"updates/s (paper's motivating rate: 3,000/s)"
+            )
+    if not lines:
+        lines.append(f"- {len(rows)} rows")
+    return lines
+
+
+def build_report(directory: PathLike, title: str = "Experiment report") -> str:
+    """Markdown report over every known CSV in ``directory``."""
+    directory = Path(directory)
+    sections: List[str] = [f"# {title}", ""]
+    found = False
+    for name in KNOWN:
+        path = directory / f"{name}.csv"
+        if not path.exists():
+            continue
+        found = True
+        rows = load_csv(path)
+        sections.append(f"## {name}")
+        sections.extend(summarize(name, rows))
+        sections.append("")
+        if rows:
+            headers = list(rows[0].keys())
+            sections.append("| " + " | ".join(headers) + " |")
+            sections.append("|" + "---|" * len(headers))
+            for row in rows:
+                sections.append(
+                    "| " + " | ".join(row.get(h, "") for h in headers) + " |"
+                )
+        sections.append("")
+    if not found:
+        raise FileNotFoundError(
+            f"no known experiment CSVs in {directory} "
+            f"(expected names like fig7.csv; generate with "
+            f"'repro experiment all --csv --save DIR')"
+        )
+    return "\n".join(sections)
+
+
+def main(argv=None) -> int:
+    """CLI shim: ``python -m repro.experiments.report DIR [OUT]``."""
+    import sys
+
+    args = list(argv) if argv is not None else sys.argv[1:]
+    if not args:
+        print("usage: report DIR [OUTPUT.md]", file=sys.stderr)
+        return 2
+    report = build_report(args[0])
+    if len(args) > 1:
+        Path(args[1]).write_text(report, encoding="utf-8")
+        print(f"wrote {args[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

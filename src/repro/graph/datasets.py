@@ -1,0 +1,217 @@
+"""Registry of synthetic analogues of the paper's fourteen datasets.
+
+The paper evaluates on real graphs from KONECT, NetworkRepository and SNAP
+(Table I), the largest of which has 2.96 *billion* edges.  Those graphs are
+not redistributable here and the environment has no network access, so each
+dataset is replaced by a **seeded synthetic analogue** with:
+
+- the same *relative size ordering* (RT smallest … TW largest),
+- the same *relative density ordering* (TW and RT densest, TS/WK sparsest),
+- the same *topology family* (scale-free for social/web graphs, planted
+  communities for the locally-dense RT/BD, near-regular sparse graphs for
+  TS, symmetric edges for the undirected AM/SK/LJ).
+
+Absolute sizes are reduced ~50–2000x and densities compressed, because the
+enumeration inner loops run in pure Python rather than the authors' C++
+(see DESIGN.md §4); the evaluation reproduces *shapes* — which method wins,
+by how many orders of magnitude, and where behaviour crosses over — not
+absolute milliseconds.
+
+Use :func:`load` to build a dataset by its short name::
+
+    graph = load("WG")           # default scale
+    graph = load("WG", scale=2)  # 2x vertices, for larger runs
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph import generators
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The Table I row the paper reports for the real dataset."""
+
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    diameter: int
+    effective_diameter_90: float
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A registered dataset analogue.
+
+    ``build`` maps a vertex-count scale factor to a graph; ``directed``
+    mirrors the paper's note that AM, SK and LJ are undirected (CSM* is
+    only evaluated on those three).
+    """
+
+    name: str
+    full_name: str
+    family: str
+    directed: bool
+    paper: PaperStats
+    build: Callable[[float], DynamicDiGraph]
+
+    def __repr__(self) -> str:  # keep reprs short in test output
+        return f"DatasetSpec({self.name})"
+
+
+def _mirror(graph: DynamicDiGraph) -> DynamicDiGraph:
+    """Symmetrize a digraph (used for the undirected datasets)."""
+    for u, v in list(graph.edges()):
+        graph.add_edge(v, u)
+    return graph
+
+
+def _pa(n: int, out_degree: int, seed: int, undirected: bool = False):
+    def build(scale: float) -> DynamicDiGraph:
+        graph = generators.preferential_attachment_graph(
+            max(8, int(n * scale)), out_degree, seed=seed
+        )
+        return _mirror(graph) if undirected else graph
+
+    return build
+
+
+def _gnm(n: int, m: int, seed: int):
+    def build(scale: float) -> DynamicDiGraph:
+        nn = max(8, int(n * scale))
+        return generators.gnm_random_graph(nn, int(m * scale), seed=seed)
+
+    return build
+
+
+def _community(communities: int, size: int, p: float, bridges: int, seed: int):
+    def build(scale: float) -> DynamicDiGraph:
+        return generators.community_graph(
+            max(2, int(communities * scale)), size, p, int(bridges * scale), seed=seed
+        )
+
+    return build
+
+
+def _small_world(n: int, nn: int, p: float, seed: int, undirected: bool = False):
+    def build(scale: float) -> DynamicDiGraph:
+        graph = generators.small_world_graph(max(8, int(n * scale)), nn, p, seed=seed)
+        return _mirror(graph) if undirected else graph
+
+    return build
+
+
+_SPECS: List[DatasetSpec] = [
+    DatasetSpec(
+        "RT", "Reactome", "community", True,
+        PaperStats(6_300, 294_000, 46.64, 24, 5.39),
+        _community(communities=12, size=40, p=0.085, bridges=250, seed=101),
+    ),
+    DatasetSpec(
+        "EP", "soc-Epinions1", "power-law", True,
+        PaperStats(75_000, 1_010_000, 13.42, 14, 5.0),
+        _pa(n=3_000, out_degree=2, seed=102),
+    ),
+    DatasetSpec(
+        "SD", "Slashdot0922", "power-law", True,
+        PaperStats(82_000, 1_890_000, 23.08, 11, 4.7),
+        _pa(n=3_200, out_degree=3, seed=103),
+    ),
+    DatasetSpec(
+        "AM", "Amazon", "small-world (undirected)", False,
+        PaperStats(334_000, 2_260_000, 6.76, 44, 15.0),
+        _small_world(n=6_000, nn=2, p=0.05, seed=104, undirected=True),
+    ),
+    DatasetSpec(
+        "TS", "twitter-social", "uniform sparse", True,
+        PaperStats(465_000, 1_790_000, 3.86, 8, 4.96),
+        _gnm(n=7_000, m=13_500, seed=105),
+    ),
+    DatasetSpec(
+        "BD", "Baidu", "community (locally dense)", True,
+        PaperStats(425_000, 6_720_000, 15.8, 32, 8.54),
+        _community(communities=70, size=100, p=0.028, bridges=1_500, seed=106),
+    ),
+    DatasetSpec(
+        "BS", "BerkStan", "power-law", True,
+        PaperStats(685_000, 15_200_000, 22.18, 208, 9.79),
+        _pa(n=8_000, out_degree=3, seed=107),
+    ),
+    DatasetSpec(
+        "WG", "web-google", "power-law", True,
+        PaperStats(875_000, 10_200_000, 11.6, 24, 7.95),
+        _pa(n=9_000, out_degree=2, seed=108),
+    ),
+    DatasetSpec(
+        "SK", "Skitter", "power-law (undirected)", False,
+        PaperStats(1_600_000, 20_800_000, 13.08, 31, 5.85),
+        _pa(n=10_000, out_degree=2, seed=109, undirected=True),
+    ),
+    DatasetSpec(
+        "WK", "WikiTalk", "power-law sparse", True,
+        PaperStats(2_000_000, 8_400_000, 4.2, 9, 4.0),
+        _pa(n=10_000, out_degree=1, seed=110),
+    ),
+    DatasetSpec(
+        "PK", "soc-pokec", "power-law", True,
+        PaperStats(1_600_000, 30_000_000, 18.4, 11, 5.2),
+        _pa(n=11_000, out_degree=3, seed=111),
+    ),
+    DatasetSpec(
+        "LJ", "LiveJournal", "power-law (undirected)", False,
+        PaperStats(4_000_000, 113_600_000, 28.4, 16, 6.5),
+        _pa(n=12_000, out_degree=3, seed=112, undirected=True),
+    ),
+    DatasetSpec(
+        "DP", "DBpedia", "power-law", True,
+        PaperStats(18_000_000, 339_000_000, 18.85, 12, 4.98),
+        _pa(n=14_000, out_degree=3, seed=113),
+    ),
+    DatasetSpec(
+        "TW", "Twitter (WWW)", "power-law dense", True,
+        PaperStats(42_000_000, 2_960_000_000, 70.51, 23, 3.97),
+        _pa(n=16_000, out_degree=4, seed=114),
+    ),
+]
+
+REGISTRY: Dict[str, DatasetSpec] = {spec.name: spec for spec in _SPECS}
+
+#: Dataset order used by every per-dataset figure (the paper's Table I order).
+DATASET_ORDER: Tuple[str, ...] = tuple(spec.name for spec in _SPECS)
+
+#: The undirected datasets on which the paper reports CSM*.
+UNDIRECTED_DATASETS: Tuple[str, ...] = tuple(
+    spec.name for spec in _SPECS if not spec.directed
+)
+
+
+def spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by short name; raises KeyError if unknown."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(DATASET_ORDER)
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def load(name: str, scale: float = 1.0) -> DynamicDiGraph:
+    """Build the synthetic analogue of dataset ``name``.
+
+    ``scale`` multiplies the vertex count (and, for fixed-|E| families,
+    the edge count); 1.0 is the default benchmark size.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return spec(name).build(scale)
+
+
+def load_all(
+    scale: float = 1.0, names: Optional[Tuple[str, ...]] = None
+) -> Dict[str, DynamicDiGraph]:
+    """Build several datasets at once (default: all fourteen)."""
+    chosen = names if names is not None else DATASET_ORDER
+    return {name: load(name, scale) for name in chosen}

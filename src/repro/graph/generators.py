@@ -1,0 +1,258 @@
+"""Seeded synthetic graph generators.
+
+The paper evaluates on fourteen real graphs downloaded from KONECT,
+NetworkRepository and SNAP.  Those datasets are not redistributable inside
+this repository (and the evaluation machine has no network access), so the
+dataset registry (:mod:`repro.graph.datasets`) builds *synthetic analogues*
+from the generators in this module.  Each generator is deterministic for a
+given seed.
+
+Generator families and what they stand in for:
+
+- :func:`gnm_random_graph` — Erdős–Rényi G(n, m): homogeneous-degree
+  graphs (communication-network-like topologies);
+- :func:`preferential_attachment_graph` — directed scale-free graphs:
+  social networks and web graphs with heavy-tailed degree distributions;
+- :func:`small_world_graph` — directed Watts–Strogatz: high clustering
+  with short diameters (road/AS-like structure);
+- :func:`community_graph` — dense planted communities with sparse
+  inter-community edges (e-commerce / transaction-like locality);
+- :func:`layered_dag` — layered DAGs used by unit tests to produce graphs
+  with exactly predictable path counts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.digraph import DynamicDiGraph
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def gnm_random_graph(
+    num_vertices: int, num_edges: int, seed: Optional[int] = None
+) -> DynamicDiGraph:
+    """A uniform directed G(n, m) graph without self-loops.
+
+    Raises :class:`ValueError` if ``num_edges`` exceeds ``n * (n - 1)``.
+    """
+    if num_vertices < 0:
+        raise ValueError("num_vertices must be non-negative")
+    max_edges = num_vertices * (num_vertices - 1)
+    if num_edges > max_edges:
+        raise ValueError(
+            f"num_edges={num_edges} exceeds the maximum {max_edges} "
+            f"for {num_vertices} vertices"
+        )
+    rng = _rng(seed)
+    graph = DynamicDiGraph(vertices=range(num_vertices))
+    # Rejection sampling is fine while the graph is sparse (all our
+    # workloads are); fall back to dense sampling past 50% fill.
+    if num_edges <= max_edges // 2:
+        added = 0
+        while added < num_edges:
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+            if u != v and graph.add_edge(u, v):
+                added += 1
+    else:
+        all_edges = [
+            (u, v)
+            for u in range(num_vertices)
+            for v in range(num_vertices)
+            if u != v
+        ]
+        for u, v in rng.sample(all_edges, num_edges):
+            graph.add_edge(u, v)
+    return graph
+
+
+def preferential_attachment_graph(
+    num_vertices: int,
+    out_degree: int,
+    seed: Optional[int] = None,
+    bidirectional_fraction: float = 0.3,
+) -> DynamicDiGraph:
+    """A directed scale-free graph grown by preferential attachment.
+
+    Each new vertex attaches ``out_degree`` out-edges to existing vertices
+    chosen proportionally to their current total degree (with a uniform
+    smoothing term so early vertices do not monopolize).  A fraction of
+    edges is mirrored to create the reciprocal links common in social
+    graphs.
+
+    The resulting in-degree distribution is heavy-tailed, which is the
+    property the paper's "hot query pair" experiments (Fig. 10) rely on.
+    """
+    if out_degree < 1:
+        raise ValueError("out_degree must be >= 1")
+    rng = _rng(seed)
+    graph = DynamicDiGraph(vertices=range(num_vertices))
+    # repeated-vertex list implements degree-proportional sampling
+    targets: List[int] = []
+    seed_size = min(out_degree + 1, num_vertices)
+    for u in range(seed_size):
+        for v in range(seed_size):
+            if u != v:
+                graph.add_edge(u, v)
+                targets.append(v)
+                targets.append(u)
+    for u in range(seed_size, num_vertices):
+        chosen = set()
+        attempts = 0
+        while len(chosen) < out_degree and attempts < 20 * out_degree:
+            attempts += 1
+            if targets and rng.random() < 0.9:
+                v = targets[rng.randrange(len(targets))]
+            else:
+                v = rng.randrange(u)  # uniform smoothing
+            if v != u:
+                chosen.add(v)
+        for v in chosen:
+            graph.add_edge(u, v)
+            targets.append(v)
+            targets.append(u)
+            if rng.random() < bidirectional_fraction:
+                graph.add_edge(v, u)
+    return graph
+
+
+def small_world_graph(
+    num_vertices: int,
+    nearest_neighbors: int,
+    rewire_probability: float,
+    seed: Optional[int] = None,
+) -> DynamicDiGraph:
+    """A directed Watts–Strogatz small-world graph.
+
+    Vertices sit on a ring, each with out-edges to its
+    ``nearest_neighbors`` clockwise successors; every edge is rewired to a
+    uniform random target with probability ``rewire_probability``.
+    """
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ValueError("rewire_probability must be within [0, 1]")
+    rng = _rng(seed)
+    graph = DynamicDiGraph(vertices=range(num_vertices))
+    if num_vertices < 2:
+        return graph
+    span = min(nearest_neighbors, num_vertices - 1)
+    for u in range(num_vertices):
+        for offset in range(1, span + 1):
+            v = (u + offset) % num_vertices
+            if rng.random() < rewire_probability:
+                v = rng.randrange(num_vertices)
+                attempts = 0
+                while (v == u or graph.has_edge(u, v)) and attempts < 10:
+                    v = rng.randrange(num_vertices)
+                    attempts += 1
+                if v == u or graph.has_edge(u, v):
+                    continue
+            graph.add_edge(u, v)
+    return graph
+
+
+def community_graph(
+    num_communities: int,
+    community_size: int,
+    intra_probability: float,
+    inter_edges: int,
+    seed: Optional[int] = None,
+) -> DynamicDiGraph:
+    """Planted dense communities with sparse random bridges.
+
+    Models the local density that drives the paper's observation that BD
+    (Baidu) is much more expensive than TS (twitter-social) despite a
+    similar vertex count: path explosion is a *local* density phenomenon.
+    """
+    rng = _rng(seed)
+    n = num_communities * community_size
+    graph = DynamicDiGraph(vertices=range(n))
+    for c in range(num_communities):
+        lo = c * community_size
+        for u in range(lo, lo + community_size):
+            for v in range(lo, lo + community_size):
+                if u != v and rng.random() < intra_probability:
+                    graph.add_edge(u, v)
+    added = 0
+    while added < inter_edges and num_communities > 1:
+        cu, cv = rng.sample(range(num_communities), 2)
+        u = cu * community_size + rng.randrange(community_size)
+        v = cv * community_size + rng.randrange(community_size)
+        if graph.add_edge(u, v):
+            added += 1
+    return graph
+
+
+def layered_dag(
+    layer_sizes: Sequence[int],
+    edge_probability: float = 1.0,
+    seed: Optional[int] = None,
+) -> Tuple[DynamicDiGraph, int, int]:
+    """A layered DAG plus a designated source and target.
+
+    Layer 0 holds the single source, the last layer the single target;
+    ``layer_sizes`` gives the sizes of the intermediate layers.  Each
+    consecutive layer pair is connected completely (or Bernoulli-sampled
+    with ``edge_probability``).  With full connectivity the number of
+    s-t paths is exactly the product of the layer sizes, which unit tests
+    exploit.
+
+    Returns ``(graph, source, target)``.
+    """
+    rng = _rng(seed)
+    layers: List[List[int]] = [[0]]
+    next_id = 1
+    for size in layer_sizes:
+        layers.append(list(range(next_id, next_id + size)))
+        next_id += size
+    target = next_id
+    layers.append([target])
+    graph = DynamicDiGraph(vertices=range(target + 1))
+    for upper, lower in zip(layers, layers[1:]):
+        for u in upper:
+            for v in lower:
+                if edge_probability >= 1.0 or rng.random() < edge_probability:
+                    graph.add_edge(u, v)
+    return graph, 0, target
+
+
+def grid_graph(rows: int, cols: int) -> DynamicDiGraph:
+    """A directed grid with right/down edges; vertex ``r * cols + c``.
+
+    Deterministic; used by tests for graphs with well-understood path
+    counts (number of monotone lattice paths).
+    """
+    graph = DynamicDiGraph(vertices=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+def random_update_edges(
+    graph: DynamicDiGraph,
+    count: int,
+    seed: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """``count`` uniformly random vertex pairs (u != v) from ``graph``.
+
+    A convenience used by generator-level tests; workload-aware update
+    streams live in :mod:`repro.workloads.updates`.
+    """
+    rng = _rng(seed)
+    vertices = list(graph.vertices())
+    if len(vertices) < 2:
+        raise ValueError("graph needs at least two vertices")
+    pairs = []
+    for _ in range(count):
+        u, v = rng.sample(vertices, 2)
+        pairs.append((u, v))
+    return pairs

@@ -1,0 +1,104 @@
+"""Strongly connected components (iterative Tarjan) and condensation.
+
+Substrate used by the cycle machinery (an elementary circuit lives
+entirely inside one SCC, the observation behind Johnson's original
+algorithm) and handy for dataset diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.digraph import DynamicDiGraph, Vertex
+
+
+def strongly_connected_components(graph: DynamicDiGraph) -> List[Set[Vertex]]:
+    """All SCCs of ``graph`` (Tarjan, iterative — no recursion limits).
+
+    Components are returned in reverse topological order of the
+    condensation (Tarjan's natural output order); singleton components
+    are included.
+    """
+    index_of: Dict[Vertex, int] = {}
+    lowlink: Dict[Vertex, int] = {}
+    on_stack: Set[Vertex] = set()
+    stack: List[Vertex] = []
+    components: List[Set[Vertex]] = []
+    counter = 0
+
+    for root in graph.vertices():
+        if root in index_of:
+            continue
+        # work items: (vertex, iterator over remaining neighbors)
+        work: List[Tuple[Vertex, List[Vertex]]] = [
+            (root, list(graph.out_neighbors(root)))
+        ]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, neighbors = work[-1]
+            advanced = False
+            while neighbors:
+                w = neighbors.pop()
+                if w not in index_of:
+                    index_of[w] = lowlink[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, list(graph.out_neighbors(w))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[v] = min(lowlink[v], index_of[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+            if lowlink[v] == index_of[v]:
+                component: Set[Vertex] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.add(w)
+                    if w == v:
+                        break
+                components.append(component)
+    return components
+
+
+def component_map(graph: DynamicDiGraph) -> Dict[Vertex, int]:
+    """``{vertex: component id}`` with ids in Tarjan output order."""
+    mapping: Dict[Vertex, int] = {}
+    for cid, component in enumerate(strongly_connected_components(graph)):
+        for v in component:
+            mapping[v] = cid
+    return mapping
+
+
+def condensation(graph: DynamicDiGraph) -> Tuple[DynamicDiGraph, Dict[Vertex, int]]:
+    """The DAG of SCCs plus the vertex-to-component mapping.
+
+    Component ids are the condensation's vertices; an edge ``(a, b)``
+    exists iff some original edge crosses from component ``a`` to
+    component ``b``.
+    """
+    mapping = component_map(graph)
+    dag = DynamicDiGraph(vertices=set(mapping.values()))
+    for u, v in graph.edges():
+        cu, cv = mapping[u], mapping[v]
+        if cu != cv:
+            dag.add_edge(cu, cv)
+    return dag, mapping
+
+
+def is_acyclic(graph: DynamicDiGraph) -> bool:
+    """Whether ``graph`` has no directed cycle (self-loops count)."""
+    if any(graph.has_edge(v, v) for v in graph.vertices()):
+        return False
+    return all(
+        len(c) == 1 for c in strongly_connected_components(graph)
+    )

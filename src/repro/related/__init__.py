@@ -1,0 +1,21 @@
+"""Related problems the paper surveys (Section VI).
+
+The paper positions k-st path enumeration among several neighbouring
+problems; this package implements the classic algorithms for two of
+them, sharing the same graph substrate:
+
+- :mod:`repro.related.yen` — Yen's algorithm for the top-k shortest
+  *loopless* (simple) paths [Yen 1971, ref. 43];
+- :mod:`repro.related.johnson` — Johnson's algorithm for all elementary
+  circuits of a directed graph [Johnson 1975, ref. 31].
+
+Both are differentially tested against brute force, and both serve as
+reference points in the documentation for why they *cannot* replace
+hop-constrained enumeration (top-k returns a fixed number of paths,
+cycle enumeration has no terminal pair).
+"""
+
+from repro.related.johnson import elementary_cycles
+from repro.related.yen import k_shortest_simple_paths
+
+__all__ = ["k_shortest_simple_paths", "elementary_cycles"]

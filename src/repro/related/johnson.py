@@ -1,0 +1,117 @@
+"""Johnson's algorithm: all elementary circuits of a directed graph.
+
+The paper's related work (ref. 31).  An elementary circuit visits no
+vertex twice (except the repeated endpoint); Johnson's algorithm
+enumerates all of them in ``O((|V| + |E|)(c + 1))`` for ``c`` circuits
+using the blocked-set / unblock-cascade machinery — the same idea
+BC-DFS adapts for barrier invalidation (see
+:mod:`repro.baselines.bcdfs`).
+
+Cycles are reported in canonical form: rotated so the smallest vertex
+(by ``repr`` ordering for hashable generality) comes first, with the
+endpoint repeated, e.g. ``(1, 3, 2, 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from repro.graph.digraph import DynamicDiGraph, Vertex
+
+Cycle = tuple
+
+
+def _canonical(cycle: List[Vertex]) -> Cycle:
+    pivot = min(range(len(cycle)), key=lambda i: repr(cycle[i]))
+    rotated = cycle[pivot:] + cycle[:pivot]
+    return tuple(rotated) + (rotated[0],)
+
+
+def elementary_cycles(
+    graph: DynamicDiGraph, max_length: int = None
+) -> Iterator[Cycle]:
+    """Yield every elementary circuit, optionally length-bounded.
+
+    ``max_length`` bounds the number of edges in reported circuits
+    (None = unbounded); the bound also prunes the search, so tight
+    bounds are fast even on cyclic graphs.  Self-loops are length-1
+    circuits.
+    """
+    from repro.graph.scc import component_map
+
+    order: List[Vertex] = sorted(graph.vertices(), key=repr)
+    position: Dict[Vertex, int] = {v: i for i, v in enumerate(order)}
+    bounded = max_length is not None
+    limit = max_length if bounded else graph.num_vertices + 1
+    if limit < 1:
+        return
+
+    # Johnson's SCC optimization: a circuit never leaves its strongly
+    # connected component, so searches stay within the root's SCC.
+    scc_of = component_map(graph)
+    scc_sizes: Dict[int, int] = {}
+    for v in graph.vertices():
+        scc_sizes[scc_of[v]] = scc_sizes.get(scc_of[v], 0) + 1
+
+    for start_index, start in enumerate(order):
+        if graph.has_edge(start, start):
+            yield (start, start)
+        if limit < 2 or scc_sizes[scc_of[start]] < 2:
+            continue
+        start_scc = scc_of[start]
+        # consider only vertices >= start: every cycle is found exactly
+        # once, rooted at its smallest vertex
+        blocked: Set[Vertex] = set()
+        block_map: Dict[Vertex, Set[Vertex]] = {}
+        stack: List[Vertex] = [start]
+        on_stack: Set[Vertex] = {start}
+        found_cycles: List[Cycle] = []
+
+        def unblock(v: Vertex) -> None:
+            pending = [v]
+            while pending:
+                w = pending.pop()
+                if w in blocked:
+                    blocked.discard(w)
+                    pending.extend(block_map.pop(w, ()))
+
+        def circuit(v: Vertex) -> bool:
+            found = False
+            blocked.add(v)
+            for w in sorted(graph.out_neighbors(v), key=repr):
+                if w == v or position.get(w, -1) < start_index:
+                    continue
+                if scc_of.get(w) != start_scc:
+                    continue
+                if w == start:
+                    if len(stack) <= limit:
+                        found_cycles.append(_canonical(list(stack)))
+                        found = True
+                elif (
+                    w not in blocked
+                    and w not in on_stack
+                    and len(stack) < limit
+                ):
+                    stack.append(w)
+                    on_stack.add(w)
+                    if circuit(w):
+                        found = True
+                    on_stack.discard(w)
+                    stack.pop()
+            if found or bounded:
+                # with a depth bound, a failure may be depth-induced, so
+                # blocked-state reuse would be unsound: always unblock
+                unblock(v)
+            else:
+                for w in sorted(graph.out_neighbors(v), key=repr):
+                    if w != v and position.get(w, -1) >= start_index:
+                        block_map.setdefault(w, set()).add(v)
+            return found
+
+        circuit(start)
+        yield from found_cycles
+
+
+def count_cycles(graph: DynamicDiGraph, max_length: int = None) -> int:
+    """Number of elementary circuits (length-bounded if given)."""
+    return sum(1 for _ in elementary_cycles(graph, max_length))

@@ -1,0 +1,101 @@
+"""Yen's algorithm: top-k shortest simple paths (unweighted).
+
+The classic ranking-loopless-paths algorithm the paper cites as related
+work (ref. 43).  Unweighted edges (every hop costs 1) to match the rest
+of the library; ties are broken lexicographically so the output is
+deterministic.
+
+Why it is *not* a substitute for k-st path enumeration: it returns a
+fixed number of paths ordered by length, whereas the enumeration
+problem asks for *all* paths within a hop bound — their result sets
+coincide only when the bound happens to cut exactly at the k-th path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.paths import Path
+from repro.graph.digraph import DynamicDiGraph, Vertex
+
+
+def _shortest_path(
+    graph: DynamicDiGraph,
+    source: Vertex,
+    target: Vertex,
+    banned_edges: Set[Tuple[Vertex, Vertex]],
+    banned_vertices: Set[Vertex],
+) -> Optional[Path]:
+    """Lexicographically-smallest shortest path avoiding bans (BFS)."""
+    if source in banned_vertices or target in banned_vertices:
+        return None
+    parents: Dict[Vertex, Vertex] = {}
+    dist: Dict[Vertex, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        if u == target:
+            break
+        du = dist[u]
+        # sorted() gives deterministic, lexicographically-minimal trees
+        for v in sorted(graph.out_neighbors(u), key=repr):
+            if v in banned_vertices or (u, v) in banned_edges:
+                continue
+            if v not in dist:
+                dist[v] = du + 1
+                parents[v] = u
+                queue.append(v)
+    if target not in dist:
+        return None
+    path: List[Vertex] = [target]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    return tuple(reversed(path))
+
+
+def k_shortest_simple_paths(
+    graph: DynamicDiGraph, source: Vertex, target: Vertex, count: int
+) -> List[Path]:
+    """Up to ``count`` shortest simple paths, ascending by hop count.
+
+    Deterministic (ties broken lexicographically).  ``source == target``
+    yields nothing (consistent with the library's simple-path
+    convention).
+    """
+    if count < 1 or source == target:
+        return []
+    first = _shortest_path(graph, source, target, set(), set())
+    if first is None:
+        return []
+    accepted: List[Path] = [first]
+    # candidate heap keyed by (hops, path) for deterministic pops
+    candidates: List[Tuple[int, Path]] = []
+    seen: Set[Path] = {first}
+
+    while len(accepted) < count:
+        previous = accepted[-1]
+        for i in range(len(previous) - 1):
+            spur = previous[i]
+            root = previous[: i + 1]
+            banned_edges: Set[Tuple[Vertex, Vertex]] = set()
+            for path in accepted:
+                if path[: i + 1] == root and len(path) > i + 1:
+                    banned_edges.add((path[i], path[i + 1]))
+            banned_vertices = set(root[:-1])
+            tail = _shortest_path(
+                graph, spur, target, banned_edges, banned_vertices
+            )
+            if tail is None:
+                continue
+            candidate = root[:-1] + tail
+            if candidate not in seen:
+                seen.add(candidate)
+                heapq.heappush(
+                    candidates, (len(candidate) - 1, candidate)
+                )
+        if not candidates:
+            break
+        accepted.append(heapq.heappop(candidates)[1])
+    return accepted

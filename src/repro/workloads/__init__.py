@@ -1,0 +1,27 @@
+"""Workload generation and experiment execution.
+
+- :mod:`repro.workloads.queries` — query pairs (uniform random and
+  degree-percentile "hot" pairs);
+- :mod:`repro.workloads.updates` — result-relevant edge update streams;
+- :mod:`repro.workloads.runner` — timed execution and latency summaries.
+"""
+
+from repro.workloads.queries import Query, hot_queries, random_queries
+from repro.workloads.updates import relevant_update_stream
+from repro.workloads.runner import (
+    DynamicRun,
+    StaticRun,
+    run_dynamic,
+    run_static,
+)
+
+__all__ = [
+    "Query",
+    "random_queries",
+    "hot_queries",
+    "relevant_update_stream",
+    "run_static",
+    "run_dynamic",
+    "StaticRun",
+    "DynamicRun",
+]

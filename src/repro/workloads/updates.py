@@ -1,0 +1,91 @@
+"""Result-relevant edge update streams.
+
+The paper's update workload: "200 random edge updates (100 insertions
+and 100 deletions) are generated for each query pair", and "we only
+consider edges that actually affect the result" — an update ``e(u, v)``
+may affect the query iff ``Dist_s[u] + 1 + Dist_t[v] <= k``.
+
+:func:`relevant_update_stream` generates such a stream by simulation on
+a scratch copy: insertions pick non-edges satisfying the relevance
+inequality (with respect to the initial distance maps), deletions pick
+existing relevant edges, and every update is applied to the scratch copy
+so the stream is *valid* (never inserts a present edge or deletes an
+absent one) when replayed in order on the original graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.distance import DistanceMap, induced_vertices
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
+
+
+def relevant_update_stream(
+    graph: DynamicDiGraph,
+    s: Vertex,
+    t: Vertex,
+    k: int,
+    num_insertions: int,
+    num_deletions: int,
+    seed: Optional[int] = None,
+    interleave: bool = True,
+) -> List[EdgeUpdate]:
+    """A valid stream of result-relevant updates for ``q(s, t, k)``.
+
+    ``interleave=True`` alternates insertions and deletions (the paper
+    processes updates on the fly); with ``False`` all insertions precede
+    all deletions.  The original ``graph`` is not modified.
+
+    The generator may return fewer updates than requested on very small
+    or sparse induced subgraphs where no further relevant candidate
+    exists; callers should check ``len()`` of the result.
+    """
+    rng = random.Random(seed)
+    dist_s = DistanceMap(graph, s, horizon=k)
+    dist_t = DistanceMap(graph.reverse_view(), t, horizon=k)
+    pool = sorted(induced_vertices(dist_s, dist_t, k))
+    if len(pool) < 2:
+        return []
+    scratch = graph.copy()
+
+    def relevant(u: Vertex, v: Vertex) -> bool:
+        return dist_s.get(u) + 1 + dist_t.get(v) <= k
+
+    def pick_insertion() -> Optional[EdgeUpdate]:
+        for _ in range(200):
+            u, v = rng.sample(pool, 2)
+            if relevant(u, v) and not scratch.has_edge(u, v):
+                return EdgeUpdate(u, v, True)
+        return None
+
+    def pick_deletion() -> Optional[EdgeUpdate]:
+        for _ in range(200):
+            u = rng.choice(pool)
+            succ = [v for v in scratch.out_neighbors(u) if relevant(u, v)]
+            if succ:
+                return EdgeUpdate(u, rng.choice(succ), False)
+        return None
+
+    plan: List[bool] = []
+    if interleave:
+        inserts, deletes = num_insertions, num_deletions
+        while inserts or deletes:
+            if inserts and (not deletes or rng.random() < 0.5):
+                plan.append(True)
+                inserts -= 1
+            else:
+                plan.append(False)
+                deletes -= 1
+    else:
+        plan = [True] * num_insertions + [False] * num_deletions
+
+    stream: List[EdgeUpdate] = []
+    for is_insert in plan:
+        update = pick_insertion() if is_insert else pick_deletion()
+        if update is None:
+            continue
+        scratch.apply_update(update)
+        stream.append(update)
+    return stream

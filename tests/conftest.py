@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.digraph import DynamicDiGraph
+
+
+def make_random_graph(
+    rng: random.Random, n_lo: int = 4, n_hi: int = 9, max_edges: int = 16
+) -> DynamicDiGraph:
+    """A small random digraph for differential tests."""
+    n = rng.randint(n_lo, n_hi)
+    graph = DynamicDiGraph(vertices=range(n))
+    for _ in range(rng.randint(0, max_edges)):
+        u, v = rng.sample(range(n), 2)
+        graph.add_edge(u, v)
+    return graph
+
+
+def random_query(rng: random.Random, graph: DynamicDiGraph, k_hi: int = 6):
+    """A random (s, t, k) triple with s != t."""
+    s, t = rng.sample(list(graph.vertices()), 2)
+    return s, t, rng.randint(1, k_hi)
+
+
+@pytest.fixture
+def diamond() -> DynamicDiGraph:
+    """s=0 -> {1, 2} -> t=3, plus a direct 0->3 edge.
+
+    k-st paths from 0 to 3 with k >= 2: (0,3), (0,1,3), (0,2,3).
+    """
+    return DynamicDiGraph([(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)])
+
+
+@pytest.fixture
+def two_hop_chain() -> DynamicDiGraph:
+    """A 6-vertex chain 0 -> 1 -> ... -> 5."""
+    return DynamicDiGraph([(i, i + 1) for i in range(5)])
+
+
+@pytest.fixture
+def paper_figure2() -> DynamicDiGraph:
+    """A graph in the spirit of the paper's Fig. 2 example.
+
+    s=0, t=9, with several 2+2 partial path combinations meeting in the
+    middle and one pruned branch (a vertex too far from t).
+    """
+    return DynamicDiGraph(
+        [
+            (0, 1), (0, 2), (1, 3), (2, 3), (2, 4),
+            (3, 5), (4, 5), (3, 6), (5, 9), (6, 9),
+            (1, 7), (7, 8),  # dead-end branch: 8 cannot reach 9
+        ]
+    )

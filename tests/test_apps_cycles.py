@@ -1,0 +1,134 @@
+"""Differential tests for the hop-constrained cycle monitor."""
+
+import random
+
+import pytest
+
+from repro.apps.cycles import CycleMonitor
+from repro.graph.digraph import DynamicDiGraph
+from tests.conftest import make_random_graph
+
+
+def brute_cycles(graph, center, k):
+    """All simple cycles through ``center`` with at most k edges,
+    in the monitor's canonical form (center, ..., center)."""
+    out = set()
+    if graph.has_edge(center, center):
+        out.add((center, center))
+    stack = [(center,)]
+    while stack:
+        path = stack.pop()
+        tail = path[-1]
+        if len(path) - 1 >= k:
+            continue
+        for y in graph.out_neighbors(tail):
+            if y == center:
+                if len(path) >= 2:
+                    out.add(path + (center,))
+            elif y not in path:
+                stack.append(path + (y,))
+    return out
+
+
+class TestStaticAgreement:
+    def test_triangle(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 0)])
+        mon = CycleMonitor(g, 0, 3)
+        assert mon.cycles() == {(0, 1, 2, 0)}
+        assert mon.cycle_count() == 1
+
+    def test_self_loop(self):
+        g = DynamicDiGraph([(0, 0)])
+        mon = CycleMonitor(g, 0, 1)
+        assert mon.cycles() == {(0, 0)}
+
+    def test_hop_constraint(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 3), (3, 0), (1, 0)])
+        assert CycleMonitor(g, 0, 2).cycles() == {(0, 1, 0)}
+        assert CycleMonitor(g, 0, 4).cycles() == {
+            (0, 1, 0), (0, 1, 2, 3, 0)
+        }
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CycleMonitor(DynamicDiGraph(), 0, 0)
+
+    def test_randomized_initial_state(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            g = make_random_graph(rng, max_edges=14)
+            center = rng.choice(list(g.vertices()))
+            k = rng.randint(1, 5)
+            mon = CycleMonitor(g, center, k)
+            assert mon.cycles() == brute_cycles(g, center, k)
+
+
+class TestDynamicAgreement:
+    def test_insert_closing_edge(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        mon = CycleMonitor(g, 0, 3)
+        result = mon.insert_edge(2, 0)
+        assert set(result.new_cycles) == {(0, 1, 2, 0)}
+
+    def test_insert_center_out_edge_spawns(self):
+        g = DynamicDiGraph([(1, 0)])
+        mon = CycleMonitor(g, 0, 2)
+        result = mon.insert_edge(0, 1)
+        assert set(result.new_cycles) == {(0, 1, 0)}
+
+    def test_delete_center_out_edge_retires(self):
+        g = DynamicDiGraph([(0, 1), (1, 0), (1, 2), (2, 0)])
+        mon = CycleMonitor(g, 0, 3)
+        result = mon.delete_edge(0, 1)
+        assert set(result.deleted_cycles) == {(0, 1, 0), (0, 1, 2, 0)}
+        assert mon.cycles() == set()
+
+    def test_self_loop_updates(self):
+        g = DynamicDiGraph(vertices=[0])
+        mon = CycleMonitor(g, 0, 2)
+        assert mon.insert_edge(0, 0).new_cycles == [(0, 0)]
+        assert mon.cycle_count() == 1
+        assert mon.delete_edge(0, 0).deleted_cycles == [(0, 0)]
+        assert mon.cycle_count() == 0
+
+    def test_noop_updates(self):
+        g = DynamicDiGraph([(0, 1)])
+        mon = CycleMonitor(g, 0, 2)
+        assert mon.insert_edge(0, 1).new_cycles == []
+        assert mon.delete_edge(5, 6).deleted_cycles == []
+
+    def test_randomized_streams(self):
+        rng = random.Random(13)
+        for _ in range(25):
+            g = make_random_graph(rng, n_lo=4, n_hi=7, max_edges=10)
+            center = rng.choice(list(g.vertices()))
+            k = rng.randint(1, 5)
+            mon = CycleMonitor(g, center, k)
+            current = brute_cycles(g, center, k)
+            for _ in range(12):
+                u, v = rng.sample(list(g.vertices()), 2)
+                if rng.random() < 0.1:
+                    v = u  # exercise self-loops at any vertex
+                if g.has_edge(u, v):
+                    result = mon.delete_edge(u, v)
+                    fresh = brute_cycles(g, center, k)
+                    assert set(result.deleted_cycles) == current - fresh
+                    assert set(result.new_cycles) == set()
+                else:
+                    result = mon.insert_edge(u, v)
+                    fresh = brute_cycles(g, center, k)
+                    assert set(result.new_cycles) == fresh - current
+                    assert set(result.deleted_cycles) == set()
+                assert mon.cycle_count() == len(fresh)
+                current = fresh
+            assert mon.cycles() == current
+
+    def test_delta_count(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        mon = CycleMonitor(g, 0, 3)
+        assert mon.insert_edge(2, 0).delta_count == 1
+        assert mon.delete_edge(1, 2).delta_count == -1
+
+    def test_repr(self):
+        g = DynamicDiGraph([(0, 1), (1, 0)])
+        assert "cycles=1" in repr(CycleMonitor(g, 0, 2))

@@ -1,0 +1,105 @@
+"""Tests for the fraud-detection application layer."""
+
+import random
+
+import pytest
+
+from repro.apps.fraud import RiskMonitor, RiskPolicy
+from repro.baselines.bruteforce import path_set
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import community_graph
+
+
+class TestRiskPolicy:
+    def test_default_weight_prefers_short_flows(self):
+        policy = RiskPolicy()
+        assert policy.weight((0, 1)) == 1.0
+        assert policy.weight((0, 1, 2)) == 0.5
+
+    def test_score_sums_weights(self):
+        policy = RiskPolicy()
+        assert policy.score([(0, 1), (0, 1, 2)]) == pytest.approx(1.5)
+
+    def test_custom_weight(self):
+        policy = RiskPolicy(weight=lambda p: 2.0)
+        assert policy.score([(0, 1), (0, 2)]) == 4.0
+
+
+class TestRiskMonitor:
+    def make(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (0, 2)])
+        return RiskMonitor(g, RiskPolicy(threshold=1.2, max_hops=3))
+
+    def test_watch_scores_initial_paths(self):
+        mon = self.make()
+        score = mon.watch(0, 2)
+        assert score == pytest.approx(1.0 + 0.5)
+
+    def test_transaction_raises_alert_on_crossing(self):
+        g = DynamicDiGraph([(0, 1)])
+        mon = RiskMonitor(g, RiskPolicy(threshold=1.2, max_hops=3))
+        assert mon.watch(0, 2) == 0.0
+        assert mon.transaction(1, 2) == []  # 0.5 < threshold
+        alerts = mon.transaction(0, 2)      # 1.5 > threshold
+        assert len(alerts) == 1
+        assert alerts[0].pair == (0, 2)
+        assert alerts[0].score == pytest.approx(1.5)
+        assert "ALERT" in str(alerts[0])
+
+    def test_no_realert_while_above_threshold(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (0, 2)])
+        mon = RiskMonitor(g, RiskPolicy(threshold=1.2, max_hops=4))
+        mon.watch(0, 2)  # already above: counts as alerted
+        assert mon.transaction(0, 3) == []
+        assert mon.transaction(3, 2) == []  # raises score, still no new alert
+        assert mon.alerts == []
+
+    def test_realert_after_recovery(self):
+        g = DynamicDiGraph([(0, 1)])
+        mon = RiskMonitor(g, RiskPolicy(threshold=0.9, max_hops=2))
+        mon.watch(0, 2)
+        assert len(mon.transaction(1, 2)) == 0  # 0.5
+        assert len(mon.transaction(0, 2)) == 1  # 1.5: alert
+        assert mon.expire(0, 2) == []           # back to 0.5
+        assert len(mon.transaction(0, 2)) == 1  # crosses again: new alert
+        assert mon.alerts[-1].sequence == 2
+
+    def test_unwatch(self):
+        mon = self.make()
+        mon.watch(0, 2)
+        assert mon.unwatch(0, 2) is True
+        assert mon.unwatch(0, 2) is False
+        with pytest.raises(KeyError):
+            mon.score(0, 2)
+
+    def test_scores_view_is_copy(self):
+        mon = self.make()
+        mon.watch(0, 2)
+        snapshot = mon.scores()
+        snapshot[(0, 2)] = 999.0
+        assert mon.score(0, 2) != 999.0
+
+    def test_audit_zero_drift_after_random_stream(self):
+        rng = random.Random(1)
+        g = community_graph(3, 8, 0.3, 10, seed=2)
+        mon = RiskMonitor(g, RiskPolicy(threshold=50.0, max_hops=4))
+        mon.watch(0, 20)
+        mon.watch(5, 13)
+        accounts = list(range(24))
+        for _ in range(80):
+            u, v = rng.sample(accounts, 2)
+            if g.has_edge(u, v):
+                mon.expire(u, v)
+            else:
+                mon.transaction(u, v)
+        assert all(d < 1e-9 for d in mon.audit().values())
+
+    def test_scores_match_bruteforce(self):
+        mon = self.make()
+        mon.watch(0, 2)
+        mon.transaction(2, 0)
+        mon.transaction(1, 0)
+        want = sum(
+            1.0 / (len(p) - 1) for p in path_set(mon.graph, 0, 2, 3)
+        )
+        assert mon.score(0, 2) == pytest.approx(want)

@@ -1,0 +1,90 @@
+"""Tests for the terminal-reliability application."""
+
+import pytest
+
+from repro.apps.reliability import ReliabilityEstimator
+from repro.graph.digraph import DynamicDiGraph
+
+
+def make_two_route_network(p=0.9):
+    # two disjoint 2-hop routes from 0 to 3
+    g = DynamicDiGraph([(0, 1), (1, 3), (0, 2), (2, 3)])
+    return ReliabilityEstimator(g, 0, 3, 3, link_up_probability=p)
+
+
+class TestExact:
+    def test_single_route(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        est = ReliabilityEstimator(g, 0, 2, 2, link_up_probability=0.9)
+        assert est.exact() == pytest.approx(0.81)
+
+    def test_two_disjoint_routes_inclusion_exclusion(self):
+        est = make_two_route_network(0.9)
+        # 1 - (1 - .81)^2 by independence of disjoint routes
+        assert est.exact() == pytest.approx(1 - (1 - 0.81) ** 2)
+
+    def test_shared_link_routes(self):
+        # routes (0,1,3) and (0,2,3) plus shortcut (0,3): three routes
+        g = DynamicDiGraph([(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)])
+        est = ReliabilityEstimator(g, 0, 3, 2, link_up_probability=0.5)
+        # brute force over all 2^5 link states
+        links = list(g.edges())
+        routes = [((0, 1), (1, 3)), ((0, 2), (2, 3)), ((0, 3),)]
+        total = 0.0
+        for mask in range(2 ** len(links)):
+            up = {links[i] for i in range(len(links)) if mask >> i & 1}
+            prob = 0.5 ** len(links)
+            if any(all(e in up for e in r) for r in routes):
+                total += prob
+        assert est.exact() == pytest.approx(total)
+
+    def test_no_routes(self):
+        g = DynamicDiGraph(vertices=[0, 1])
+        est = ReliabilityEstimator(g, 0, 1, 3)
+        assert est.exact() == 0.0
+        assert est.estimate(100, seed=1) == 0.0
+
+    def test_exact_limit(self):
+        est = make_two_route_network()
+        with pytest.raises(ValueError):
+            est.exact(max_routes=1)
+
+    def test_probability_validation(self):
+        g = DynamicDiGraph([(0, 1)])
+        with pytest.raises(ValueError):
+            ReliabilityEstimator(g, 0, 1, 2, link_up_probability=1.5)
+
+
+class TestMonteCarlo:
+    def test_estimate_close_to_exact(self):
+        est = make_two_route_network(0.8)
+        exact = est.exact()
+        approx = est.estimate(samples=20000, seed=3)
+        assert approx == pytest.approx(exact, abs=0.02)
+
+    def test_estimate_deterministic_for_seed(self):
+        est = make_two_route_network()
+        assert est.estimate(500, seed=7) == est.estimate(500, seed=7)
+
+
+class TestDynamics:
+    def test_link_down_reduces_reliability(self):
+        est = make_two_route_network(0.9)
+        before = est.exact()
+        assert est.link_down(0, 1) == 1
+        assert est.route_count() == 1
+        assert est.exact() < before
+        assert est.audit()
+
+    def test_link_up_restores(self):
+        est = make_two_route_network(0.9)
+        est.link_down(0, 1)
+        assert est.link_up(0, 1) == 1
+        assert est.route_count() == 2
+        assert est.audit()
+
+    def test_new_shortcut_route(self):
+        est = make_two_route_network(0.9)
+        appeared = est.link_up(0, 3)
+        assert appeared == 1
+        assert (0, 3) in est.routes

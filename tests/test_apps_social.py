@@ -1,0 +1,88 @@
+"""Tests for the social-network tie-strength application."""
+
+import random
+
+import pytest
+
+from repro.apps.social import TieStrengthMonitor
+from repro.baselines.bruteforce import path_set
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import preferential_attachment_graph
+
+
+def katz(paths, beta):
+    return sum(beta ** (len(p) - 1) for p in paths)
+
+
+class TestTieStrengthMonitor:
+    def make(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        return TieStrengthMonitor(g, max_hops=3, beta=0.5)
+
+    def test_beta_validation(self):
+        g = DynamicDiGraph()
+        with pytest.raises(ValueError):
+            TieStrengthMonitor(g, beta=1.0)
+        with pytest.raises(ValueError):
+            TieStrengthMonitor(g, beta=0.0)
+
+    def test_initial_strength(self):
+        mon = self.make()
+        got = mon.watch(0, 2)
+        want = katz(path_set(mon.graph, 0, 2, 3), 0.5)
+        assert got == pytest.approx(want)
+        assert mon.connection_count(0, 2) == 2
+
+    def test_follow_increases_strength(self):
+        mon = self.make()
+        before = mon.watch(0, 3)
+        deltas = mon.follow(0, 3)
+        assert deltas[(0, 3)] == pytest.approx(0.5)
+        assert mon.strength(0, 3) == pytest.approx(before + 0.5)
+
+    def test_unfollow_decreases_strength(self):
+        mon = self.make()
+        mon.watch(0, 2)
+        deltas = mon.unfollow(0, 2)  # removes the direct path, weight 0.5
+        assert deltas[(0, 2)] == pytest.approx(-0.5)
+
+    def test_unaffected_pairs_get_no_delta(self):
+        mon = self.make()
+        mon.watch(0, 2)
+        mon.watch(2, 3)
+        deltas = mon.follow(1, 3)  # does not touch (2, 3)... or (0, 2)
+        assert (2, 3) not in deltas
+        assert (0, 2) not in deltas
+
+    def test_ranking(self):
+        mon = self.make()
+        mon.watch(0, 2)
+        mon.watch(0, 3)
+        ranking = mon.ranking()
+        assert ranking[0][0] == (0, 2)
+        assert ranking[0][1] >= ranking[1][1]
+
+    def test_audit_after_churn(self):
+        rng = random.Random(4)
+        g = preferential_attachment_graph(60, 2, seed=5)
+        mon = TieStrengthMonitor(g, max_hops=4, beta=0.4)
+        mon.watch(0, 30)
+        mon.watch(1, 45)
+        users = list(g.vertices())
+        for _ in range(100):
+            u, v = rng.sample(users, 2)
+            if g.has_edge(u, v):
+                mon.unfollow(u, v)
+            else:
+                mon.follow(u, v)
+        assert mon.audit() < 1e-9
+
+    def test_connection_count_tracks(self):
+        mon = self.make()
+        mon.watch(0, 3)
+        count = mon.connection_count(0, 3)
+        mon.follow(0, 3)
+        assert mon.connection_count(0, 3) == count + 1
+        assert mon.connection_count(0, 3) == len(
+            path_set(mon.graph, 0, 3, 3)
+        )

@@ -1,0 +1,104 @@
+"""Differential tests for the dynamic baselines (CSM*, recompute)."""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import path_set
+from repro.baselines.csm import CsmStarEnumerator
+from repro.baselines.recompute import RecomputeEnumerator
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+from tests.conftest import make_random_graph, random_query
+
+FACTORIES = [
+    lambda g, s, t, k: CsmStarEnumerator(g, s, t, k),
+    lambda g, s, t, k: RecomputeEnumerator(g, s, t, k, method="pathenum"),
+    lambda g, s, t, k: RecomputeEnumerator(g, s, t, k, method="bcjoin"),
+]
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+class TestDynamicBaselines:
+    def test_startup_matches_bruteforce(self, factory, diamond):
+        enum = factory(diamond.copy(), 0, 3, 3)
+        assert set(enum.startup()) == path_set(diamond, 0, 3, 3)
+
+    def test_insert_delta(self, factory):
+        g = DynamicDiGraph([(0, 1), (2, 3)])
+        enum = factory(g, 0, 3, 3)
+        enum.startup()
+        result = enum.insert_edge(1, 2)
+        assert set(result.paths) == {(0, 1, 2, 3)}
+
+    def test_delete_delta(self, factory):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 3)])
+        enum = factory(g, 0, 3, 3)
+        enum.startup()
+        result = enum.delete_edge(1, 2)
+        assert set(result.paths) == {(0, 1, 2, 3)}
+
+    def test_noop_updates(self, factory, diamond):
+        enum = factory(diamond, 0, 3, 3)
+        enum.startup()
+        assert enum.insert_edge(0, 1).changed is False
+        assert enum.delete_edge(8, 9).changed is False
+
+    def test_randomized_streams(self, factory):
+        rng = random.Random(31)
+        for _ in range(15):
+            g = make_random_graph(rng, max_edges=12)
+            s, t, k = random_query(rng, g)
+            enum = factory(g, s, t, k)
+            enum.startup()
+            current = path_set(g, s, t, k)
+            for _ in range(10):
+                u, v = rng.sample(list(g.vertices()), 2)
+                if g.has_edge(u, v):
+                    result = enum.delete_edge(u, v)
+                    fresh = path_set(g, s, t, k)
+                    assert set(result.paths) == current - fresh
+                else:
+                    result = enum.insert_edge(u, v)
+                    fresh = path_set(g, s, t, k)
+                    assert set(result.paths) == fresh - current
+                current = fresh
+
+    def test_apply_protocol(self, factory, diamond):
+        enum = factory(diamond, 0, 3, 3)
+        enum.startup()
+        result = enum.apply(EdgeUpdate(0, 3, False))
+        assert (0, 3) in result.paths
+
+
+class TestCsmSpecifics:
+    def test_rejects_equal_endpoints(self):
+        with pytest.raises(ValueError):
+            CsmStarEnumerator(DynamicDiGraph([(0, 1)]), 2, 2, 3)
+
+    def test_terminal_interior_updates_yield_nothing(self, diamond):
+        enum = CsmStarEnumerator(diamond, 0, 3, 4)
+        enum.startup()
+        assert enum.insert_edge(3, 1).paths == []  # t cannot be interior
+        assert enum.insert_edge(2, 0).paths == []  # s cannot be interior
+
+    def test_index_memory_grows_with_k(self, diamond):
+        small = CsmStarEnumerator(diamond.copy(), 0, 3, 2).index_memory_bytes()
+        large = CsmStarEnumerator(diamond.copy(), 0, 3, 6).index_memory_bytes()
+        assert large > small
+
+
+class TestRecomputeSpecifics:
+    def test_unknown_method(self, diamond):
+        with pytest.raises(ValueError, match="unknown method"):
+            RecomputeEnumerator(diamond, 0, 3, 3, method="nope")
+
+    def test_name_reflects_method(self, diamond):
+        enum = RecomputeEnumerator(diamond, 0, 3, 3, method="bcjoin")
+        assert enum.name == "bcjoin-recompute"
+
+    def test_update_without_priming_startup(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 3)])
+        enum = RecomputeEnumerator(g, 0, 3, 3)
+        # no explicit startup(): the first update must still diff correctly
+        result = enum.delete_edge(1, 2)
+        assert set(result.paths) == {(0, 1, 2, 3)}

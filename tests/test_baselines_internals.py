@@ -1,0 +1,125 @@
+"""White-box tests for baseline internals."""
+
+import random
+
+import pytest
+
+from repro.baselines.bcjoin import BcJoinEnumerator
+from repro.baselines.csm import CsmStarEnumerator
+from repro.baselines.pathenum import PathEnumEnumerator
+from repro.baselines.tdfs import TDfsEnumerator
+from repro.core.construction import build_index
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import layered_dag
+from tests.conftest import make_random_graph, random_query
+
+
+class TestPathEnumInternals:
+    def test_walk_counts_match_estimate_module(self):
+        from repro.core.estimate import walk_count_bound
+
+        rng = random.Random(51)
+        for _ in range(20):
+            g = make_random_graph(rng, max_edges=16)
+            s, t, k = random_query(rng, g)
+            enum = PathEnumEnumerator(g, s, t, k)
+            if enum.dist_t.get(s) > k:
+                continue
+            counts = enum._walk_counts()
+            arrived = sum(
+                counts["from_s"][i].get(t, 0) for i in range(1, k + 1)
+            )
+            assert arrived == walk_count_bound(g, s, t, k)
+
+    def test_optimizer_prefers_join_on_diamond_lattice(self):
+        # wide middle layer: a mid cut materializes far fewer partials
+        g, s, t = layered_dag([2, 8, 2])
+        enum = PathEnumEnumerator(g, s, t, 4)
+        enum.paths()
+        assert enum.chosen_cut in (0, 1, 2, 3)
+
+    def test_unreachable_early_exit(self):
+        g = DynamicDiGraph([(0, 1)], vertices=[9])
+        enum = PathEnumEnumerator(g, 0, 9, 5)
+        assert enum.paths() == []
+        assert enum.chosen_cut == 0
+
+    def test_walk_dp_symmetry(self):
+        g, s, t = layered_dag([3, 3])
+        enum = PathEnumEnumerator(g, s, t, 3)
+        counts = enum._walk_counts()
+        # forward walks reaching t at the full length equal backward
+        # walks reaching s
+        assert counts["from_s"][3].get(t, 0) == counts["to_t"][3].get(s, 0)
+
+
+class TestBcJoinInternals:
+    def test_weak_pruning_stores_superset_of_strong(self):
+        rng = random.Random(52)
+        for _ in range(15):
+            g = make_random_graph(rng, max_edges=18)
+            s, t, k = random_query(rng, g, k_hi=5)
+            weak = BcJoinEnumerator(g, s, t, k)
+            weak.paths()
+            if k < 2:
+                continue
+            strong = build_index(g, s, t, k, forced_plan=weak.plan)
+            strong_total = len(strong.index.left) + len(strong.index.right)
+            weak_total = weak.left_partials + weak.right_partials
+            assert weak_total >= strong_total
+
+    def test_direct_edge_emitted_without_partials(self):
+        g = DynamicDiGraph([(0, 1)])
+        enum = BcJoinEnumerator(g, 0, 1, 1)
+        assert enum.paths() == [(0, 1)]
+        assert enum.left_partials == 0
+
+
+class TestTdfsInternals:
+    def test_unreachable_early_exit(self):
+        g = DynamicDiGraph([(0, 1)], vertices=[9])
+        assert TDfsEnumerator(g, 0, 9, 6).paths() == []
+
+    def test_every_expansion_leads_to_a_result_on_dags(self):
+        # on a DAG the distance test is exact: explored prefix count
+        # equals sum over results of their lengths (each prefix extends)
+        g, s, t = layered_dag([2, 2])
+        enum = TDfsEnumerator(g, s, t, 3)
+        assert len(enum.paths()) == 4
+
+
+class TestCsmInternals:
+    def test_candidate_filter(self, diamond):
+        enum = CsmStarEnumerator(diamond.copy(), 0, 3, 2)
+        assert enum._candidate(0) and enum._candidate(3)
+        diamond2 = diamond.copy()
+        diamond2.add_vertex(99)
+        enum = CsmStarEnumerator(diamond2, 0, 3, 2)
+        assert not enum._candidate(99)
+
+    def test_paths_through_respects_budget_split(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 3), (3, 4)])
+        enum = CsmStarEnumerator(g, 0, 4, 4)
+        paths = enum._paths_through(2, 3)
+        assert paths == [(0, 1, 2, 3, 4)]
+        tight = CsmStarEnumerator(g.copy(), 0, 4, 3)
+        assert tight._paths_through(2, 3) == []
+
+    def test_paths_through_self_loop_empty(self, diamond):
+        enum = CsmStarEnumerator(diamond, 0, 3, 3)
+        assert enum._paths_through(1, 1) == []
+
+
+class TestConstructionCounters:
+    def test_expansions_split_into_stored_and_pruned(self):
+        rng = random.Random(53)
+        for _ in range(20):
+            g = make_random_graph(rng, max_edges=18)
+            s, t, k = random_query(rng, g)
+            result = build_index(g, s, t, k)
+            stats = result.stats
+            stored = stats.left_paths + stats.right_paths
+            assert stats.expansions == stored + stats.pruned
+            assert stats.left_levels <= max(1, k)
+            assert stats.prep_seconds >= 0
+            assert stats.build_seconds >= 0

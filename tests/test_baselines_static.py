@@ -1,0 +1,122 @@
+"""Differential tests for the static baseline enumerators."""
+
+import random
+
+import pytest
+
+from repro.baselines.bcdfs import BcDfsEnumerator
+from repro.baselines.bcjoin import BcJoinEnumerator
+from repro.baselines.bruteforce import count_paths, enumerate_paths, path_set
+from repro.baselines.pathenum import PathEnumEnumerator
+from repro.baselines.tdfs import TDfsEnumerator
+from repro.graph.digraph import DynamicDiGraph
+from tests.conftest import make_random_graph, random_query
+
+ALL = [TDfsEnumerator, BcDfsEnumerator, BcJoinEnumerator, PathEnumEnumerator]
+
+
+class TestBruteForce:
+    def test_diamond(self, diamond):
+        assert path_set(diamond, 0, 3, 2) == {(0, 3), (0, 1, 3), (0, 2, 3)}
+
+    def test_equal_endpoints_empty(self, diamond):
+        assert list(enumerate_paths(diamond, 0, 0, 3)) == []
+
+    def test_k0_empty(self, diamond):
+        assert list(enumerate_paths(diamond, 0, 3, 0)) == []
+
+    def test_count(self, diamond):
+        assert count_paths(diamond, 0, 3, 2) == 3
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestStaticBaselines:
+    def test_rejects_equal_endpoints(self, cls):
+        with pytest.raises(ValueError):
+            cls(DynamicDiGraph([(0, 1)]), 0, 0, 3)
+
+    def test_diamond(self, cls, diamond):
+        assert set(cls(diamond, 0, 3, 2).paths()) == {
+            (0, 3), (0, 1, 3), (0, 2, 3)
+        }
+
+    def test_unreachable_target(self, cls):
+        g = DynamicDiGraph([(0, 1)], vertices=[5])
+        assert cls(g, 0, 5, 6).paths() == []
+
+    def test_k1_direct_only(self, cls, diamond):
+        assert cls(diamond, 0, 3, 1).paths() == [(0, 3)]
+
+    def test_matches_bruteforce_randomized(self, cls):
+        rng = random.Random(hash(cls.__name__) % 1000)
+        for _ in range(40):
+            g = make_random_graph(rng)
+            s, t, k = random_query(rng, g)
+            got = cls(g, s, t, k).paths()
+            assert len(got) == len(set(got)), "duplicate paths"
+            assert set(got) == path_set(g, s, t, k)
+
+    def test_run_iterator(self, cls, diamond):
+        assert set(cls(diamond, 0, 3, 2).run()) == path_set(diamond, 0, 3, 2)
+
+
+class TestBcDfsBarriers:
+    def test_barriers_are_used(self):
+        # cyclic detours whose completions are blocked by on-path
+        # vertices: barriers must fire and later be reset
+        g = DynamicDiGraph(
+            [(0, 1), (0, 3), (1, 2), (2, 0), (2, 1),
+             (3, 1), (3, 4), (4, 1), (4, 2), (4, 3)]
+        )
+        enum = BcDfsEnumerator(g, 0, 4, 6)
+        paths = enum.paths()
+        assert set(paths) == path_set(g, 0, 4, 6)
+        assert enum.barrier_updates > 0
+        assert enum.barrier_resets > 0
+
+    def test_barrier_reset_keeps_completeness(self):
+        # vertex 3 fails while 2 blocks the only exit, succeeds later:
+        # barriers must not survive 2 leaving the stack
+        g = DynamicDiGraph(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (0, 2), (2, 4), (3, 2)]
+        )
+        for k in range(1, 7):
+            assert set(BcDfsEnumerator(g, 0, 4, k).paths()) == path_set(
+                g, 0, 4, k
+            )
+
+
+class TestBcJoinDetails:
+    def test_partial_counters_populated(self, paper_figure2):
+        enum = BcJoinEnumerator(paper_figure2, 0, 9, 4)
+        enum.paths()
+        assert enum.left_partials > 0
+        assert enum.right_partials > 0
+
+    def test_fixed_cut_plan(self):
+        enum = BcJoinEnumerator(DynamicDiGraph([(0, 1)]), 0, 1, 7)
+        assert enum.plan.l == 4
+        assert enum.plan.r == 3
+
+
+class TestPathEnumOptimizer:
+    def test_cut_selection_runs(self, paper_figure2):
+        enum = PathEnumEnumerator(paper_figure2, 0, 9, 4)
+        enum.paths()
+        assert 0 <= enum.chosen_cut < 4
+
+    def test_both_strategies_agree(self):
+        rng = random.Random(123)
+        for _ in range(20):
+            g = make_random_graph(rng, max_edges=18)
+            s, t, k = random_query(rng, g, k_hi=5)
+            enum = PathEnumEnumerator(g, s, t, k)
+            want = path_set(g, s, t, k)
+            if enum.dist_t.get(s) > k:
+                assert enum.paths() == []
+                continue
+            assert set(enum._dfs_paths()) == want
+            for cut in range(1, k):
+                got = enum._join_paths(cut)
+                assert len(got) == len(set(got))
+                assert set(got) == want

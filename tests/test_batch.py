@@ -1,0 +1,119 @@
+"""Tests for batch update processing."""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import path_set
+from repro.core.batch import CpeBatch, compress_stream
+from repro.core.enumerator import CpeEnumerator
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+from tests.conftest import make_random_graph, random_query
+
+
+class TestCompressStream:
+    def test_cancelling_pair_disappears(self):
+        g = DynamicDiGraph()
+        stream = [EdgeUpdate(0, 1, True), EdgeUpdate(0, 1, False)]
+        assert compress_stream(g, stream) == []
+
+    def test_net_insert_survives(self):
+        g = DynamicDiGraph()
+        stream = [
+            EdgeUpdate(0, 1, True),
+            EdgeUpdate(0, 1, False),
+            EdgeUpdate(0, 1, True),
+        ]
+        assert compress_stream(g, stream) == [EdgeUpdate(0, 1, True)]
+
+    def test_delete_of_existing_edge_survives(self):
+        g = DynamicDiGraph([(0, 1)])
+        stream = [EdgeUpdate(0, 1, False)]
+        assert compress_stream(g, stream) == stream
+
+    def test_reinsert_of_existing_edge_cancels(self):
+        g = DynamicDiGraph([(0, 1)])
+        stream = [EdgeUpdate(0, 1, False), EdgeUpdate(0, 1, True)]
+        assert compress_stream(g, stream) == []
+
+    def test_graph_untouched(self):
+        g = DynamicDiGraph([(0, 1)])
+        compress_stream(g, [EdgeUpdate(0, 1, False)])
+        assert g.has_edge(0, 1)
+
+    def test_order_follows_last_occurrence(self):
+        g = DynamicDiGraph()
+        stream = [
+            EdgeUpdate(0, 1, True),
+            EdgeUpdate(2, 3, True),
+            EdgeUpdate(0, 1, False),
+            EdgeUpdate(0, 1, True),
+        ]
+        survivors = compress_stream(g, stream)
+        assert survivors == [EdgeUpdate(2, 3, True), EdgeUpdate(0, 1, True)]
+
+    def test_compressed_replay_equals_full_replay(self):
+        rng = random.Random(12)
+        for _ in range(30):
+            g = make_random_graph(rng, max_edges=10)
+            stream = []
+            for _ in range(20):
+                u, v = rng.sample(list(g.vertices()), 2)
+                stream.append(EdgeUpdate(u, v, rng.random() < 0.5))
+            full = g.copy()
+            for upd in stream:
+                full.apply_update(upd)
+            compressed = g.copy()
+            for upd in compress_stream(g, stream):
+                assert compressed.apply_update(upd), "net update must be valid"
+            assert compressed == full
+
+
+class TestCpeBatch:
+    def test_net_delta_matches_bruteforce_diff(self):
+        rng = random.Random(13)
+        for _ in range(25):
+            g = make_random_graph(rng, max_edges=12)
+            s, t, k = random_query(rng, g)
+            before = path_set(g, s, t, k)
+            stream = []
+            scratch = g.copy()
+            for _ in range(12):
+                u, v = rng.sample(list(g.vertices()), 2)
+                upd = EdgeUpdate(u, v, not scratch.has_edge(u, v))
+                scratch.apply_update(upd)
+                stream.append(upd)
+            batch = CpeBatch(CpeEnumerator(g, s, t, k))
+            result = batch.apply(stream, compress=rng.random() < 0.5)
+            after = path_set(g, s, t, k)
+            assert set(result.new_paths) == after - before
+            assert set(result.deleted_paths) == before - after
+
+    def test_compression_skips_noops(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        batch = CpeBatch(CpeEnumerator(g, 0, 2, 3))
+        stream = [
+            EdgeUpdate(0, 2, True),
+            EdgeUpdate(0, 2, False),
+            EdgeUpdate(1, 2, False),
+            EdgeUpdate(1, 2, True),
+        ]
+        result = batch.apply(stream)
+        assert result.applied == 0
+        assert result.skipped_by_compression == 4
+        assert result.new_paths == [] and result.deleted_paths == []
+
+    def test_uncompressed_counts_every_update(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        batch = CpeBatch(CpeEnumerator(g, 0, 2, 3))
+        stream = [EdgeUpdate(0, 2, True), EdgeUpdate(0, 2, False)]
+        result = batch.apply(stream, compress=False)
+        assert result.applied == 2
+        assert result.new_paths == [] and result.deleted_paths == []
+        assert len(result.per_update) == 2
+
+    def test_net_delta_property(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        batch = CpeBatch(CpeEnumerator(g, 0, 2, 3))
+        result = batch.apply([EdgeUpdate(0, 2, True)])
+        assert result.net_delta == 1

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "Reactome" in out
+    assert out.count("\n") == 14
+
+
+def test_stats_command(capsys):
+    assert main(["stats", "RT", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "|V|" in out and "D90" in out
+
+
+def test_query_command(capsys):
+    assert main(["query", "RT", "0", "5", "4", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "# " in out and "paths" in out
+
+
+def test_query_count_only(capsys):
+    assert main(["query", "RT", "0", "5", "4", "--scale", "0.1", "--count"]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out.isdigit()
+
+
+def test_query_unknown_vertex(capsys):
+    assert main(["query", "RT", "0", "999999", "4", "--scale", "0.1"]) == 2
+    assert "not in the graph" in capsys.readouterr().err
+
+
+def test_experiment_command(capsys):
+    code = main(
+        ["experiment", "table1", "--scale", "0.05", "--queries", "1"]
+    )
+    assert code == 0
+    assert "Table I" in capsys.readouterr().out
+
+
+def test_experiment_csv(capsys):
+    code = main(
+        ["experiment", "table1", "--scale", "0.05", "--csv"]
+    )
+    assert code == 0
+    first = capsys.readouterr().out.splitlines()[0]
+    assert first.startswith("Name,")
+
+
+def test_experiment_unknown(capsys):
+    assert main(["experiment", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_no_command_exits():
+    with pytest.raises(SystemExit):
+        main([])

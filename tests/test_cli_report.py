@@ -1,0 +1,59 @@
+"""Tests for the `repro report` subcommand and results integration."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_report_subcommand_end_to_end(tmp_path, capsys):
+    save_dir = tmp_path / "csvs"
+    assert main(
+        [
+            "experiment", "density", "--updates", "6",
+            "--csv", "--save", str(save_dir),
+        ]
+    ) == 0
+    capsys.readouterr()
+    out_file = tmp_path / "report.md"
+    assert main(["report", str(save_dir), str(out_file)]) == 0
+    text = out_file.read_text()
+    assert text.startswith("# Experiment report")
+    assert "## density" in text
+
+
+def test_report_subcommand_to_stdout(tmp_path, capsys):
+    save_dir = tmp_path / "csvs"
+    main(["experiment", "density", "--updates", "4", "--csv",
+          "--save", str(save_dir)])
+    capsys.readouterr()
+    assert main(["report", str(save_dir)]) == 0
+    assert "## density" in capsys.readouterr().out
+
+
+def test_report_subcommand_missing_dir(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["report", str(tmp_path / "nothing")])
+
+
+def test_maintained_result_set_with_monitor_pipeline():
+    """results.py composes with the watchlist machinery."""
+    import random
+
+    from repro.core.enumerator import CpeEnumerator
+    from repro.core.results import MaintainedResultSet
+    from repro.graph.generators import community_graph
+
+    rng = random.Random(3)
+    graph = community_graph(3, 10, 0.25, 12, seed=4)
+    rs = MaintainedResultSet(CpeEnumerator(graph, 0, 25, 4))
+    for _ in range(120):
+        u, v = rng.sample(range(30), 2)
+        if graph.has_edge(u, v):
+            rs.delete_edge(u, v)
+        else:
+            rs.insert_edge(u, v)
+    assert rs.audit()
+    histogram = rs.length_histogram()
+    assert sum(histogram.values()) == rs.count()
+    if rs.count():
+        assert min(histogram) >= 1 and max(histogram) <= 4

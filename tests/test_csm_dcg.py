@@ -1,0 +1,104 @@
+"""Differential tests for the CSM-DCG baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import path_set
+from repro.baselines.csm_dcg import CsmDcgEnumerator
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+from tests.conftest import make_random_graph, random_query
+
+
+class TestCounters:
+    def test_initial_forward_counts(self, diamond):
+        enum = CsmDcgEnumerator(diamond.copy(), 0, 3, 3)
+        # walks from 0: level 1 = {1, 2, 3}, level 2 = {3 (two ways)}
+        assert enum._forward[1] == {1: 1, 2: 1, 3: 1}
+        assert enum._forward[2] == {3: 2}
+
+    def test_initial_backward_counts(self, diamond):
+        enum = CsmDcgEnumerator(diamond.copy(), 0, 3, 3)
+        assert enum._backward[1] == {1: 1, 2: 1, 0: 1}
+        assert enum._backward[2][0] == 2
+
+    def test_counters_maintained_under_streams(self):
+        rng = random.Random(31)
+        for _ in range(30):
+            g = make_random_graph(rng, max_edges=14)
+            s, t, k = random_query(rng, g)
+            enum = CsmDcgEnumerator(g, s, t, k)
+            for _ in range(15):
+                u, v = rng.sample(list(g.vertices()), 2)
+                if g.has_edge(u, v):
+                    enum.delete_edge(u, v)
+                else:
+                    enum.insert_edge(u, v)
+                assert enum.counters_consistent()
+
+    def test_counters_handle_cycles(self):
+        # walks may reuse the new edge repeatedly; deltas must feed back
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        enum = CsmDcgEnumerator(g, 0, 2, 6)
+        enum.insert_edge(2, 0)  # creates a 3-cycle
+        assert enum.counters_consistent()
+        enum.delete_edge(1, 2)
+        assert enum.counters_consistent()
+
+    def test_memory_grows_with_k(self, diamond):
+        small = CsmDcgEnumerator(diamond.copy(), 0, 3, 2).index_memory_bytes()
+        large = CsmDcgEnumerator(diamond.copy(), 0, 3, 8).index_memory_bytes()
+        assert large > small
+
+
+class TestEnumeration:
+    def test_startup_matches_bruteforce(self):
+        rng = random.Random(32)
+        for _ in range(30):
+            g = make_random_graph(rng, max_edges=16)
+            s, t, k = random_query(rng, g)
+            enum = CsmDcgEnumerator(g.copy(), s, t, k)
+            got = enum.startup()
+            assert len(got) == len(set(got))
+            assert set(got) == path_set(g, s, t, k)
+
+    def test_dynamic_deltas_match_bruteforce(self):
+        rng = random.Random(33)
+        for _ in range(25):
+            g = make_random_graph(rng, max_edges=12)
+            s, t, k = random_query(rng, g)
+            enum = CsmDcgEnumerator(g, s, t, k)
+            current = path_set(g, s, t, k)
+            for _ in range(12):
+                u, v = rng.sample(list(g.vertices()), 2)
+                if g.has_edge(u, v):
+                    result = enum.delete_edge(u, v)
+                    fresh = path_set(g, s, t, k)
+                    assert set(result.paths) == current - fresh
+                else:
+                    result = enum.insert_edge(u, v)
+                    fresh = path_set(g, s, t, k)
+                    assert set(result.paths) == fresh - current
+                assert len(result.paths) == len(set(result.paths))
+                current = fresh
+
+    def test_rejects_equal_endpoints(self):
+        with pytest.raises(ValueError):
+            CsmDcgEnumerator(DynamicDiGraph([(0, 1)]), 1, 1, 3)
+
+    def test_noop_updates(self, diamond):
+        enum = CsmDcgEnumerator(diamond, 0, 3, 3)
+        assert enum.insert_edge(0, 1).changed is False
+        assert enum.delete_edge(7, 8).changed is False
+
+    def test_apply_protocol(self, diamond):
+        enum = CsmDcgEnumerator(diamond, 0, 3, 3)
+        result = enum.apply(EdgeUpdate(0, 3, False))
+        assert (0, 3) in result.paths
+
+    def test_self_loop_updates(self, diamond):
+        enum = CsmDcgEnumerator(diamond, 0, 3, 3)
+        result = enum.insert_edge(1, 1)
+        assert result.paths == []
+        assert enum.counters_consistent()
+        assert set(enum.startup()) == path_set(diamond, 0, 3, 3)

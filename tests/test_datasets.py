@@ -1,0 +1,68 @@
+"""Unit tests for the dataset analogue registry."""
+
+import pytest
+
+from repro.graph import datasets
+
+
+def test_fourteen_datasets_registered():
+    assert len(datasets.DATASET_ORDER) == 14
+    assert datasets.DATASET_ORDER[0] == "RT"
+    assert datasets.DATASET_ORDER[-1] == "TW"
+
+
+def test_undirected_subset_matches_paper():
+    # the paper evaluates CSM* on AM, SK and LJ only
+    assert set(datasets.UNDIRECTED_DATASETS) == {"AM", "SK", "LJ"}
+
+
+def test_spec_lookup():
+    spec = datasets.spec("WG")
+    assert spec.full_name == "web-google"
+    assert spec.paper.num_vertices == 875_000
+
+
+def test_spec_unknown():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        datasets.spec("nope")
+
+
+def test_load_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        datasets.load("RT", 0)
+
+
+@pytest.mark.parametrize("name", datasets.DATASET_ORDER)
+def test_every_dataset_loads_small(name):
+    graph = datasets.load(name, scale=0.05)
+    assert graph.num_vertices > 0
+    assert graph.num_edges > 0
+
+
+def test_load_deterministic():
+    a = datasets.load("EP", 0.1)
+    b = datasets.load("EP", 0.1)
+    assert a == b
+
+
+def test_undirected_datasets_are_symmetric():
+    for name in datasets.UNDIRECTED_DATASETS:
+        graph = datasets.load(name, 0.05)
+        for u, v in graph.edges():
+            assert graph.has_edge(v, u), f"{name}: missing mirror of {(u, v)}"
+
+
+def test_size_ordering_preserved():
+    sizes = [datasets.load(n, 0.1).num_vertices for n in ("RT", "WG", "TW")]
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_load_all_subset():
+    graphs = datasets.load_all(0.05, names=("RT", "TS"))
+    assert set(graphs) == {"RT", "TS"}
+
+
+def test_scale_grows_graph():
+    small = datasets.load("EP", 0.1)
+    large = datasets.load("EP", 0.3)
+    assert large.num_vertices > small.num_vertices

@@ -1,0 +1,67 @@
+"""Property checks on the dataset analogues (Table I fidelity)."""
+
+import pytest
+
+from repro.graph import datasets
+from repro.graph.stats import average_degree
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: datasets.load(name, 0.15) for name in datasets.DATASET_ORDER}
+
+
+def test_sparse_datasets_are_sparsest(graphs):
+    """TS and WK are the paper's least dense graphs; the analogues agree."""
+    densities = {n: average_degree(g) for n, g in graphs.items()}
+    sparse = {densities["TS"], densities["WK"]}
+    assert min(sparse) == min(densities.values())
+    dense_floor = sorted(densities.values())[-4]
+    assert all(d < dense_floor for d in sparse)
+
+
+def test_lj_denser_than_median(graphs):
+    densities = sorted(average_degree(g) for g in graphs.values())
+    assert average_degree(graphs["LJ"]) >= densities[len(densities) // 2]
+
+
+def test_power_law_analogues_have_hubs(graphs):
+    for name in ("EP", "SD", "WG", "SK", "PK", "LJ", "TW"):
+        g = graphs[name]
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        mean = sum(degrees) / len(degrees)
+        assert degrees[0] > 3 * mean, f"{name} lacks hubs"
+
+
+def test_community_analogues_have_local_density(graphs):
+    # RT/BD: most edges stay within a community block
+    for name, size in (("RT", 40), ("BD", 100)):
+        g = graphs[name]
+        internal = sum(
+            1 for u, v in g.edges() if u // size == v // size
+        )
+        assert internal > 0.5 * g.num_edges, f"{name} lost its communities"
+
+
+def test_vertex_count_ordering_matches_paper(graphs):
+    paper_sizes = [
+        datasets.spec(n).paper.num_vertices for n in datasets.DATASET_ORDER
+    ]
+    ours = [graphs[n].num_vertices for n in datasets.DATASET_ORDER]
+    # the orderings agree pairwise up to ties in the scaled sizes
+    for i in range(len(ours)):
+        for j in range(i + 1, len(ours)):
+            if paper_sizes[i] < paper_sizes[j]:
+                assert ours[i] <= ours[j], (
+                    datasets.DATASET_ORDER[i], datasets.DATASET_ORDER[j]
+                )
+
+
+def test_every_analogue_small_world_enough_for_k6(graphs):
+    """Queries at k=6 must be satisfiable: some pair within 6 hops."""
+    from repro.workloads.queries import _within_hops, random_queries
+
+    for name, g in graphs.items():
+        queries = random_queries(g, 3, 6, seed=1, connected=True)
+        hits = sum(1 for q in queries if _within_hops(g, q.s, q.t, 6))
+        assert hits >= 1, f"{name}: no reachable pairs at k=6"

@@ -1,0 +1,49 @@
+"""Tests for the density-sweep experiment and the --save CLI option."""
+
+from repro.cli import main
+from repro.experiments import density_sweep
+from repro.experiments.common import ExperimentConfig
+
+
+def test_density_sweep_shape():
+    cfg = ExperimentConfig(num_updates=10, k=5, seed=11)
+    result = density_sweep.run(cfg, num_vertices=200, densities=(2.0, 5.0))
+    assert result.series("d_out") == [2.0, 5.0]
+    ratios = result.series("ratio")
+    assert all(r >= 0 for r in ratios)
+
+
+def test_density_sweep_advantage_grows_with_density():
+    cfg = ExperimentConfig(num_updates=16, k=6, seed=7)
+    result = density_sweep.run(
+        cfg, num_vertices=400, densities=(2.0, 6.0)
+    )
+    sparse, dense = result.series("ratio")
+    assert dense >= sparse
+
+
+def test_cli_experiment_save(tmp_path, capsys):
+    code = main(
+        [
+            "experiment", "density",
+            "--updates", "6", "--seed", "3",
+            "--save", str(tmp_path / "out"),
+        ]
+    )
+    assert code == 0
+    saved = tmp_path / "out" / "density.txt"
+    assert saved.exists()
+    assert "Density sweep" in saved.read_text()
+
+
+def test_cli_experiment_save_csv(tmp_path, capsys):
+    code = main(
+        [
+            "experiment", "table1",
+            "--scale", "0.05",
+            "--csv", "--save", str(tmp_path / "out"),
+        ]
+    )
+    assert code == 0
+    saved = tmp_path / "out" / "table1.csv"
+    assert saved.read_text().startswith("Name,")

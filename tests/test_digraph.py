@@ -1,0 +1,216 @@
+"""Unit tests for the dynamic digraph substrate."""
+
+import pytest
+
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+
+
+class TestVertices:
+    def test_add_vertex_new(self):
+        g = DynamicDiGraph()
+        assert g.add_vertex(1) is True
+        assert g.has_vertex(1)
+        assert g.num_vertices == 1
+
+    def test_add_vertex_duplicate(self):
+        g = DynamicDiGraph(vertices=[1])
+        assert g.add_vertex(1) is False
+        assert g.num_vertices == 1
+
+    def test_remove_vertex_drops_incident_edges(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 1)])
+        assert g.remove_vertex(1) is True
+        assert g.num_edges == 0
+        assert not g.has_vertex(1)
+        assert g.has_vertex(0) and g.has_vertex(2)
+
+    def test_remove_missing_vertex(self):
+        g = DynamicDiGraph()
+        assert g.remove_vertex(5) is False
+
+    def test_vertices_iteration_order(self):
+        g = DynamicDiGraph(vertices=[3, 1, 2])
+        assert list(g.vertices()) == [3, 1, 2]
+
+    def test_contains_and_len(self):
+        g = DynamicDiGraph(vertices=range(4))
+        assert 2 in g
+        assert 9 not in g
+        assert len(g) == 4
+
+    def test_hashable_vertex_types(self):
+        g = DynamicDiGraph()
+        g.add_edge("a", ("tuple", 1))
+        assert g.has_edge("a", ("tuple", 1))
+
+
+class TestEdges:
+    def test_add_edge_registers_endpoints(self):
+        g = DynamicDiGraph()
+        assert g.add_edge(1, 2) is True
+        assert g.has_vertex(1) and g.has_vertex(2)
+        assert g.num_edges == 1
+
+    def test_add_edge_duplicate(self):
+        g = DynamicDiGraph([(1, 2)])
+        assert g.add_edge(1, 2) is False
+        assert g.num_edges == 1
+
+    def test_directedness(self):
+        g = DynamicDiGraph([(1, 2)])
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_remove_edge(self):
+        g = DynamicDiGraph([(1, 2)])
+        assert g.remove_edge(1, 2) is True
+        assert g.num_edges == 0
+        assert not g.has_edge(1, 2)
+
+    def test_remove_missing_edge(self):
+        g = DynamicDiGraph([(1, 2)])
+        assert g.remove_edge(2, 1) is False
+        assert g.remove_edge(7, 8) is False
+        assert g.num_edges == 1
+
+    def test_self_loop_allowed(self):
+        g = DynamicDiGraph()
+        assert g.add_edge(1, 1) is True
+        assert g.has_edge(1, 1)
+        assert g.in_degree(1) == g.out_degree(1) == 1
+
+    def test_edges_iteration(self):
+        edges = {(0, 1), (1, 2), (2, 0)}
+        g = DynamicDiGraph(edges)
+        assert set(g.edges()) == edges
+
+    def test_reinsert_after_delete(self):
+        g = DynamicDiGraph([(1, 2)])
+        g.remove_edge(1, 2)
+        assert g.add_edge(1, 2) is True
+        assert g.num_edges == 1
+
+
+class TestAdjacency:
+    def test_neighbors(self):
+        g = DynamicDiGraph([(0, 1), (0, 2), (3, 0)])
+        assert set(g.out_neighbors(0)) == {1, 2}
+        assert set(g.in_neighbors(0)) == {3}
+
+    def test_neighbors_of_missing_vertex_empty(self):
+        g = DynamicDiGraph()
+        assert len(g.out_neighbors(42)) == 0
+        assert len(g.in_neighbors(42)) == 0
+
+    def test_degrees(self):
+        g = DynamicDiGraph([(0, 1), (0, 2), (3, 0)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(0) == 1
+        assert g.degree(0) == 3
+        assert g.degree(99) == 0
+
+    def test_neighbor_sets_track_mutations(self):
+        g = DynamicDiGraph([(0, 1)])
+        live = g.out_neighbors(0)
+        g.add_edge(0, 2)
+        assert 2 in live
+
+
+class TestUpdates:
+    def test_apply_insert(self):
+        g = DynamicDiGraph()
+        assert g.apply_update(EdgeUpdate(0, 1, True)) is True
+        assert g.has_edge(0, 1)
+
+    def test_apply_delete(self):
+        g = DynamicDiGraph([(0, 1)])
+        assert g.apply_update(EdgeUpdate(0, 1, False)) is True
+        assert not g.has_edge(0, 1)
+
+    def test_apply_noop_updates(self):
+        g = DynamicDiGraph([(0, 1)])
+        assert g.apply_update(EdgeUpdate(0, 1, True)) is False
+        assert g.apply_update(EdgeUpdate(5, 6, False)) is False
+
+    def test_apply_stream_counts_changes(self):
+        g = DynamicDiGraph()
+        stream = [
+            EdgeUpdate(0, 1, True),
+            EdgeUpdate(0, 1, True),  # duplicate: no change
+            EdgeUpdate(0, 1, False),
+        ]
+        assert g.apply_updates(stream) == 2
+        assert g.num_edges == 0
+
+    def test_update_helpers(self):
+        up = EdgeUpdate(3, 4, True)
+        assert up.edge == (3, 4)
+        assert up.symbol == "+"
+        assert up.inverted() == EdgeUpdate(3, 4, False)
+        assert str(EdgeUpdate(1, 2, False)) == "e(1, 2, -)"
+
+
+class TestViewsAndCopies:
+    def test_reverse_view_edges(self):
+        g = DynamicDiGraph([(0, 1)])
+        r = g.reverse_view()
+        assert r.has_edge(1, 0)
+        assert not r.has_edge(0, 1)
+        assert set(r.out_neighbors(1)) == {0}
+        assert set(r.in_neighbors(0)) == {1}
+
+    def test_reverse_view_is_live(self):
+        g = DynamicDiGraph()
+        r = g.reverse_view()
+        g.add_edge(5, 6)
+        assert r.has_edge(6, 5)
+        assert r.num_edges == 1
+
+    def test_copy_independent(self):
+        g = DynamicDiGraph([(0, 1)])
+        c = g.copy()
+        c.add_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g != c
+
+    def test_copy_equality(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        assert g.copy() == g
+
+    def test_induced_subgraph(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 3), (0, 3)])
+        sub = g.induced_subgraph({0, 1, 3})
+        assert set(sub.edges()) == {(0, 1), (0, 3)}
+        assert sub.num_vertices == 3
+
+    def test_induced_subgraph_ignores_unknown_vertices(self):
+        g = DynamicDiGraph([(0, 1)])
+        sub = g.induced_subgraph({0, 1, 99})
+        assert not sub.has_vertex(99)
+
+    def test_repr_mentions_sizes(self):
+        g = DynamicDiGraph([(0, 1)])
+        assert "num_vertices=2" in repr(g)
+        assert "num_edges=1" in repr(g)
+
+
+def test_equality_against_other_types():
+    assert DynamicDiGraph().__eq__(42) is NotImplemented
+
+
+def test_edge_count_consistency_under_random_ops():
+    import random
+
+    rng = random.Random(0)
+    g = DynamicDiGraph(vertices=range(10))
+    reference = set()
+    for _ in range(500):
+        u, v = rng.sample(range(10), 2)
+        if rng.random() < 0.5:
+            g.add_edge(u, v)
+            reference.add((u, v))
+        else:
+            g.remove_edge(u, v)
+            reference.discard((u, v))
+    assert set(g.edges()) == reference
+    assert g.num_edges == len(reference)

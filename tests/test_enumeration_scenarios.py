@@ -1,0 +1,112 @@
+"""Scenario tests with analytically known path counts."""
+
+import math
+
+import pytest
+
+from repro.baselines.bruteforce import count_paths
+from repro.core.enumerator import CpeEnumerator
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import grid_graph, layered_dag
+
+
+class TestLayeredDags:
+    @pytest.mark.parametrize(
+        "layers", [[2], [3], [2, 2], [3, 2], [2, 3, 2], [4, 4]]
+    )
+    def test_path_count_is_product_of_layers(self, layers):
+        graph, s, t = layered_dag(layers)
+        expected = math.prod(layers)
+        k = len(layers) + 1
+        cpe = CpeEnumerator(graph, s, t, k)
+        assert len(cpe.startup()) == expected
+
+    def test_tight_hop_constraint_cuts_everything(self):
+        graph, s, t = layered_dag([3, 3])
+        cpe = CpeEnumerator(graph, s, t, 2)  # all paths have 3 hops
+        assert cpe.startup() == []
+
+    def test_deleting_one_middle_vertex_edge_scales_count(self):
+        graph, s, t = layered_dag([3, 3])
+        cpe = CpeEnumerator(graph, s, t, 3)
+        # removing one layer-1 -> layer-2 edge kills exactly 1 path
+        result = cpe.delete_edge(1, 4)
+        assert len(result.paths) == 1
+        assert len(cpe.startup()) == 8
+
+    def test_adding_skip_edge_creates_shorter_paths(self):
+        graph, s, t = layered_dag([2, 2])
+        cpe = CpeEnumerator(graph, s, t, 3)
+        assert len(cpe.startup()) == 4
+        result = cpe.insert_edge(s, 3)  # s directly into layer 2
+        assert set(result.paths) == {(0, 3, 5)}
+
+
+class TestGrids:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (3, 3), (2, 4), (4, 3)])
+    def test_monotone_path_count_is_binomial(self, rows, cols):
+        graph = grid_graph(rows, cols)
+        s, t = 0, rows * cols - 1
+        k = rows + cols  # enough for every monotone path
+        expected = math.comb(rows + cols - 2, rows - 1)
+        cpe = CpeEnumerator(graph, s, t, k)
+        assert len(cpe.startup()) == expected
+        assert count_paths(graph, s, t, k) == expected
+
+    def test_grid_with_diagonal_shortcut(self):
+        graph = grid_graph(3, 3)
+        cpe = CpeEnumerator(graph, 0, 8, 4)
+        before = len(cpe.startup())
+        result = cpe.insert_edge(0, 4)  # diagonal into the center
+        # new paths: 0 -> 4 followed by any monotone 4 ~> 8 path (2 of
+        # them) ... each within the k=4 budget
+        assert len(result.paths) == 2
+        assert len(cpe.startup()) == before + 2
+
+
+class TestCompleteBipartiteChains:
+    def test_two_stage_chain(self):
+        # s -> {a, b, c} -> {d, e} -> t : 6 paths of length 3
+        edges = []
+        mids1 = [1, 2, 3]
+        mids2 = [4, 5]
+        for m in mids1:
+            edges.append((0, m))
+            for w in mids2:
+                edges.append((m, w))
+        for w in mids2:
+            edges.append((w, 6))
+        cpe = CpeEnumerator(DynamicDiGraph(edges), 0, 6, 3)
+        assert len(cpe.startup()) == 6
+
+    def test_clique_path_counts(self):
+        # complete digraph on 4 inner vertices between s and t
+        inner = [1, 2, 3, 4]
+        edges = [(0, v) for v in inner] + [(v, 5) for v in inner]
+        edges += [(u, v) for u in inner for v in inner if u != v]
+        graph = DynamicDiGraph(edges)
+        # paths of length L use L-1 distinct inner vertices in order:
+        # count = P(4, L-1) for L = 2..5
+        expected = {
+            2: 4,        # P(4,1)
+            3: 4 * 3,    # P(4,2)
+            4: 4 * 3 * 2,
+            5: 4 * 3 * 2 * 1,
+        }
+        for k in range(2, 6):
+            cpe = CpeEnumerator(graph.copy(), 0, 5, k)
+            want = sum(expected[L] for L in range(2, k + 1))
+            assert len(cpe.startup()) == want, f"k={k}"
+
+    def test_update_on_clique(self):
+        inner = [1, 2, 3]
+        edges = [(0, v) for v in inner] + [(v, 4) for v in inner]
+        edges += [(u, v) for u in inner for v in inner if u != v]
+        graph = DynamicDiGraph(edges)
+        cpe = CpeEnumerator(graph, 0, 4, 4)
+        before = len(cpe.startup())
+        # delete one inner-inner edge: kills paths using (1, 2) exactly:
+        # 0,1,2,4 and 0,1,2,3,4 and 0,3,1,2,4
+        result = cpe.delete_edge(1, 2)
+        assert len(result.paths) == 3
+        assert len(cpe.startup()) == before - 3

@@ -1,0 +1,179 @@
+"""Smoke + shape tests for the experiment drivers (tiny scale)."""
+
+import pytest
+
+from repro.experiments import (
+    fig6_startup,
+    fig7_update,
+    fig8_insdel,
+    fig9_vary_k,
+    fig10_hot,
+    fig11_scalability,
+    fig12_memory,
+    table1,
+)
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    ms,
+    speedup,
+    summarize,
+)
+
+TINY = ExperimentConfig(
+    scale=0.12, num_queries=2, num_updates=6, k=5, seed=3,
+    datasets=("RT", "TS"),
+)
+
+
+class TestCommon:
+    def test_add_row_validates_width(self):
+        res = ExperimentResult("X", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            res.add_row(1)
+        res.add_row(1, 2)
+        assert res.rows == [[1, 2]]
+
+    def test_series_and_row_for(self):
+        res = ExperimentResult("X", "t", ["name", "v"])
+        res.add_row("a", 1)
+        res.add_row("b", 2)
+        assert res.series("v") == [1, 2]
+        assert res.row_for("b") == ["b", 2]
+        with pytest.raises(KeyError):
+            res.row_for("c")
+
+    def test_format_and_csv(self):
+        res = ExperimentResult("Fig. X", "demo", ["name", "v"])
+        res.add_row("a", 1.234567)
+        res.notes.append("a note")
+        text = res.format()
+        assert "Fig. X" in text and "note: a note" in text
+        assert res.to_csv().splitlines()[0] == "name,v"
+
+    def test_helpers(self):
+        assert ms(0.5) == 500.0
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+        assert summarize([1.0, 3.0])["mean"] == 2.0
+        assert summarize([])["max"] == 0.0
+
+    def test_config_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_DATASETS", "RT,TS")
+        cfg = ExperimentConfig.from_env(num_queries=9)
+        assert cfg.scale == 0.5
+        assert cfg.datasets == ("RT", "TS")
+        assert cfg.num_queries == 9
+
+    def test_dataset_names_override(self):
+        cfg = ExperimentConfig(datasets=("WG",))
+        assert cfg.dataset_names(("RT",)) == ("WG",)
+        assert ExperimentConfig().dataset_names(("RT",)) == ("RT",)
+
+
+class TestTable1:
+    def test_rows_and_columns(self):
+        res = table1.run(TINY)
+        assert [row[0] for row in res.rows] == ["RT", "TS"]
+        assert "d_avg" in res.headers
+
+    def test_paper_columns_carried(self):
+        res = table1.run(TINY)
+        rt = res.row_for("RT")
+        assert rt[res.headers.index("paper |V|")] == 6_300
+
+
+class TestFig6:
+    def test_all_methods_timed(self):
+        res = fig6_startup.run(TINY)
+        assert len(res.rows) == 2
+        for row in res.rows:
+            # every timing cell is a number or "-" (CSM* on directed sets)
+            for cell in row[1:5]:
+                assert cell == "-" or cell >= 0
+
+    def test_csm_only_on_undirected(self):
+        cfg = ExperimentConfig(
+            scale=0.12, num_queries=1, k=4, datasets=("RT", "AM")
+        )
+        res = fig6_startup.run(cfg)
+        csm_col = res.headers.index("CSM*")
+        assert res.row_for("RT")[csm_col] == "-"
+        assert res.row_for("AM")[csm_col] != "-"
+
+
+class TestUpdateExperiments:
+    def test_fig7_shape(self):
+        res = fig7_update.run(TINY)
+        assert len(res.rows) == 2
+        assert "CPE mean" in res.headers
+
+    def test_fig8_split(self):
+        res = fig8_insdel.run(TINY)
+        assert {"insert mean", "delete mean"} <= set(res.headers)
+
+    def test_fig9_k_column(self):
+        res = fig9_vary_k.run(TINY, ks=(3, 4))
+        assert res.series("k") == [3, 4, 3, 4]
+
+    def test_fig10(self):
+        res = fig10_hot.run(TINY)
+        assert [row[0] for row in res.rows] == ["RT", "TS"]
+
+
+class TestFig11:
+    def test_breakdown_sums(self):
+        cfg = ExperimentConfig(scale=0.12, num_queries=1, num_updates=4, seed=3)
+        res = fig11_scalability.run(cfg, dataset="RT", ks=(3, 4))
+        for row in res.rows:
+            prep, ic, se, overall = row[1], row[2], row[3], row[4]
+            assert overall == pytest.approx(prep + ic + se, rel=1e-6)
+
+
+class TestExtraExperiments:
+    def test_throughput_runs(self):
+        from repro.experiments import throughput
+
+        cfg = ExperimentConfig(
+            scale=0.12, num_queries=1, num_updates=4, k=4, seed=3,
+            datasets=("RT",),
+        )
+        res = throughput.run(cfg)
+        assert res.headers[0] == "Dataset"
+        assert len(res.rows) == 1
+        # CPE throughput should be positive whenever updates existed
+        cpe_col = res.headers.index("CPE_update")
+        assert res.rows[0][cpe_col] >= 0
+
+    def test_ablation_runs(self):
+        from repro.experiments import ablation
+
+        cfg = ExperimentConfig(
+            scale=0.12, num_queries=1, k=4, seed=3, datasets=("RT",)
+        )
+        res = ablation.run(cfg)
+        assert len(res.rows) == 1
+
+    def test_csm_variants_runs(self):
+        from repro.experiments import csm_variants
+
+        cfg = ExperimentConfig(
+            scale=0.12, num_queries=1, num_updates=4, k=4, seed=3,
+            datasets=("RT",),
+        )
+        res = csm_variants.run(cfg)
+        if res.rows:  # tiny analogue may admit no relevant updates
+            winner_col = res.headers.index("CSM winner")
+            assert res.rows[0][winner_col] in {"lite", "DCG"}
+
+
+class TestFig12:
+    def test_columns(self):
+        cfg = ExperimentConfig(
+            scale=0.12, num_queries=1, k=4, seed=3, datasets=("RT",)
+        )
+        res = fig12_memory.run(cfg, ks=(3, 4))
+        assert res.series("k") == [3, 4]
+        for row in res.rows:
+            assert row[2] >= 0 and row[3] >= 0

@@ -1,0 +1,158 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph import generators
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = generators.gnm_random_graph(50, 120, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 120
+
+    def test_no_self_loops(self):
+        g = generators.gnm_random_graph(30, 200, seed=2)
+        assert all(u != v for u, v in g.edges())
+
+    def test_deterministic_for_seed(self):
+        a = generators.gnm_random_graph(40, 100, seed=3)
+        b = generators.gnm_random_graph(40, 100, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generators.gnm_random_graph(40, 100, seed=3)
+        b = generators.gnm_random_graph(40, 100, seed=4)
+        assert a != b
+
+    def test_dense_sampling_path(self):
+        # above 50% fill the generator switches to explicit sampling
+        g = generators.gnm_random_graph(8, 50, seed=5)
+        assert g.num_edges == 50
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            generators.gnm_random_graph(3, 7, seed=0)
+
+    def test_negative_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            generators.gnm_random_graph(-1, 0)
+
+    def test_empty(self):
+        g = generators.gnm_random_graph(0, 0)
+        assert g.num_vertices == 0
+
+
+class TestPreferentialAttachment:
+    def test_size_and_connectivity(self):
+        g = generators.preferential_attachment_graph(200, 2, seed=7)
+        assert g.num_vertices == 200
+        assert g.num_edges >= 200  # every late vertex adds ~2 edges
+
+    def test_heavy_tail(self):
+        g = generators.preferential_attachment_graph(500, 2, seed=8)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        # hubs exist: the max degree is far above the mean
+        mean = sum(degrees) / len(degrees)
+        assert degrees[0] > 4 * mean
+
+    def test_deterministic(self):
+        a = generators.preferential_attachment_graph(100, 3, seed=9)
+        b = generators.preferential_attachment_graph(100, 3, seed=9)
+        assert a == b
+
+    def test_bad_out_degree(self):
+        with pytest.raises(ValueError):
+            generators.preferential_attachment_graph(10, 0)
+
+    def test_tiny_graph(self):
+        g = generators.preferential_attachment_graph(3, 5, seed=1)
+        assert g.num_vertices == 3
+
+
+class TestSmallWorld:
+    def test_ring_structure_without_rewiring(self):
+        g = generators.small_world_graph(10, 2, 0.0, seed=1)
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+        assert g.has_edge(9, 0) and g.has_edge(9, 1)
+        assert g.num_edges == 20
+
+    def test_rewiring_changes_structure(self):
+        a = generators.small_world_graph(50, 2, 0.0, seed=2)
+        b = generators.small_world_graph(50, 2, 0.9, seed=2)
+        assert a != b
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            generators.small_world_graph(10, 2, 1.5)
+
+    def test_degenerate_sizes(self):
+        assert generators.small_world_graph(1, 2, 0.1).num_edges == 0
+        assert generators.small_world_graph(0, 2, 0.1).num_vertices == 0
+
+
+class TestCommunityGraph:
+    def test_sizes(self):
+        g = generators.community_graph(4, 10, 0.3, 12, seed=3)
+        assert g.num_vertices == 40
+
+    def test_intra_community_density(self):
+        g = generators.community_graph(2, 20, 0.5, 0, seed=4)
+        # no bridges requested: all edges stay within a community block
+        for u, v in g.edges():
+            assert (u < 20) == (v < 20)
+
+    def test_bridge_count(self):
+        g = generators.community_graph(3, 10, 0.0, 15, seed=5)
+        assert g.num_edges == 15  # intra probability 0 leaves only bridges
+
+    def test_single_community_no_bridges(self):
+        g = generators.community_graph(1, 10, 0.2, 100, seed=6)
+        assert all(u < 10 and v < 10 for u, v in g.edges())
+
+
+class TestLayeredDag:
+    def test_full_connectivity_path_count(self):
+        g, s, t = generators.layered_dag([2, 3])
+        # paths = product of layer sizes
+        from repro.baselines.bruteforce import count_paths
+
+        assert count_paths(g, s, t, 10) == 6
+
+    def test_shape(self):
+        g, s, t = generators.layered_dag([2, 2])
+        assert s == 0
+        assert t == 5
+        assert g.num_vertices == 6
+
+    def test_probability_sampling(self):
+        g_full, _, _ = generators.layered_dag([3, 3], 1.0, seed=1)
+        g_half, _, _ = generators.layered_dag([3, 3], 0.4, seed=1)
+        assert g_half.num_edges < g_full.num_edges
+
+
+class TestGrid:
+    def test_monotone_lattice_paths(self):
+        from repro.baselines.bruteforce import count_paths
+
+        g = generators.grid_graph(3, 3)
+        # monotone paths in a 3x3 grid: C(4, 2) = 6
+        assert count_paths(g, 0, 8, 10) == 6
+
+    def test_edges_only_right_and_down(self):
+        g = generators.grid_graph(2, 2)
+        assert set(g.edges()) == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+
+def test_random_update_edges():
+    g = generators.gnm_random_graph(20, 30, seed=1)
+    pairs = generators.random_update_edges(g, 10, seed=2)
+    assert len(pairs) == 10
+    assert all(u != v for u, v in pairs)
+
+
+def test_random_update_edges_needs_two_vertices():
+    from repro.graph.digraph import DynamicDiGraph
+
+    with pytest.raises(ValueError):
+        generators.random_update_edges(DynamicDiGraph(vertices=[1]), 1)

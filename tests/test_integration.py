@@ -1,0 +1,75 @@
+"""End-to-end integration scenarios mirroring the paper's applications."""
+
+import random
+
+from repro.baselines.bruteforce import path_set
+from repro.core.enumerator import CpeEnumerator
+from repro.graph import datasets
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import community_graph
+from repro.workloads.queries import hot_queries
+from repro.workloads.runner import cpe_factory, run_dynamic
+from repro.workloads.updates import relevant_update_stream
+
+
+def test_fraud_monitoring_scenario():
+    """Financial-crimes use case: monitor a suspect pair as transactions
+    stream in, maintaining a risk score from the live k-st path set."""
+    g = community_graph(6, 12, 0.25, 40, seed=5)
+    rng = random.Random(6)
+    s, t = 0, 40
+    cpe = CpeEnumerator(g, s, t, 5)
+    risk = sum(1.0 / (len(p) - 1) for p in cpe.startup())
+    for _ in range(60):
+        u, v = rng.sample(range(g.num_vertices), 2)
+        if g.has_edge(u, v):
+            result = cpe.delete_edge(u, v)
+            risk -= sum(1.0 / (len(p) - 1) for p in result.paths)
+        else:
+            result = cpe.insert_edge(u, v)
+            risk += sum(1.0 / (len(p) - 1) for p in result.paths)
+    expected = sum(1.0 / (len(p) - 1) for p in path_set(g, s, t, 5))
+    assert abs(risk - expected) < 1e-9
+
+
+def test_dataset_workload_end_to_end():
+    """A full workload on a dataset analogue: queries, updates, runner."""
+    graph = datasets.load("RT", 0.2)
+    queries = hot_queries(graph, 2, 5, top_fraction=0.10, seed=1)
+    for qi, query in enumerate(queries):
+        updates = relevant_update_stream(
+            graph, query.s, query.t, query.k, 5, 5, seed=qi
+        )
+        run = run_dynamic(cpe_factory, graph, query, updates)
+        assert len(run.update_seconds) == len(updates)
+        # replaying the stream must land on the brute-force result
+        replay = graph.copy()
+        replay.apply_updates(updates)
+        cpe = CpeEnumerator(graph.copy(), query.s, query.t, query.k)
+        for upd in updates:
+            cpe.apply(upd)
+        assert set(cpe.startup()) == path_set(
+            replay, query.s, query.t, query.k
+        )
+
+
+def test_communication_network_resilience_scenario():
+    """Terminal-reliability use case: count disjoint-ish routes while
+    links flap, verifying the maintained count matches recomputation."""
+    rng = random.Random(9)
+    g = DynamicDiGraph()
+    n = 30
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)       # ring
+        g.add_edge(i, (i + 5) % n)       # chords
+    s, t = 0, 7
+    cpe = CpeEnumerator(g, s, t, 6)
+    count = len(cpe.startup())
+    for _ in range(40):
+        u, v = rng.sample(range(n), 2)
+        if g.has_edge(u, v):
+            count -= len(cpe.delete_edge(u, v).paths)
+        else:
+            count += len(cpe.insert_edge(u, v).paths)
+    assert count == len(path_set(g, s, t, 6))
+    assert count == cpe.count_paths()

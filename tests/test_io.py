@@ -1,0 +1,72 @@
+"""Unit tests for edge-list / update-stream IO."""
+
+import pytest
+
+from repro.graph import io
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+
+
+def test_edge_list_round_trip(tmp_path):
+    g = DynamicDiGraph([(0, 1), (1, 2), (2, 0)])
+    path = tmp_path / "g.txt"
+    written = io.write_edge_list(g, path)
+    assert written == 3
+    loaded = io.read_edge_list(path)
+    assert loaded == g
+
+
+def test_read_edge_list_skips_comments(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# comment\n% other comment\n\n1 2\n2 3\n")
+    g = io.read_edge_list(path)
+    assert set(g.edges()) == {(1, 2), (2, 3)}
+
+
+def test_read_edge_list_undirected(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("1 2\n")
+    g = io.read_edge_list(path, directed=False)
+    assert g.has_edge(1, 2) and g.has_edge(2, 1)
+
+
+def test_read_edge_list_extra_columns_tolerated(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("1 2 1651341\n")  # SNAP dumps may carry timestamps
+    g = io.read_edge_list(path)
+    assert g.has_edge(1, 2)
+
+
+def test_read_edge_list_malformed(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("1\n")
+    with pytest.raises(ValueError, match="expected 'u v'"):
+        io.read_edge_list(path)
+
+
+def test_update_stream_round_trip(tmp_path):
+    stream = [EdgeUpdate(1, 2, True), EdgeUpdate(2, 3, False)]
+    path = tmp_path / "u.txt"
+    assert io.write_update_stream(stream, path) == 2
+    assert io.read_update_stream(path) == stream
+
+
+def test_read_update_stream_malformed(tmp_path):
+    path = tmp_path / "u.txt"
+    path.write_text("* 1 2\n")
+    with pytest.raises(ValueError, match="expected"):
+        io.read_update_stream(path)
+
+
+def test_read_update_stream_skips_blank_and_comments(tmp_path):
+    path = tmp_path / "u.txt"
+    path.write_text("# header\n\n+ 4 5\n")
+    assert io.read_update_stream(path) == [EdgeUpdate(4, 5, True)]
+
+
+def test_write_edge_list_header(tmp_path):
+    g = DynamicDiGraph([(0, 1)])
+    path = tmp_path / "g.txt"
+    io.write_edge_list(g, path)
+    first = path.read_text().splitlines()[0]
+    assert first.startswith("#")
+    assert "|E|=1" in first

@@ -1,0 +1,129 @@
+"""Tests for index maintenance under edge deletion (Algorithm 5 + removals)."""
+
+import random
+
+from repro.baselines.bruteforce import path_set
+from repro.core.enumerator import CpeEnumerator
+from repro.graph.digraph import DynamicDiGraph
+from tests.conftest import make_random_graph, random_query
+from tests.test_maintenance_insert import assert_index_matches_fresh
+
+
+class TestSimpleScenarios:
+    def test_delete_breaks_path(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 3)])
+        cpe = CpeEnumerator(g, 0, 3, 3)
+        assert cpe.startup() == [(0, 1, 2, 3)]
+        result = cpe.delete_edge(1, 2)
+        assert set(result.paths) == {(0, 1, 2, 3)}
+        assert cpe.startup() == []
+        assert_index_matches_fresh(cpe)
+
+    def test_delete_direct_edge(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (0, 2)])
+        cpe = CpeEnumerator(g, 0, 2, 2)
+        result = cpe.delete_edge(0, 2)
+        assert (0, 2) in result.paths
+        assert cpe.index.direct_edge is False
+        assert set(cpe.startup()) == {(0, 1, 2)}
+
+    def test_delete_missing_edge_noop(self):
+        g = DynamicDiGraph([(0, 1)])
+        cpe = CpeEnumerator(g, 0, 1, 2)
+        result = cpe.delete_edge(5, 6)
+        assert result.changed is False
+        assert result.paths == []
+
+    def test_delete_reports_each_path_once(self):
+        # deleting a middle edge shared by several paths
+        g = DynamicDiGraph(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (4, 6), (5, 7), (6, 7)]
+        )
+        cpe = CpeEnumerator(g, 0, 7, 5)
+        before = set(cpe.startup())
+        result = cpe.delete_edge(3, 4)
+        assert len(result.paths) == len(set(result.paths))
+        assert set(result.paths) == before  # every path used (3, 4)
+        assert cpe.startup() == []
+
+    def test_delete_then_reinsert_restores(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (0, 2)])
+        cpe = CpeEnumerator(g, 0, 2, 3)
+        before = set(cpe.startup())
+        deleted = cpe.delete_edge(1, 2)
+        restored = cpe.insert_edge(1, 2)
+        assert set(deleted.paths) == set(restored.paths)
+        assert set(cpe.startup()) == before
+        assert_index_matches_fresh(cpe)
+
+
+class TestTighteningEffects:
+    def test_tightening_removes_admissibility(self):
+        # deleting the shortcut pushes Dist_t back up: partial paths that
+        # relied on it must leave the index
+        g = DynamicDiGraph(
+            [(0, 1), (1, 2), (2, 6), (2, 3), (3, 4), (4, 5), (5, 6)]
+        )
+        cpe = CpeEnumerator(g, 0, 6, 4)
+        assert set(cpe.startup()) == {(0, 1, 2, 6)}
+        result = cpe.delete_edge(2, 6)
+        assert set(result.paths) == {(0, 1, 2, 6)}
+        assert_index_matches_fresh(cpe)
+        assert cpe.startup() == []
+
+    def test_tightened_vertex_beyond_horizon(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 3)])
+        cpe = CpeEnumerator(g, 0, 3, 3)
+        cpe.delete_edge(0, 1)
+        assert_index_matches_fresh(cpe)
+        assert cpe.startup() == []
+
+    def test_cycle_of_tightened_vertices(self):
+        # after deleting (0, 1), vertices 1 and 2 keep each other "alive"
+        # through a cycle; Algorithm 5's bucket phase must still settle
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 1), (1, 3), (2, 3)])
+        cpe = CpeEnumerator(g, 0, 3, 4)
+        before = set(cpe.startup())
+        result = cpe.delete_edge(0, 1)
+        assert set(result.paths) == before
+        assert cpe.startup() == []
+        assert_index_matches_fresh(cpe)
+
+
+class TestRandomizedDeletions:
+    def test_streams_match_bruteforce_and_invariant(self):
+        rng = random.Random(88)
+        for _ in range(50):
+            g = make_random_graph(rng, max_edges=16)
+            s, t, k = random_query(rng, g)
+            cpe = CpeEnumerator(g, s, t, k)
+            current = path_set(g, s, t, k)
+            edges = list(g.edges())
+            rng.shuffle(edges)
+            for u, v in edges[:8]:
+                result = cpe.delete_edge(u, v)
+                fresh = path_set(g, s, t, k)
+                assert set(result.paths) == current - fresh
+                assert len(result.paths) == len(set(result.paths))
+                current = fresh
+            assert_index_matches_fresh(cpe)
+
+    def test_mixed_streams(self):
+        rng = random.Random(99)
+        for _ in range(40):
+            g = make_random_graph(rng, max_edges=12)
+            s, t, k = random_query(rng, g)
+            cpe = CpeEnumerator(g, s, t, k)
+            current = path_set(g, s, t, k)
+            for _ in range(14):
+                u, v = rng.sample(list(g.vertices()), 2)
+                if g.has_edge(u, v):
+                    result = cpe.delete_edge(u, v)
+                    fresh = path_set(g, s, t, k)
+                    assert set(result.paths) == current - fresh
+                else:
+                    result = cpe.insert_edge(u, v)
+                    fresh = path_set(g, s, t, k)
+                    assert set(result.paths) == fresh - current
+                current = fresh
+            assert_index_matches_fresh(cpe)

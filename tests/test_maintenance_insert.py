@@ -1,0 +1,165 @@
+"""Tests for index maintenance under edge insertion (Algorithms 3-4)."""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import path_set
+from repro.core.construction import build_index
+from repro.core.enumerator import CpeEnumerator
+from repro.graph.digraph import DynamicDiGraph
+from tests.conftest import make_random_graph, random_query
+
+
+def assert_index_matches_fresh(cpe: CpeEnumerator) -> None:
+    """The maintained index must equal a fresh build with the same plan."""
+    fresh = build_index(cpe.graph, cpe.s, cpe.t, cpe.k, forced_plan=cpe.plan)
+    assert cpe.index.left.as_dict() == fresh.index.left.as_dict()
+    assert cpe.index.right.as_dict() == fresh.index.right.as_dict()
+    assert cpe.index.direct_edge == fresh.index.direct_edge
+
+
+class TestSimpleScenarios:
+    def test_insert_creates_new_path(self):
+        g = DynamicDiGraph([(0, 1), (2, 3)])
+        cpe = CpeEnumerator(g, 0, 3, 3)
+        assert cpe.startup() == []
+        result = cpe.insert_edge(1, 2)
+        assert set(result.paths) == {(0, 1, 2, 3)}
+        assert_index_matches_fresh(cpe)
+
+    def test_insert_direct_edge(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        cpe = CpeEnumerator(g, 0, 2, 3)
+        result = cpe.insert_edge(0, 2)
+        assert (0, 2) in result.paths
+        assert cpe.index.direct_edge is True
+
+    def test_insert_existing_edge_noop(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        cpe = CpeEnumerator(g, 0, 2, 3)
+        result = cpe.insert_edge(0, 1)
+        assert result.changed is False
+        assert result.paths == []
+
+    def test_insert_self_loop_no_paths(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        cpe = CpeEnumerator(g, 0, 2, 3)
+        result = cpe.insert_edge(1, 1)
+        assert result.changed is True
+        assert result.paths == []
+        assert_index_matches_fresh(cpe)
+
+    @pytest.mark.parametrize("loop_at", [0, 2])
+    def test_self_loop_at_terminal(self, loop_at):
+        # regression: a self-loop at s used to create the bogus LP base
+        # (s, s); at t, the bogus RP base (t, t)
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        cpe = CpeEnumerator(g, 0, 2, 4)
+        result = cpe.insert_edge(loop_at, loop_at)
+        assert result.paths == []
+        for path in list(cpe.index.left.paths()) + list(cpe.index.right.paths()):
+            assert len(set(path)) == len(path), f"non-simple {path}"
+        assert_index_matches_fresh(cpe)
+        result = cpe.delete_edge(loop_at, loop_at)
+        assert result.paths == []
+        assert_index_matches_fresh(cpe)
+
+    def test_insert_edge_with_new_vertices(self):
+        g = DynamicDiGraph([(0, 1)])
+        cpe = CpeEnumerator(g, 0, 3, 4)
+        cpe.insert_edge(1, 2)
+        result = cpe.insert_edge(2, 3)
+        assert set(result.paths) == {(0, 1, 2, 3)}
+
+    def test_insert_irrelevant_edge_reports_no_paths(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)], vertices=[7, 8])
+        cpe = CpeEnumerator(g, 0, 2, 2)
+        result = cpe.insert_edge(7, 8)
+        assert result.paths == []
+        assert_index_matches_fresh(cpe)
+
+
+class TestRelaxationEffects:
+    def test_shortcut_admits_previously_pruned_partials(self):
+        # A long chain to t means early partial paths were inadmissible;
+        # inserting a shortcut relaxes Dist_t and the repaired index must
+        # pick up the previously pruned partial paths.
+        g = DynamicDiGraph(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]
+        )
+        cpe = CpeEnumerator(g, 0, 6, 4)
+        assert cpe.startup() == []
+        result = cpe.insert_edge(2, 6)
+        assert set(result.paths) == {(0, 1, 2, 6)}
+        assert_index_matches_fresh(cpe)
+
+    def test_relaxation_repair_without_new_full_paths(self):
+        # the inserted edge relaxes distances but creates no st-path;
+        # the index must still gain the newly admissible partials
+        g = DynamicDiGraph([(0, 1), (1, 2), (9, 2), (9, 0)])
+        cpe = CpeEnumerator(g, 0, 2, 4)
+        before = cpe.startup()
+        result = cpe.insert_edge(2, 9)
+        assert set(before) == {(0, 1, 2)}
+        assert_index_matches_fresh(cpe)
+        assert set(cpe.startup()) == path_set(cpe.graph, 0, 2, 4)
+        assert len(result.paths) == len(
+            path_set(cpe.graph, 0, 2, 4) - set(before)
+        )
+
+    def test_pre_existing_path_extended_by_newly_relaxed_vertex(self):
+        """The UDFS counterexample (DESIGN.md §3).
+
+        After the insertion, vertex ``x`` is relaxed but already holds an
+        admissible RP path; a second relaxed vertex ``w`` one hop behind
+        it becomes admissible for the *extension* of that pre-existing
+        path.  The paper's strict pseudocode (extend only newly-added
+        paths) would miss it; the repair DFS must find it.
+        """
+        k = 8
+        edges = [
+            # long detours setting the original distances
+            (0, 10), (10, 11), (11, 12), (12, 13), (13, 14), (14, 1),  # s ~> w far
+            (1, 2),                        # w -> x
+            (2, 3), (3, 4), (4, 5), (5, 9),  # x -> ... -> t (4 hops)
+            (0, 20), (20, 21), (21, 22), (22, 2),  # s ~> x in 4 hops
+        ]
+        g = DynamicDiGraph(edges)
+        cpe = CpeEnumerator(g, 0, 9, k)
+        cpe.startup()
+        # shortcut: s -> 30 -> 1 relaxes w(=1) from 6 to 2 and x stays
+        # reachable both ways
+        cpe.insert_edge(0, 30)
+        result = cpe.insert_edge(30, 1)
+        assert_index_matches_fresh(cpe)
+        assert set(cpe.startup()) == path_set(cpe.graph, 0, 9, k)
+        assert (0, 30, 1, 2, 3, 4, 5, 9) in set(result.paths)
+
+
+class TestRandomizedInsertions:
+    def test_streams_match_bruteforce_and_invariant(self):
+        rng = random.Random(77)
+        for _ in range(50):
+            g = make_random_graph(rng, max_edges=10)
+            s, t, k = random_query(rng, g)
+            cpe = CpeEnumerator(g, s, t, k)
+            current = path_set(g, s, t, k)
+            for _ in range(8):
+                u, v = rng.sample(list(g.vertices()), 2)
+                if g.has_edge(u, v):
+                    continue
+                result = cpe.insert_edge(u, v)
+                fresh = path_set(g, s, t, k)
+                assert set(result.paths) == fresh - current
+                assert len(result.paths) == len(set(result.paths))
+                current = fresh
+            assert_index_matches_fresh(cpe)
+
+    def test_update_record_counts(self):
+        g = DynamicDiGraph([(0, 1), (2, 3)])
+        cpe = CpeEnumerator(g, 0, 3, 3)
+        result = cpe.insert_edge(1, 2)
+        assert result.record is not None
+        assert result.record.insert is True
+        assert result.record.delta_partial_paths > 0

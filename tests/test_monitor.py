@@ -1,0 +1,153 @@
+"""Tests for multi-pair and sliding-window monitoring."""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import path_set
+from repro.core.monitor import MultiPairMonitor, SlidingWindowMonitor
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+from tests.conftest import make_random_graph
+
+
+class TestMultiPairMonitor:
+    def make(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)])
+        mon = MultiPairMonitor(g, k=3)
+        return g, mon
+
+    def test_watch_returns_initial_results(self):
+        g, mon = self.make()
+        paths = mon.watch(0, 3)
+        assert set(paths) == path_set(g, 0, 3, 3)
+
+    def test_watch_duplicate_rejected(self):
+        _, mon = self.make()
+        mon.watch(0, 3)
+        with pytest.raises(ValueError):
+            mon.watch(0, 3)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPairMonitor(DynamicDiGraph(), k=-1)
+
+    def test_unwatch(self):
+        _, mon = self.make()
+        mon.watch(0, 3)
+        assert mon.unwatch(0, 3) is True
+        assert mon.unwatch(0, 3) is False
+        assert len(mon) == 0
+
+    def test_update_fans_out_to_all_pairs(self):
+        g, mon = self.make()
+        mon.watch(0, 3)
+        mon.watch(1, 3)
+        results = mon.insert_edge(0, 3)
+        assert set(results) == {(0, 3), (1, 3)}
+        assert (0, 3) in {tuple(p) for p in results[(0, 3)].paths}
+        assert results[(1, 3)].paths == []  # unaffected pair: empty delta
+
+    def test_noop_update(self):
+        _, mon = self.make()
+        mon.watch(0, 3)
+        results = mon.insert_edge(0, 1)  # already present
+        assert results[(0, 3)].changed is False
+
+    def test_per_pair_k_override(self):
+        g, mon = self.make()
+        paths = mon.watch(0, 3, k=1)
+        assert paths == []  # no direct edge yet
+        results = mon.insert_edge(0, 3)
+        assert results[(0, 3)].paths == [(0, 3)]
+
+    def test_randomized_consistency_across_pairs(self):
+        rng = random.Random(17)
+        for _ in range(20):
+            g = make_random_graph(rng, n_lo=5, n_hi=8, max_edges=14)
+            mon = MultiPairMonitor(g, k=4)
+            vertices = list(g.vertices())
+            pairs = []
+            for _ in range(3):
+                s, t = rng.sample(vertices, 2)
+                if (s, t) not in mon.pairs():
+                    mon.watch(s, t)
+                    pairs.append((s, t))
+            for _ in range(12):
+                u, v = rng.sample(vertices, 2)
+                update = EdgeUpdate(u, v, not g.has_edge(u, v))
+                mon.apply(update)
+            for (s, t), paths in mon.results().items():
+                assert set(paths) == path_set(g, s, t, 4)
+
+    def test_enumerator_for(self):
+        _, mon = self.make()
+        mon.watch(0, 3)
+        assert mon.enumerator_for(0, 3).s == 0
+        with pytest.raises(KeyError):
+            mon.enumerator_for(9, 9)
+
+
+class TestSlidingWindowMonitor:
+    def make(self, window=10.0):
+        g = DynamicDiGraph(vertices=range(5))
+        mon = MultiPairMonitor(g, k=3)
+        mon.watch(0, 3)
+        return g, mon, SlidingWindowMonitor(mon, window)
+
+    def test_window_must_be_positive(self):
+        _, mon, _ = self.make()
+        with pytest.raises(ValueError):
+            SlidingWindowMonitor(mon, 0)
+
+    def test_arrivals_create_paths(self):
+        g, mon, win = self.make()
+        win.offer(0, 1, 1.0)
+        win.offer(1, 2, 2.0)
+        event = win.offer(2, 3, 3.0)
+        assert event.new_paths((0, 3)) == [(0, 1, 2, 3)]
+        assert win.live_edges() == 3
+
+    def test_expiration_deletes_paths(self):
+        g, mon, win = self.make(window=5.0)
+        win.offer(0, 1, 0.0)
+        win.offer(1, 2, 1.0)
+        win.offer(2, 3, 2.0)
+        event = win.offer(4, 4 - 4, 6.0)  # edge (4, 0) at t=6: (0,1) expired
+        assert (0, 1, 2, 3) in event.deleted_paths((0, 3))
+        assert not g.has_edge(0, 1)
+
+    def test_reoffer_extends_lifetime(self):
+        g, mon, win = self.make(window=5.0)
+        win.offer(0, 1, 0.0)
+        win.offer(0, 1, 4.0)  # refresh
+        event = win.advance(6.0)  # original expiry passed, refreshed not
+        assert g.has_edge(0, 1)
+        assert event.expirations == []
+        event = win.advance(9.5)
+        assert not g.has_edge(0, 1)
+        assert len(event.expirations) == 1
+
+    def test_timestamps_must_be_monotone(self):
+        _, _, win = self.make()
+        win.offer(0, 1, 5.0)
+        with pytest.raises(ValueError):
+            win.offer(1, 2, 4.0)
+        with pytest.raises(ValueError):
+            win.advance(1.0)
+
+    def test_replay_matches_manual_state(self):
+        g, mon, win = self.make(window=3.0)
+        stream = [(0, 1, 0.0), (1, 2, 1.0), (2, 3, 2.0), (0, 2, 5.0)]
+        events = win.replay(stream)
+        assert len(events) == 4
+        # at t=5 with window 3, every edge offered at t<=2 has expired
+        live = {(u, v) for u, v in g.edges()}
+        assert live == {(0, 2)}
+        # maintained result equals brute force on the live graph
+        paths = mon.results()[(0, 3)]
+        assert set(paths) == path_set(g, 0, 3, 3)
+
+    def test_now_tracks_stream(self):
+        _, _, win = self.make()
+        win.offer(0, 1, 2.5)
+        assert win.now == 2.5

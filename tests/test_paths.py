@@ -1,0 +1,72 @@
+"""Unit tests for path helpers."""
+
+import pytest
+
+from repro.core import paths
+from repro.graph.digraph import DynamicDiGraph
+
+
+def test_hops():
+    assert paths.hops((1,)) == 0
+    assert paths.hops((1, 2, 3)) == 2
+
+
+def test_is_simple():
+    assert paths.is_simple((1, 2, 3))
+    assert not paths.is_simple((1, 2, 1))
+
+
+def test_exists_in():
+    g = DynamicDiGraph([(1, 2), (2, 3)])
+    assert paths.exists_in((1, 2, 3), g)
+    assert not paths.exists_in((1, 3), g)
+    assert paths.exists_in((1,), g)  # no edges to check
+
+
+class TestIsKstPath:
+    g = DynamicDiGraph([(0, 1), (1, 2), (0, 2)])
+
+    def test_valid(self):
+        assert paths.is_k_st_path((0, 1, 2), self.g, 0, 2, 2)
+        assert paths.is_k_st_path((0, 2), self.g, 0, 2, 1)
+
+    def test_wrong_endpoints(self):
+        assert not paths.is_k_st_path((0, 1), self.g, 0, 2, 3)
+        assert not paths.is_k_st_path((1, 2), self.g, 0, 2, 3)
+
+    def test_too_long(self):
+        assert not paths.is_k_st_path((0, 1, 2), self.g, 0, 2, 1)
+
+    def test_not_simple(self):
+        g = DynamicDiGraph([(0, 1), (1, 0), (0, 2)])
+        assert not paths.is_k_st_path((0, 1, 0, 2), g, 0, 2, 5)
+
+    def test_single_vertex_rejected(self):
+        assert not paths.is_k_st_path((0,), self.g, 0, 0, 3)
+
+    def test_missing_edge(self):
+        assert not paths.is_k_st_path((0, 2, 1), self.g, 0, 1, 3)
+
+
+class TestJoin:
+    def test_joins_at_cut_vertex(self):
+        assert paths.join((0, 1, 2), (2, 3)) == (0, 1, 2, 3)
+
+    def test_mismatched_endpoints(self):
+        with pytest.raises(ValueError):
+            paths.join((0, 1), (2, 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paths.join((), (1, 2))
+
+
+def test_uses_edge():
+    assert paths.uses_edge((0, 1, 2), 1, 2)
+    assert not paths.uses_edge((0, 1, 2), 2, 1)
+    assert not paths.uses_edge((0, 1, 2), 0, 2)
+
+
+def test_canonical_ordering():
+    unordered = [(1, 2, 3), (1, 2), (0, 9)]
+    assert paths.canonical(unordered) == ((0, 9), (1, 2), (1, 2, 3))

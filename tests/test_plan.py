@@ -1,0 +1,86 @@
+"""Unit tests for the join plan."""
+
+import pytest
+
+from repro.core.plan import JoinPlan, balanced_plan, plan_from_growth
+
+
+class TestValidation:
+    def test_empty_plan_for_small_k(self):
+        assert JoinPlan(0, ()).pairs == ()
+        assert JoinPlan(1, ()).pairs == ()
+
+    def test_small_k_rejects_pairs(self):
+        with pytest.raises(ValueError):
+            JoinPlan(1, ((1, 1),))
+
+    def test_must_start_at_one_one(self):
+        with pytest.raises(ValueError, match="start"):
+            JoinPlan(3, ((2, 1), (2, 2)))
+
+    def test_steps_must_grow_one_side(self):
+        with pytest.raises(ValueError, match="grow one side"):
+            JoinPlan(4, ((1, 1), (2, 2)))
+
+    def test_final_pair_must_sum_to_k(self):
+        with pytest.raises(ValueError, match="sum to k"):
+            JoinPlan(5, ((1, 1), (2, 1)))
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            JoinPlan(-1, ())
+
+    def test_valid_plan(self):
+        plan = JoinPlan(4, ((1, 1), (2, 1), (2, 2)))
+        assert plan.l == 2
+        assert plan.r == 2
+
+
+class TestLookups:
+    plan = JoinPlan(5, ((1, 1), (1, 2), (2, 2), (3, 2)))
+
+    def test_pair_for_length(self):
+        assert self.plan.pair_for_length(2) == (1, 1)
+        assert self.plan.pair_for_length(4) == (2, 2)
+        assert self.plan.pair_for_length(5) == (3, 2)
+
+    def test_lengths_cover_2_to_k(self):
+        assert sorted(self.plan.lengths()) == [2, 3, 4, 5]
+
+    def test_iteration_and_len(self):
+        assert len(self.plan) == 4
+        assert list(self.plan)[0] == (1, 1)
+
+    def test_l_r_zero_when_empty(self):
+        empty = JoinPlan(1, ())
+        assert empty.l == 0
+        assert empty.r == 0
+
+
+class TestBalancedPlan:
+    @pytest.mark.parametrize("k", range(2, 10))
+    def test_final_cut_is_ceil_half(self, k):
+        plan = balanced_plan(k)
+        assert plan.l == (k + 1) // 2
+        assert plan.r == k // 2
+
+    def test_every_length_covered_once(self):
+        plan = balanced_plan(7)
+        assert sorted(i + j for i, j in plan) == list(range(2, 8))
+
+    def test_k_one_empty(self):
+        assert balanced_plan(1).pairs == ()
+
+
+class TestPlanFromGrowth:
+    def test_growth_sequence(self):
+        plan = plan_from_growth(4, ["left", "right"])
+        assert plan.pairs == ((1, 1), (2, 1), (2, 2))
+
+    def test_wrong_number_of_steps(self):
+        with pytest.raises(ValueError):
+            plan_from_growth(5, ["left"])
+
+    def test_unknown_side(self):
+        with pytest.raises(ValueError, match="unknown growth side"):
+            plan_from_growth(3, ["sideways"])

@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.bruteforce import path_set
+from repro.core.construction import build_index
+from repro.core.distance import DistanceMap
+from repro.core.enumerator import CpeEnumerator
+from repro.core.paths import hops, is_simple
+from repro.core.plan import balanced_plan
+from repro.graph.digraph import DynamicDiGraph
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_n=8, max_edges=18):
+    """A small random digraph as (n, edge list)."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    pairs = st.tuples(
+        st.integers(0, n - 1), st.integers(0, n - 1)
+    ).filter(lambda e: e[0] != e[1])
+    edges = draw(st.lists(pairs, max_size=max_edges))
+    return n, edges
+
+
+@st.composite
+def graph_queries(draw):
+    n, edges = draw(graphs())
+    s = draw(st.integers(0, n - 1))
+    t = draw(st.integers(0, n - 1).filter(lambda v: v != s))
+    k = draw(st.integers(1, 6))
+    return n, edges, s, t, k
+
+
+@st.composite
+def update_streams(draw):
+    n, edges, s, t, k = draw(graph_queries())
+    pairs = st.tuples(
+        st.integers(0, n - 1), st.integers(0, n - 1)
+    ).filter(lambda e: e[0] != e[1])
+    stream = draw(st.lists(pairs, max_size=12))
+    return n, edges, s, t, k, stream
+
+
+def build(n, edges):
+    return DynamicDiGraph(edges, vertices=range(n))
+
+
+@given(graph_queries())
+@SETTINGS
+def test_startup_equals_bruteforce(case):
+    n, edges, s, t, k = case
+    g = build(n, edges)
+    cpe = CpeEnumerator(g.copy(), s, t, k)
+    got = cpe.startup()
+    assert len(got) == len(set(got))
+    assert set(got) == path_set(g, s, t, k)
+
+
+@given(update_streams())
+@SETTINGS
+def test_update_stream_deltas_are_exact(case):
+    n, edges, s, t, k, stream = case
+    g = build(n, edges)
+    cpe = CpeEnumerator(g, s, t, k)
+    current = path_set(g, s, t, k)
+    for u, v in stream:
+        if g.has_edge(u, v):
+            result = cpe.delete_edge(u, v)
+            fresh = path_set(g, s, t, k)
+            assert set(result.paths) == current - fresh
+        else:
+            result = cpe.insert_edge(u, v)
+            fresh = path_set(g, s, t, k)
+            assert set(result.paths) == fresh - current
+        assert len(result.paths) == len(set(result.paths))
+        current = fresh
+    assert set(cpe.startup()) == current
+
+
+@given(update_streams())
+@SETTINGS
+def test_index_invariant_after_stream(case):
+    n, edges, s, t, k, stream = case
+    g = build(n, edges)
+    cpe = CpeEnumerator(g, s, t, k)
+    for u, v in stream:
+        if g.has_edge(u, v):
+            cpe.delete_edge(u, v)
+        else:
+            cpe.insert_edge(u, v)
+    fresh = build_index(g, s, t, k, forced_plan=cpe.plan)
+    assert cpe.index.left.as_dict() == fresh.index.left.as_dict()
+    assert cpe.index.right.as_dict() == fresh.index.right.as_dict()
+    assert cpe.index.direct_edge == fresh.index.direct_edge
+
+
+@given(update_streams())
+@SETTINGS
+def test_distance_maps_stay_exact(case):
+    n, edges, s, t, k, stream = case
+    g = build(n, edges)
+    d = DistanceMap(g, s, horizon=k)
+    for u, v in stream:
+        if g.has_edge(u, v):
+            g.remove_edge(u, v)
+            d.tighten_delete(u, v)
+        else:
+            g.add_edge(u, v)
+            d.relax_insert(u, v)
+        assert d.is_consistent()
+
+
+@given(graph_queries())
+@SETTINGS
+def test_stored_partials_are_admissible(case):
+    n, edges, s, t, k = case
+    g = build(n, edges)
+    result = build_index(g, s, t, k)
+    l, r = result.index.plan.l, result.index.plan.r
+    for length, vertex, path in result.index.left.entries():
+        assert is_simple(path)
+        assert path[0] == s and path[-1] == vertex and t not in path
+        assert 1 <= hops(path) == length <= l
+        assert length + result.dist_t.get(vertex) <= k
+    for length, vertex, path in result.index.right.entries():
+        assert is_simple(path)
+        assert path[0] == vertex and path[-1] == t and s not in path
+        assert 1 <= hops(path) == length <= r
+        assert length + result.dist_s.get(vertex) <= k
+
+
+@given(st.integers(min_value=2, max_value=12))
+def test_balanced_plan_properties(k):
+    plan = balanced_plan(k)
+    assert sorted(i + j for i, j in plan) == list(range(2, k + 1))
+    assert plan.l + plan.r == k
+    assert abs(plan.l - plan.r) <= 1
+
+
+@given(graph_queries())
+@SETTINGS
+def test_inverse_updates_restore_result(case):
+    n, edges, s, t, k = case
+    g = build(n, edges)
+    cpe = CpeEnumerator(g, s, t, k)
+    before = set(cpe.startup())
+    target = next(iter(g.edges()), None)
+    if target is None:
+        return
+    u, v = target
+    deleted = cpe.delete_edge(u, v)
+    restored = cpe.insert_edge(u, v)
+    assert set(deleted.paths) == set(restored.paths)
+    assert set(cpe.startup()) == before

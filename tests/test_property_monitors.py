@@ -1,0 +1,123 @@
+"""Property-based tests for monitors, batching and the CSM-DCG index."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.apps.cycles import CycleMonitor
+from repro.baselines.bruteforce import path_set
+from repro.baselines.csm_dcg import CsmDcgEnumerator
+from repro.core.batch import CpeBatch, compress_stream
+from repro.core.enumerator import CpeEnumerator
+from repro.core.monitor import MultiPairMonitor
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+from tests.test_apps_cycles import brute_cycles
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def stream_cases(draw, max_n=7, max_edges=14, max_stream=10):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    pairs = st.tuples(
+        st.integers(0, n - 1), st.integers(0, n - 1)
+    ).filter(lambda e: e[0] != e[1])
+    edges = draw(st.lists(pairs, max_size=max_edges))
+    stream = draw(st.lists(pairs, max_size=max_stream))
+    k = draw(st.integers(1, 5))
+    return n, edges, stream, k
+
+
+@given(stream_cases())
+@SETTINGS
+def test_multipair_monitor_consistency(case):
+    n, edges, stream, k = case
+    graph = DynamicDiGraph(edges, vertices=range(n))
+    monitor = MultiPairMonitor(graph, k)
+    monitor.watch(0, n - 1)
+    if n > 3:
+        monitor.watch(1, 2)
+    for u, v in stream:
+        monitor.apply(EdgeUpdate(u, v, not graph.has_edge(u, v)))
+    for (s, t), paths in monitor.results().items():
+        assert set(paths) == path_set(graph, s, t, k)
+        assert len(paths) == len(set(paths))
+
+
+@given(stream_cases())
+@SETTINGS
+def test_cycle_monitor_counts(case):
+    n, edges, stream, k = case
+    graph = DynamicDiGraph(edges, vertices=range(n))
+    monitor = CycleMonitor(graph, 0, k)
+    for u, v in stream:
+        if graph.has_edge(u, v):
+            monitor.delete_edge(u, v)
+        else:
+            monitor.insert_edge(u, v)
+    expected = brute_cycles(graph, 0, k)
+    assert monitor.cycles() == expected
+    assert monitor.cycle_count() == len(expected)
+
+
+@given(stream_cases())
+@SETTINGS
+def test_batch_equals_sequential(case):
+    n, edges, stream, k = case
+    graph = DynamicDiGraph(edges, vertices=range(n))
+    before = path_set(graph, 0, n - 1, k)
+    updates = []
+    scratch = graph.copy()
+    for u, v in stream:
+        upd = EdgeUpdate(u, v, not scratch.has_edge(u, v))
+        scratch.apply_update(upd)
+        updates.append(upd)
+    batch = CpeBatch(CpeEnumerator(graph, 0, n - 1, k))
+    result = batch.apply(updates, compress=True)
+    after = path_set(graph, 0, n - 1, k)
+    assert set(result.new_paths) == after - before
+    assert set(result.deleted_paths) == before - after
+
+
+@given(stream_cases())
+@SETTINGS
+def test_compress_stream_net_equivalence(case):
+    n, edges, stream, k = case
+    graph = DynamicDiGraph(edges, vertices=range(n))
+    updates = [
+        EdgeUpdate(u, v, insert)
+        for (u, v), insert in zip(
+            stream, [i % 2 == 0 for i in range(len(stream))]
+        )
+    ]
+    full = graph.copy()
+    for upd in updates:
+        full.apply_update(upd)
+    net = graph.copy()
+    for upd in compress_stream(graph, updates):
+        assert net.apply_update(upd)
+    assert net == full
+
+
+@given(stream_cases())
+@SETTINGS
+def test_csm_dcg_counters_and_deltas(case):
+    n, edges, stream, k = case
+    graph = DynamicDiGraph(edges, vertices=range(n))
+    enum = CsmDcgEnumerator(graph, 0, n - 1, k)
+    current = path_set(graph, 0, n - 1, k)
+    for u, v in stream:
+        if graph.has_edge(u, v):
+            result = enum.delete_edge(u, v)
+            fresh = path_set(graph, 0, n - 1, k)
+            assert set(result.paths) == current - fresh
+        else:
+            result = enum.insert_edge(u, v)
+            fresh = path_set(graph, 0, n - 1, k)
+            assert set(result.paths) == fresh - current
+        current = fresh
+    assert enum.counters_consistent()
+    assert set(enum.startup()) == current

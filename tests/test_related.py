@@ -1,0 +1,139 @@
+"""Tests for the related-problem algorithms (Yen, Johnson)."""
+
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.baselines.bruteforce import path_set
+from repro.graph.digraph import DynamicDiGraph
+from repro.related.johnson import count_cycles, elementary_cycles
+from repro.related.yen import k_shortest_simple_paths
+from tests.conftest import make_random_graph
+
+
+def brute_k_shortest(graph, s, t, count):
+    """All simple paths, sorted (hops, lexicographic), truncated."""
+    everything = sorted(
+        path_set(graph, s, t, graph.num_vertices),
+        key=lambda p: (len(p), tuple(repr(v) for v in p)),
+    )
+    return everything[:count]
+
+
+def brute_cycles(graph, max_length=None):
+    """All elementary circuits in canonical rotated form."""
+    vertices = list(graph.vertices())
+    limit = max_length if max_length is not None else len(vertices)
+    out = set()
+    for v in vertices:
+        if graph.has_edge(v, v) and limit >= 1:
+            out.add((v, v))
+    for size in range(2, limit + 1):
+        for combo in permutations(vertices, size):
+            if all(
+                graph.has_edge(a, b)
+                for a, b in zip(combo, combo[1:] + combo[:1])
+            ):
+                pivot = min(range(size), key=lambda i: repr(combo[i]))
+                rotated = combo[pivot:] + combo[:pivot]
+                out.add(rotated + (rotated[0],))
+    return out
+
+
+class TestYen:
+    def test_shortest_first(self, diamond):
+        got = k_shortest_simple_paths(diamond, 0, 3, 3)
+        assert got[0] == (0, 3)
+        assert set(got[1:]) == {(0, 1, 3), (0, 2, 3)}
+
+    def test_count_truncation(self, diamond):
+        assert len(k_shortest_simple_paths(diamond, 0, 3, 2)) == 2
+        assert len(k_shortest_simple_paths(diamond, 0, 3, 99)) == 3
+
+    def test_no_path(self):
+        g = DynamicDiGraph([(0, 1)], vertices=[5])
+        assert k_shortest_simple_paths(g, 0, 5, 3) == []
+
+    def test_source_equals_target(self, diamond):
+        assert k_shortest_simple_paths(diamond, 0, 0, 3) == []
+
+    def test_nonpositive_count(self, diamond):
+        assert k_shortest_simple_paths(diamond, 0, 3, 0) == []
+
+    def test_lengths_nondecreasing(self):
+        rng = random.Random(2)
+        for _ in range(25):
+            g = make_random_graph(rng, max_edges=16)
+            s, t = rng.sample(list(g.vertices()), 2)
+            got = k_shortest_simple_paths(g, s, t, 6)
+            lengths = [len(p) for p in got]
+            assert lengths == sorted(lengths)
+            assert len(set(got)) == len(got)
+
+    def test_matches_bruteforce_on_small_graphs(self):
+        rng = random.Random(3)
+        for _ in range(25):
+            g = make_random_graph(rng, n_lo=4, n_hi=6, max_edges=12)
+            s, t = rng.sample(list(g.vertices()), 2)
+            got = k_shortest_simple_paths(g, s, t, 4)
+            want = brute_k_shortest(g, s, t, 4)
+            # same multiset of lengths (tie order may differ within a length)
+            assert [len(p) for p in got] == [len(p) for p in want]
+            assert set(got) <= path_set(g, s, t, g.num_vertices)
+
+
+class TestJohnson:
+    def test_triangle(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 0)])
+        assert set(elementary_cycles(g)) == {(0, 1, 2, 0)}
+
+    def test_two_cycles_sharing_a_vertex(self):
+        g = DynamicDiGraph([(0, 1), (1, 0), (1, 2), (2, 1)])
+        assert set(elementary_cycles(g)) == {(0, 1, 0), (1, 2, 1)}
+
+    def test_self_loops(self):
+        g = DynamicDiGraph([(0, 0), (1, 1), (0, 1)])
+        assert set(elementary_cycles(g)) == {(0, 0), (1, 1)}
+
+    def test_dag_has_no_cycles(self):
+        g = DynamicDiGraph([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert count_cycles(g) == 0
+
+    def test_complete_graph_count(self):
+        # K4 directed both ways: cycles of length 1? none; 2: C(4,2)=6;
+        # 3: 2 * C(4,3) = 8; 4: 3 * 2 = 6  -> total 20
+        g = DynamicDiGraph(
+            (u, v) for u in range(4) for v in range(4) if u != v
+        )
+        assert count_cycles(g) == 20
+
+    def test_length_bound(self):
+        g = DynamicDiGraph(
+            (u, v) for u in range(4) for v in range(4) if u != v
+        )
+        assert count_cycles(g, max_length=2) == 6
+        assert count_cycles(g, max_length=3) == 14
+
+    def test_matches_bruteforce_randomized(self):
+        rng = random.Random(5)
+        for _ in range(25):
+            g = make_random_graph(rng, n_lo=3, n_hi=6, max_edges=14)
+            if rng.random() < 0.3:
+                v = rng.choice(list(g.vertices()))
+                g.add_edge(v, v)
+            got = list(elementary_cycles(g))
+            assert len(got) == len(set(got)), "duplicates"
+            assert set(got) == brute_cycles(g)
+
+    def test_bounded_matches_bruteforce_randomized(self):
+        rng = random.Random(6)
+        for _ in range(20):
+            g = make_random_graph(rng, n_lo=3, n_hi=6, max_edges=14)
+            bound = rng.randint(1, 4)
+            got = set(elementary_cycles(g, max_length=bound))
+            assert got == brute_cycles(g, bound)
+
+    def test_zero_bound(self):
+        g = DynamicDiGraph([(0, 0)])
+        assert count_cycles(g, max_length=0) == 0

@@ -1,0 +1,119 @@
+"""Tests for MaintainedResultSet and the markdown report builder."""
+
+import random
+
+import pytest
+
+from repro.core.enumerator import CpeEnumerator
+from repro.core.results import MaintainedResultSet
+from repro.experiments.report import build_report, load_csv, summarize
+from repro.graph.digraph import DynamicDiGraph
+from tests.conftest import make_random_graph, random_query
+
+
+class TestMaintainedResultSet:
+    def make(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        return MaintainedResultSet(CpeEnumerator(g, 0, 3, 3))
+
+    def test_initial_state(self):
+        rs = self.make()
+        assert len(rs) == 2
+        assert (0, 2, 3) in rs
+        assert rs.length_histogram() == {2: 1, 3: 1}
+
+    def test_insert_folds_in(self):
+        rs = self.make()
+        rs.insert_edge(0, 3)
+        assert rs.count() == 3
+        assert rs.length_histogram()[1] == 1
+        assert rs.shortest() == (0, 3)
+
+    def test_delete_folds_out(self):
+        rs = self.make()
+        rs.delete_edge(2, 3)
+        assert rs.count() == 0
+        assert rs.shortest() is None
+        assert rs.length_histogram() == {}
+
+    def test_aggregate(self):
+        rs = self.make()
+        assert rs.aggregate(lambda p: 1.0) == pytest.approx(2.0)
+        assert rs.aggregate(lambda p: len(p) - 1) == pytest.approx(5.0)
+
+    def test_apply_and_iteration(self):
+        from repro.graph.digraph import EdgeUpdate
+
+        rs = self.make()
+        rs.apply(EdgeUpdate(0, 3, True))
+        assert set(rs) == rs.paths()
+
+    def test_audit_after_random_stream(self):
+        rng = random.Random(41)
+        for _ in range(20):
+            g = make_random_graph(rng, max_edges=14)
+            s, t, k = random_query(rng, g)
+            rs = MaintainedResultSet(CpeEnumerator(g, s, t, k))
+            for _ in range(12):
+                u, v = rng.sample(list(g.vertices()), 2)
+                if g.has_edge(u, v):
+                    rs.delete_edge(u, v)
+                else:
+                    rs.insert_edge(u, v)
+            assert rs.audit()
+
+
+@pytest.fixture
+def csv_dir(tmp_path):
+    from repro.cli import main
+
+    code = main(
+        [
+            "experiment", "density",
+            "--updates", "6", "--seed", "3", "--csv",
+            "--save", str(tmp_path),
+        ]
+    )
+    assert code == 0
+    (tmp_path / "fig7.csv").write_text(
+        "Dataset,CPE mean,CPE p99.9,PathEnum mean,PathEnum p99.9,"
+        "CSM* mean,CSM* p99.9,Δ|P| avg\n"
+        "XX,0.1,0.5,10,20,30,60,2\n"
+        "YY,0.2,0.9,4,8,6,9,1\n",
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+class TestReport:
+    def test_load_csv(self, csv_dir):
+        rows = load_csv(csv_dir / "fig7.csv")
+        assert rows[0]["Dataset"] == "XX"
+
+    def test_summarize_fig7_speedups(self, csv_dir):
+        rows = load_csv(csv_dir / "fig7.csv")
+        lines = summarize("fig7", rows)
+        assert any("100.0x" in line for line in lines)  # 10 / 0.1
+
+    def test_build_report(self, csv_dir):
+        report = build_report(csv_dir, title="Test run")
+        assert report.startswith("# Test run")
+        assert "## fig7" in report
+        assert "## density" in report
+        assert "| Dataset |" in report
+
+    def test_build_report_empty_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no known experiment"):
+            build_report(tmp_path)
+
+    def test_report_main(self, csv_dir, tmp_path, capsys):
+        from repro.experiments.report import main as report_main
+
+        out = tmp_path / "report.md"
+        assert report_main([str(csv_dir), str(out)]) == 0
+        assert out.exists()
+        assert report_main([]) == 2
+
+    def test_summarize_unknown_columns_fallback(self):
+        assert summarize("table1", [{"a": "1"}]) == ["- 1 rows"]
+        assert summarize("fig9", []) == ["- (empty table)"]

@@ -1,0 +1,88 @@
+"""Tests for the workload runner."""
+
+import pytest
+
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+from repro.workloads.queries import Query
+from repro.workloads.runner import (
+    DynamicRun,
+    bcdfs_runner,
+    bcjoin_runner,
+    cpe_factory,
+    cpe_startup_runner,
+    csm_factory,
+    csm_startup_runner,
+    pathenum_runner,
+    recompute_factory,
+    run_dynamic,
+    run_static,
+    tdfs_runner,
+)
+
+
+@pytest.fixture
+def graph():
+    return DynamicDiGraph([(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+ALL_STATIC = [
+    cpe_startup_runner,
+    pathenum_runner,
+    bcjoin_runner,
+    bcdfs_runner,
+    tdfs_runner,
+    csm_startup_runner,
+]
+
+
+@pytest.mark.parametrize("runner", ALL_STATIC)
+def test_run_static_counts_paths(runner, graph):
+    result = run_static(runner, graph, Query(0, 3, 3))
+    assert result.num_paths == 2  # (0,1,2,3) and (0,2,3)
+    assert result.seconds >= 0
+
+
+@pytest.mark.parametrize(
+    "factory", [cpe_factory, csm_factory, recompute_factory]
+)
+def test_run_dynamic_records_every_update(factory, graph):
+    updates = [EdgeUpdate(1, 3, True), EdgeUpdate(1, 3, False)]
+    run = run_dynamic(factory, graph, Query(0, 3, 3), updates)
+    assert run.startup_paths == 2
+    assert len(run.update_seconds) == 2
+    assert run.delta_counts == [1, 1]  # (0, 1, 3) appears then disappears
+    assert run.inserts == [True, False]
+    # the caller's graph must stay untouched
+    assert not graph.has_edge(1, 3)
+
+
+class TestDynamicRunSummaries:
+    def make(self):
+        run = DynamicRun(Query(0, 1, 3), 0.0, 0)
+        run.update_seconds = [0.1, 0.2, 0.3, 0.4]
+        run.delta_counts = [1, 2, 3, 4]
+        run.inserts = [True, False, True, False]
+        return run
+
+    def test_mean(self):
+        assert self.make().mean_update_seconds == pytest.approx(0.25)
+
+    def test_percentile_small_sample_is_max(self):
+        assert self.make().percentile_update_seconds(0.999) == pytest.approx(0.4)
+
+    def test_split_means(self):
+        run = self.make()
+        assert run.mean_seconds_for(True) == pytest.approx(0.2)
+        assert run.mean_seconds_for(False) == pytest.approx(0.3)
+        assert run.mean_delta_for(True) == pytest.approx(2.0)
+        assert run.mean_delta_for(False) == pytest.approx(3.0)
+
+    def test_total_delta(self):
+        assert self.make().total_delta == 10
+
+    def test_empty_run_safe(self):
+        run = DynamicRun(Query(0, 1, 3), 0.0, 0)
+        assert run.mean_update_seconds == 0.0
+        assert run.percentile_update_seconds() == 0.0
+        assert run.mean_seconds_for(True) == 0.0
+        assert run.mean_delta_for(False) == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the SCC substrate."""
+
+import random
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import gnm_random_graph
+from repro.graph.scc import (
+    component_map,
+    condensation,
+    is_acyclic,
+    strongly_connected_components,
+)
+from tests.conftest import make_random_graph
+
+
+def brute_scc(graph):
+    """SCCs via reachability closure (O(V * E), fine for small graphs)."""
+    def reachable(src):
+        seen = {src}
+        stack = [src]
+        while stack:
+            v = stack.pop()
+            for w in graph.out_neighbors(v):
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return seen
+
+    reach = {v: reachable(v) for v in graph.vertices()}
+    components = set()
+    for v in graph.vertices():
+        comp = frozenset(
+            w for w in reach[v] if v in reach[w]
+        )
+        components.add(comp)
+    return {frozenset(c) for c in components}
+
+
+class TestTarjan:
+    def test_single_cycle(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 0)])
+        comps = strongly_connected_components(g)
+        assert [set(c) for c in comps] == [{0, 1, 2}]
+
+    def test_dag_all_singletons(self):
+        g = DynamicDiGraph([(0, 1), (1, 2), (0, 2)])
+        comps = strongly_connected_components(g)
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 3
+
+    def test_two_components_with_bridge(self):
+        g = DynamicDiGraph([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        comps = {frozenset(c) for c in strongly_connected_components(g)}
+        assert comps == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_reverse_topological_order(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        comps = strongly_connected_components(g)
+        # sinks come first in Tarjan's output
+        assert comps.index({2}) < comps.index({0})
+
+    def test_isolated_vertices(self):
+        g = DynamicDiGraph(vertices=[7, 8])
+        assert len(strongly_connected_components(g)) == 2
+
+    def test_matches_bruteforce_randomized(self):
+        rng = random.Random(8)
+        for _ in range(40):
+            g = make_random_graph(rng, max_edges=20)
+            got = {
+                frozenset(c) for c in strongly_connected_components(g)
+            }
+            assert got == brute_scc(g)
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 5000
+        g = DynamicDiGraph([(i, i + 1) for i in range(n - 1)])
+        g.add_edge(n - 1, 0)  # one giant cycle
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert len(comps[0]) == n
+
+
+class TestDerived:
+    def test_component_map_consistency(self):
+        g = DynamicDiGraph([(0, 1), (1, 0), (1, 2)])
+        mapping = component_map(g)
+        assert mapping[0] == mapping[1]
+        assert mapping[2] != mapping[0]
+
+    def test_condensation_is_acyclic(self):
+        rng = random.Random(9)
+        for _ in range(20):
+            g = make_random_graph(rng, max_edges=20)
+            dag, mapping = condensation(g)
+            assert is_acyclic(dag)
+            for u, v in g.edges():
+                if mapping[u] != mapping[v]:
+                    assert dag.has_edge(mapping[u], mapping[v])
+
+    def test_is_acyclic(self):
+        assert is_acyclic(DynamicDiGraph([(0, 1), (1, 2)]))
+        assert not is_acyclic(DynamicDiGraph([(0, 1), (1, 0)]))
+        assert not is_acyclic(DynamicDiGraph([(0, 0)]))
+
+    def test_random_gnm_component_count_sane(self):
+        g = gnm_random_graph(40, 30, seed=10)
+        comps = strongly_connected_components(g)
+        assert sum(len(c) for c in comps) == 40

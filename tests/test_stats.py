@@ -1,0 +1,94 @@
+"""Unit tests for graph statistics (Table I machinery)."""
+
+import pytest
+
+from repro.graph import stats
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import grid_graph
+
+
+def chain(n):
+    return DynamicDiGraph([(i, i + 1) for i in range(n - 1)])
+
+
+class TestAverageDegree:
+    def test_simple(self):
+        g = DynamicDiGraph([(0, 1), (1, 2)])
+        assert stats.average_degree(g) == pytest.approx(2 * 2 / 3)
+
+    def test_empty(self):
+        assert stats.average_degree(DynamicDiGraph()) == 0.0
+
+
+class TestEccentricity:
+    def test_chain_distances_are_undirected(self):
+        g = chain(5)
+        distances = stats.undirected_bfs_eccentricity(g, 4)
+        # direction is ignored, so vertex 4 reaches everything
+        assert max(distances) == 4
+        assert len(distances) == 5
+
+    def test_disconnected_component_not_reached(self):
+        g = DynamicDiGraph([(0, 1)], vertices=[9])
+        distances = stats.undirected_bfs_eccentricity(g, 0)
+        assert len(distances) == 2
+
+
+class TestDiameterEstimate:
+    def test_chain_exact(self):
+        result = stats.diameter_estimate(chain(10))
+        assert result.diameter == 9
+        assert result.num_vertices == 10
+        assert result.num_edges == 9
+
+    def test_grid(self):
+        result = stats.diameter_estimate(grid_graph(4, 4))
+        assert result.diameter == 6  # undirected Manhattan diameter
+
+    def test_sampled_is_lower_bound(self):
+        g = chain(200)
+        sampled = stats.diameter_estimate(g, sample_size=8, seed=1)
+        assert sampled.diameter <= 199
+        assert sampled.diameter > 0
+
+    def test_empty_graph(self):
+        result = stats.diameter_estimate(DynamicDiGraph())
+        assert result.diameter == 0
+        assert result.effective_diameter_90 == 0.0
+
+    def test_effective_diameter_bounded_by_diameter(self):
+        result = stats.diameter_estimate(chain(20))
+        assert result.effective_diameter_90 <= result.diameter
+
+    def test_as_row_keys(self):
+        row = stats.diameter_estimate(chain(3)).as_row()
+        assert set(row) == {"|V|", "|E|", "d_avg", "D", "D90"}
+
+
+class TestDegreePercentile:
+    def test_top_fraction(self):
+        g = DynamicDiGraph([(0, 1), (0, 2), (0, 3), (1, 2)])
+        top = stats.degree_percentile_vertices(g, 0.25)
+        assert top == [0]
+
+    def test_full_fraction_returns_everything(self):
+        g = DynamicDiGraph([(0, 1)])
+        assert set(stats.degree_percentile_vertices(g, 1.0)) == {0, 1}
+
+    def test_at_least_one_vertex(self):
+        g = DynamicDiGraph([(0, 1)])
+        assert len(stats.degree_percentile_vertices(g, 0.001)) == 1
+
+    def test_invalid_fraction(self):
+        g = DynamicDiGraph([(0, 1)])
+        with pytest.raises(ValueError):
+            stats.degree_percentile_vertices(g, 0.0)
+        with pytest.raises(ValueError):
+            stats.degree_percentile_vertices(g, 1.5)
+
+
+def test_percentile_interpolation():
+    assert stats._percentile([0, 10], 0.5) == pytest.approx(5.0)
+    assert stats._percentile([1, 2, 3, 4], 0.9) == pytest.approx(3.7)
+    assert stats._percentile([7], 0.9) == 7.0
+    assert stats._percentile([], 0.9) == 0.0

@@ -1,0 +1,84 @@
+"""Longer randomized stress runs (still seconds, not minutes).
+
+These push the maintained structures through thousands of updates on
+mid-size graphs — larger state than the unit tests, catching drift that
+only accumulates (counter leaks, bucket residue, stale direct-edge
+flags).
+"""
+
+import random
+
+from repro.baselines.bruteforce import path_set
+from repro.core.enumerator import CpeEnumerator
+from repro.core.verify import verify_enumerator
+from repro.graph.generators import (
+    community_graph,
+    gnm_random_graph,
+    preferential_attachment_graph,
+)
+
+
+def churn(cpe, rng, steps):
+    vertices = list(cpe.graph.vertices())
+    total_delta = 0
+    for _ in range(steps):
+        u, v = rng.sample(vertices, 2)
+        if cpe.graph.has_edge(u, v):
+            total_delta -= len(cpe.delete_edge(u, v).paths)
+        else:
+            total_delta += len(cpe.insert_edge(u, v).paths)
+    return total_delta
+
+
+def test_long_stream_on_random_graph():
+    rng = random.Random(71)
+    graph = gnm_random_graph(120, 360, seed=72)
+    cpe = CpeEnumerator(graph, 0, 77, 5)
+    initial = len(cpe.startup())
+    delta = churn(cpe, rng, 1500)
+    assert initial + delta == len(cpe.startup())
+    assert verify_enumerator(cpe) == []
+
+
+def test_long_stream_on_power_law_graph():
+    rng = random.Random(73)
+    graph = preferential_attachment_graph(200, 2, seed=74)
+    hubs = sorted(graph.vertices(), key=graph.degree, reverse=True)
+    cpe = CpeEnumerator(graph, hubs[0], hubs[3], 4)
+    initial = len(cpe.startup())
+    delta = churn(cpe, rng, 1200)
+    final = set(cpe.startup())
+    assert initial + delta == len(final)
+    assert final == path_set(graph, hubs[0], hubs[3], 4)
+    assert verify_enumerator(cpe) == []
+
+
+def test_long_stream_on_community_graph():
+    rng = random.Random(75)
+    graph = community_graph(5, 20, 0.15, 60, seed=76)
+    cpe = CpeEnumerator(graph, 0, 99, 5)
+    churn(cpe, rng, 1000)
+    assert verify_enumerator(cpe) == []
+    # distance maps stayed exact through the whole run
+    assert cpe._dist_s.is_consistent()
+    assert cpe._dist_t.is_consistent()
+
+
+def test_heavy_delete_phase_then_rebuild_phase():
+    """Tear most of the graph down, then rebuild it: both directions of
+    maintenance exercised at scale, ending equal to a fresh start."""
+    rng = random.Random(77)
+    graph = gnm_random_graph(80, 320, seed=78)
+    cpe = CpeEnumerator(graph, 1, 42, 5)
+    cpe.startup()
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    removed = edges[: len(edges) * 3 // 4]
+    for u, v in removed:
+        cpe.delete_edge(u, v)
+    assert verify_enumerator(cpe) == []
+    for u, v in removed:
+        cpe.insert_edge(u, v)
+    assert verify_enumerator(cpe) == []
+    fresh = CpeEnumerator(graph.copy(), 1, 42, 5)
+    assert set(cpe.startup()) == set(fresh.startup())

@@ -1,0 +1,102 @@
+"""Tests for query and update-stream generation."""
+
+import pytest
+
+from repro.core.distance import DistanceMap
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import gnm_random_graph, preferential_attachment_graph
+from repro.workloads.queries import Query, hot_queries, random_queries
+from repro.workloads.updates import relevant_update_stream
+
+
+class TestQueries:
+    def test_random_queries_count_and_distinct_endpoints(self):
+        g = gnm_random_graph(50, 200, seed=1)
+        qs = random_queries(g, 10, 4, seed=2)
+        assert len(qs) == 10
+        assert all(q.s != q.t and q.k == 4 for q in qs)
+
+    def test_random_queries_deterministic(self):
+        g = gnm_random_graph(50, 200, seed=1)
+        assert random_queries(g, 5, 4, seed=3) == random_queries(g, 5, 4, seed=3)
+
+    def test_connected_filter_prefers_reachable_pairs(self):
+        # two disconnected dense blobs: unconstrained sampling would mix
+        # them about half the time
+        g = gnm_random_graph(20, 100, seed=4)
+        other = gnm_random_graph(20, 100, seed=5)
+        for u, v in other.edges():
+            g.add_edge(u + 100, v + 100)
+        qs = random_queries(g, 20, 6, seed=6, connected=True)
+        mixed = sum(1 for q in qs if (q.s < 100) != (q.t < 100))
+        assert mixed == 0
+
+    def test_unreachable_pool_falls_back(self):
+        g = DynamicDiGraph(vertices=range(5))  # no edges at all
+        qs = random_queries(g, 3, 4, seed=7, connected=True)
+        assert len(qs) == 3  # does not loop forever
+
+    def test_hot_queries_use_high_degree_pool(self):
+        g = preferential_attachment_graph(300, 2, seed=8)
+        qs = hot_queries(g, 10, 5, top_fraction=0.01, seed=9)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        cutoff = degrees[max(1, int(len(degrees) * 0.01)) - 1]
+        for q in qs:
+            assert g.degree(q.s) >= cutoff
+            assert g.degree(q.t) >= cutoff
+
+    def test_hot_queries_tiny_pool_falls_back(self):
+        g = DynamicDiGraph([(0, 1)])
+        qs = hot_queries(g, 2, 3, top_fraction=0.001, seed=1)
+        assert len(qs) == 2
+
+    def test_query_str(self):
+        assert str(Query(1, 2, 6)) == "q(1, 2, 6)"
+
+
+class TestUpdateStream:
+    def make_graph(self):
+        return gnm_random_graph(60, 240, seed=10)
+
+    def test_stream_is_valid_when_replayed(self):
+        g = self.make_graph()
+        stream = relevant_update_stream(g, 0, 1, 6, 10, 10, seed=11)
+        assert stream, "expected a non-empty stream"
+        replay = g.copy()
+        for upd in stream:
+            assert replay.apply_update(upd), f"invalid update {upd}"
+
+    def test_stream_respects_relevance_inequality(self):
+        g = self.make_graph()
+        k = 6
+        ds = DistanceMap(g, 0, horizon=k)
+        dt = DistanceMap(g.reverse_view(), 1, horizon=k)
+        for upd in relevant_update_stream(g, 0, 1, k, 8, 8, seed=12):
+            assert ds.get(upd.u) + 1 + dt.get(upd.v) <= k
+
+    def test_original_graph_untouched(self):
+        g = self.make_graph()
+        snapshot = g.copy()
+        relevant_update_stream(g, 0, 1, 6, 10, 10, seed=13)
+        assert g == snapshot
+
+    def test_insert_delete_split(self):
+        g = self.make_graph()
+        stream = relevant_update_stream(
+            g, 0, 1, 6, 7, 3, seed=14, interleave=False
+        )
+        inserts = [u for u in stream if u.insert]
+        deletes = [u for u in stream if not u.insert]
+        assert len(inserts) <= 7 and len(deletes) <= 3
+        assert stream[: len(inserts)] == inserts  # non-interleaved order
+
+    def test_empty_when_induced_subgraph_trivial(self):
+        g = DynamicDiGraph([(0, 1)], vertices=[8, 9])
+        stream = relevant_update_stream(g, 8, 9, 3, 5, 5, seed=15)
+        assert stream == []
+
+    def test_deterministic(self):
+        g = self.make_graph()
+        a = relevant_update_stream(g, 0, 1, 6, 5, 5, seed=16)
+        b = relevant_update_stream(g, 0, 1, 6, 5, 5, seed=16)
+        assert a == b
