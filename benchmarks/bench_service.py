@@ -1,0 +1,93 @@
+"""Serving-path benchmark: wire-level throughput and tail latency.
+
+Drives a mixed query/update traffic stream (the same shape as
+``repro bench-serve``) through a live in-process server, records the
+run under ``benchmarks/results/service_throughput.txt``, and asserts
+the serving-path invariants: every request answered, zero protocol
+errors, and warm queries cheaper than cold ones.
+
+Knobs: ``REPRO_BENCH_SERVE_REQUESTS`` (default 1000) sizes the load,
+on top of the shared ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_*`` knobs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.graph import datasets
+from repro.service.client import ServiceClient
+from repro.service.engine import PathQueryEngine
+from repro.service.loadgen import run_load
+from repro.service.server import serve_in_thread
+from repro.workloads.traffic import service_traffic
+
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", 1000))
+DATASET = "WG"
+
+
+@pytest.fixture(scope="module")
+def load_report(config):
+    graph = datasets.load(DATASET, config.scale)
+    ops = service_traffic(
+        graph,
+        REQUESTS,
+        config.k,
+        update_fraction=0.2,
+        distinct_pairs=8,
+        seed=config.seed,
+    )
+    engine = PathQueryEngine(graph, default_k=config.k)
+    handle = serve_in_thread(engine)
+    try:
+        report = run_load(handle.host, handle.port, ops)
+        stats = engine.op_stats()
+    finally:
+        handle.stop()
+    updates = sum(1 for op in ops if op[0] == "update")
+    text = "\n".join([
+        f"Service load run — {DATASET} scale {config.scale}, "
+        f"{len(ops)} requests ({updates} updates, 8 query pairs)",
+        report.format(),
+        f"cache       hits {stats['cache']['hits']} · "
+        f"misses {stats['cache']['misses']} · "
+        f"hit rate {stats['cache']['hit_rate']}",
+        f"updates     applied {stats['updates']['applied']} · "
+        f"noop {stats['updates']['noop']}",
+    ])
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_throughput.txt").write_text(
+        text + "\n", encoding="utf-8"
+    )
+    return report
+
+
+def bench_service_sustains_load(load_report):
+    """Every request is answered; no protocol errors; sane latency."""
+    assert load_report.requests == REQUESTS
+    assert load_report.ok == REQUESTS
+    assert load_report.errors == {}
+    assert load_report.throughput > 0
+    assert load_report.percentile(0.99) >= load_report.percentile(0.50)
+
+
+def bench_service_warm_query(benchmark, config):
+    """One warm (cache-hit) query round trip over the wire."""
+    graph = datasets.load(DATASET, config.scale)
+    ops = service_traffic(graph, 4, config.k, update_fraction=0.0,
+                          distinct_pairs=2, seed=config.seed)
+    query = next(op for op in ops if op[0] == "query")
+    engine = PathQueryEngine(graph, default_k=config.k)
+    handle = serve_in_thread(engine)
+    try:
+        with ServiceClient(handle.host, handle.port) as client:
+            client.query(query[1], query[2], query[3])  # warm the index
+
+            benchmark(client.query, query[1], query[2], query[3])
+    finally:
+        handle.stop()
+    assert engine.cache.stats().hits >= 1

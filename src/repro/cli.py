@@ -7,7 +7,11 @@ Commands:
 - ``stats DATASET`` — Table I statistics for one dataset analogue;
 - ``experiment NAME`` — run one experiment driver (``table1``, ``fig6``
   … ``fig12``, or ``all``) and print its table;
-- ``datasets`` — list the registered dataset analogues.
+- ``datasets`` — list the registered dataset analogues;
+- ``serve`` — run the path-query service (newline-delimited JSON over
+  TCP; see :mod:`repro.service`);
+- ``bench-serve`` — load-test an in-process server and report
+  throughput and p50/p99 latency.
 """
 
 from __future__ import annotations
@@ -130,6 +134,46 @@ def _build_parser() -> argparse.ArgumentParser:
     vf.add_argument("k", type=int)
     vf.add_argument("--stream", help="update stream file to apply first")
     vf.add_argument("--scale", type=float, default=0.25)
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve path queries over TCP (newline-delimited JSON)",
+    )
+    sv.add_argument("dataset")
+    sv.add_argument("--scale", type=float, default=0.25)
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7471)
+    sv.add_argument("--k", type=int, default=6,
+                    help="default hop constraint for watch requests")
+    sv.add_argument("--capacity", type=int, default=64,
+                    help="admission-control bound on in-flight requests")
+    sv.add_argument("--cache-budget", type=int, default=4 << 20,
+                    help="warm-index cache budget in bytes")
+    sv.add_argument(
+        "--watch", action="append", default=[], metavar="S:T",
+        help="pre-register a watched pair, repeatable (e.g. --watch 3:42)",
+    )
+
+    bs = sub.add_parser(
+        "bench-serve",
+        help="load-test an in-process server; throughput and p50/p99",
+    )
+    bs.add_argument("dataset")
+    bs.add_argument("--requests", type=int, default=1000)
+    bs.add_argument("--scale", type=float, default=0.25)
+    bs.add_argument("--k", type=int, default=6)
+    bs.add_argument("--update-fraction", type=float, default=0.2)
+    bs.add_argument("--pairs", type=int, default=8,
+                    help="distinct query pairs in the traffic mix")
+    bs.add_argument("--watch", type=int, default=2,
+                    help="how many of the pairs to pre-watch on the server")
+    bs.add_argument("--capacity", type=int, default=64)
+    bs.add_argument("--cache-budget", type=int, default=4 << 20)
+    bs.add_argument("--deadline-ms", type=float, default=None,
+                    help="per-request deadline passed with every request")
+    bs.add_argument("--seed", type=int, default=7)
+    bs.add_argument("--save", metavar="FILE", default=None,
+                    help="also write the JSON summary to FILE")
     return parser
 
 
@@ -155,7 +199,113 @@ def main(argv: Optional[List[str]] = None) -> int:
         return report_main(argv_tail)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args)
     return _cmd_experiment(args)
+
+
+def _parse_pairs(raw_pairs):
+    pairs = []
+    for raw in raw_pairs:
+        try:
+            s_text, t_text = raw.split(":", 1)
+            pairs.append((int(s_text), int(t_text)))
+        except ValueError:
+            raise ValueError(f"bad pair {raw!r}, expected S:T")
+    return pairs
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.graph import datasets
+    from repro.service.engine import PathQueryEngine
+    from repro.service.server import PathQueryServer
+
+    try:
+        pairs = _parse_pairs(args.watch)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    graph = datasets.load(args.dataset, args.scale)
+    engine = PathQueryEngine(
+        graph, default_k=args.k, cache_budget_bytes=args.cache_budget
+    )
+    for s, t in pairs:
+        initial = engine.op_watch(s, t)
+        print(f"watch ({s}, {t}): {initial['count']} initial paths")
+
+    async def main() -> None:
+        server = PathQueryServer(
+            engine, host=args.host, port=args.port, capacity=args.capacity
+        )
+        await server.start()
+        print(f"serving {args.dataset} (scale {args.scale}) on "
+              f"{server.host}:{server.port} — Ctrl-C to stop")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.shutdown()
+
+    # On 3.11+ asyncio.run turns Ctrl-C into a task cancellation that
+    # serve_forever absorbs, so main() may return without raising
+    # KeyboardInterrupt; print the farewell on both paths.
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    print("\nshut down")
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.graph import datasets
+    from repro.service.engine import PathQueryEngine
+    from repro.service.loadgen import run_load
+    from repro.service.server import serve_in_thread
+    from repro.workloads.traffic import service_traffic
+
+    graph = datasets.load(args.dataset, args.scale)
+    ops = service_traffic(
+        graph,
+        args.requests,
+        args.k,
+        update_fraction=args.update_fraction,
+        distinct_pairs=args.pairs,
+        seed=args.seed,
+    )
+    engine = PathQueryEngine(
+        graph, default_k=args.k, cache_budget_bytes=args.cache_budget
+    )
+    watched = 0
+    for op in ops:
+        if watched >= args.watch:
+            break
+        if op[0] == "query" and (op[1], op[2]) not in engine.monitor.pairs():
+            engine.op_watch(op[1], op[2], k=op[3])
+            watched += 1
+    handle = serve_in_thread(engine, capacity=args.capacity)
+    try:
+        report = run_load(
+            handle.host, handle.port, ops, deadline_ms=args.deadline_ms
+        )
+    finally:
+        handle.stop()
+    print(f"bench-serve {args.dataset} scale {args.scale}: "
+          f"{len(ops)} requests "
+          f"({sum(1 for op in ops if op[0] == 'update')} updates, "
+          f"{watched} watched pairs)")
+    print(report.format())
+    if args.save:
+        import json
+
+        with open(args.save, "w", encoding="utf-8") as fh:
+            json.dump(report.summary(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"summary written to {args.save}")
+    return 0 if sum(report.errors.values()) == 0 else 1
 
 
 def _cmd_verify(args) -> int:

@@ -15,7 +15,7 @@
 
 from repro.core.enumerator import CpeEnumerator, UpdateResult
 from repro.core.index import PartialPathIndex
-from repro.core.monitor import MultiPairMonitor, SlidingWindowMonitor
+from repro.core.monitor import MultiPairMonitor, PairKey, SlidingWindowMonitor
 from repro.core.plan import JoinPlan
 
 __all__ = [
@@ -25,4 +25,5 @@ __all__ = [
     "JoinPlan",
     "MultiPairMonitor",
     "SlidingWindowMonitor",
+    "PairKey",
 ]

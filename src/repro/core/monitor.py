@@ -21,9 +21,11 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.enumerator import CpeEnumerator, UpdateResult
+from repro.core.paths import Path
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
 
 PairKey = Tuple[Vertex, Vertex]
+"""A watched ``(s, t)`` pair — the key type of every per-pair mapping."""
 
 
 class MultiPairMonitor:
@@ -43,7 +45,9 @@ class MultiPairMonitor:
         self._enumerators: Dict[PairKey, CpeEnumerator] = {}
 
     # ------------------------------------------------------------------
-    def watch(self, s: Vertex, t: Vertex, k: Optional[int] = None) -> List:
+    def watch(
+        self, s: Vertex, t: Vertex, k: Optional[int] = None
+    ) -> List[Path]:
         """Register a pair; returns its initial result set."""
         key = (s, t)
         if key in self._enumerators:
@@ -89,7 +93,7 @@ class MultiPairMonitor:
             for key, enumerator in self._enumerators.items()
         }
 
-    def results(self) -> Dict[PairKey, List]:
+    def results(self) -> Dict[PairKey, List[Path]]:
         """The current full result set of every pair."""
         return {
             key: enumerator.startup()
@@ -105,14 +109,14 @@ class WindowEvent:
     arrivals: Dict[PairKey, UpdateResult] = field(default_factory=dict)
     expirations: List[Dict[PairKey, UpdateResult]] = field(default_factory=list)
 
-    def new_paths(self, pair: PairKey) -> List:
+    def new_paths(self, pair: PairKey) -> List[Path]:
         """New paths for ``pair`` from this step's arrival."""
         result = self.arrivals.get(pair)
         return list(result.paths) if result else []
 
-    def deleted_paths(self, pair: PairKey) -> List:
+    def deleted_paths(self, pair: PairKey) -> List[Path]:
         """Deleted paths for ``pair`` from this step's expirations."""
-        out: List = []
+        out: List[Path] = []
         for results in self.expirations:
             result = results.get(pair)
             if result:

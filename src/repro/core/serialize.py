@@ -71,6 +71,26 @@ def restore(state: dict) -> CpeEnumerator:
     return CpeEnumerator.from_parts(graph, index, dist_s, dist_t)
 
 
+def snapshot_size_bytes(cpe: CpeEnumerator, include_graph: bool = True) -> int:
+    """Serialized size of an enumerator's state, in bytes.
+
+    The measure is the length of the compact JSON encoding of
+    :func:`snapshot` — the exact cost of persisting (or shipping) the
+    enumerator.  With ``include_graph=False`` the shared graph payload
+    (``vertices`` / ``edges``) is excluded, leaving only the per-query
+    state: plan, direct-edge flag and the partial path index.  That
+    variant is the sizing hook used by the service layer's index cache
+    (:class:`repro.service.cache.IndexCache`), where many cached
+    queries share one graph and only the per-query state competes for
+    the memory budget.
+    """
+    state = snapshot(cpe)
+    if not include_graph:
+        del state["vertices"]
+        del state["edges"]
+    return len(json.dumps(state, separators=(",", ":")).encode("utf-8"))
+
+
 def save_enumerator(cpe: CpeEnumerator, path: PathLike) -> None:
     """Write a snapshot to ``path`` as JSON."""
     with open(path, "w", encoding="utf-8") as handle:

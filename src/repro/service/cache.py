@@ -1,0 +1,188 @@
+"""An LRU cache of warm per-query enumerators under a memory budget.
+
+Ad-hoc ``query`` requests pay the full ``CPE_startup`` construction on
+first contact; repeated queries for the same ``(s, t, k)`` — the common
+shape of monitoring traffic — should reuse the warm index and pay only
+the (output-linear) enumeration.  :class:`IndexCache` keeps recently
+used enumerators alive, bounded by the *serialized* size of their
+per-query state (:func:`repro.core.serialize.snapshot_size_bytes` with
+``include_graph=False``, since every cached entry shares the one service
+graph), and evicts least-recently-used entries once the budget is
+exceeded.
+
+The cache does not keep entries consistent by itself: the owning engine
+must replay every graph update into each cached enumerator (via
+:meth:`CpeEnumerator.observe`) exactly as it does for watched pairs —
+see :meth:`IndexCache.observe_all`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.enumerator import CpeEnumerator, UpdateResult
+from repro.core.serialize import snapshot_size_bytes
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
+
+CacheKey = Tuple[Vertex, Vertex, int]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache effectiveness and occupancy."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+    entries: int = 0
+    current_bytes: int = 0
+    budget_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served warm (0.0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly view (for the ``stats`` protocol op)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "entries": self.entries,
+            "current_bytes": self.current_bytes,
+            "budget_bytes": self.budget_bytes,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class IndexCache:
+    """LRU cache of :class:`CpeEnumerator` keyed by ``(s, t, k)``.
+
+    Parameters
+    ----------
+    graph:
+        The shared service graph; every cached enumerator is built over
+        (and observes updates to) this one instance.
+    budget_bytes:
+        Memory budget for the per-query state of all entries combined.
+        An entry whose state alone exceeds the budget is *bypassed*:
+        built and returned, but not retained.
+    """
+
+    def __init__(self, graph: DynamicDiGraph, budget_bytes: int = 4 << 20) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        self.graph = graph
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[CacheKey, CpeEnumerator]" = OrderedDict()
+        self._sizes: Dict[CacheKey, int] = {}
+        self._current_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._bypasses = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[CacheKey]:
+        """Cached keys, least recently used first."""
+        return iter(tuple(self._entries))
+
+    def peek(self, key: CacheKey) -> Optional[CpeEnumerator]:
+        """The cached enumerator without touching recency or counters."""
+        return self._entries.get(key)
+
+    # ------------------------------------------------------------------
+    def get_or_build(self, s: Vertex, t: Vertex, k: int) -> CpeEnumerator:
+        """The warm enumerator for ``(s, t, k)``, building it on a miss.
+
+        A hit refreshes recency; a miss constructs the index
+        (``CPE_startup``'s build phase), measures it, and either caches
+        it (evicting LRU entries past the budget) or bypasses the cache
+        when the entry alone is larger than the whole budget.
+        """
+        key = (s, t, k)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self._misses += 1
+        entry = CpeEnumerator(self.graph, s, t, k)
+        size = snapshot_size_bytes(entry, include_graph=False)
+        if size > self.budget_bytes:
+            self._bypasses += 1
+            return entry
+        self._entries[key] = entry
+        self._sizes[key] = size
+        self._current_bytes += size
+        self._shrink_to_budget()
+        return entry
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop one entry; True if it was cached."""
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self._current_bytes -= self._sizes.pop(key)
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+        self._sizes.clear()
+        self._current_bytes = 0
+
+    # ------------------------------------------------------------------
+    def observe_all(self, update: EdgeUpdate) -> Dict[CacheKey, UpdateResult]:
+        """Repair every cached index for an already-applied graph update.
+
+        Entries whose index actually changed are re-measured (an update
+        can grow an entry past the budget), then LRU eviction restores
+        the budget.  Recency is *not* touched: repairing an index is
+        bookkeeping, not use.
+        """
+        results: Dict[CacheKey, UpdateResult] = {}
+        resized = False
+        for key in tuple(self._entries):
+            entry = self._entries[key]
+            result = entry.observe(update)
+            results[key] = result
+            if result.record is None or result.record.changed:
+                size = snapshot_size_bytes(entry, include_graph=False)
+                self._current_bytes += size - self._sizes[key]
+                self._sizes[key] = size
+                resized = True
+        if resized:
+            self._shrink_to_budget()
+        return results
+
+    def _shrink_to_budget(self) -> None:
+        while self._current_bytes > self.budget_bytes and self._entries:
+            key, _ = self._entries.popitem(last=False)
+            self._current_bytes -= self._sizes.pop(key)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """A point-in-time snapshot of the cache counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            bypasses=self._bypasses,
+            entries=len(self._entries),
+            current_bytes=self._current_bytes,
+            budget_bytes=self.budget_bytes,
+        )

@@ -1,0 +1,272 @@
+"""The serving core: one graph, many queries, one update path.
+
+:class:`PathQueryEngine` owns a single :class:`DynamicDiGraph` and
+serves the six protocol operations over it:
+
+- **watched pairs** are long-lived registrations routed through a
+  :class:`~repro.core.monitor.MultiPairMonitor`-style registry: every
+  update repairs each watched index and reports exactly its new/deleted
+  paths (the paper's continuous-monitoring deployment);
+- **ad-hoc queries** run through :class:`CpeEnumerator`, kept warm in an
+  LRU :class:`~repro.service.cache.IndexCache` so repeated queries skip
+  the ``CPE_startup`` construction;
+- **updates** mutate the graph exactly once and are observed by every
+  live index (watched and cached); ``batch_update`` first coalesces the
+  batch through :func:`~repro.core.batch.compress_stream` so churny
+  streams (insert+delete of the same edge) cost nothing — one repair
+  pass over the net delta.
+
+The engine is synchronous and single-threaded by design; concurrency
+control (queueing, deadlines, backpressure) lives in
+:mod:`repro.service.admission` in front of it.
+
+Every public method returns a JSON-ready dict in the shape the wire
+protocol's ``result`` field documents, raising
+:class:`~repro.service.protocol.ServiceError` subclasses for invalid
+requests — the server layer only ever encodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.batch import compress_stream
+from repro.core.enumerator import CpeEnumerator
+from repro.core.monitor import MultiPairMonitor, PairKey
+from repro.core.paths import Path
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
+from repro.service.cache import IndexCache
+from repro.service.protocol import (
+    AlreadyWatchedError,
+    BadRequestError,
+    InternalError,
+    NotFoundError,
+    encode_paths,
+)
+
+UpdateTriple = Tuple[Vertex, Vertex, bool]
+
+
+class PathQueryEngine:
+    """Serve path queries, watches and updates over one dynamic graph.
+
+    Parameters
+    ----------
+    graph:
+        The served graph; mutated in place by ``update`` operations.
+    default_k:
+        Hop constraint used by ``watch`` requests that omit ``k``.
+    cache_budget_bytes:
+        Memory budget of the warm-index cache (see
+        :class:`~repro.service.cache.IndexCache`).
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        default_k: int = 6,
+        cache_budget_bytes: int = 4 << 20,
+    ) -> None:
+        self.graph = graph
+        self.default_k = default_k
+        self.monitor = MultiPairMonitor(graph, default_k)
+        self.cache = IndexCache(graph, budget_bytes=cache_budget_bytes)
+        self._served: Dict[str, int] = {}
+        self._updates_applied = 0
+        self._updates_cancelled = 0
+        self._updates_noop = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, op: str, args: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one decoded protocol operation."""
+        handler = getattr(self, f"op_{op}", None)
+        if handler is None:
+            raise InternalError(f"no handler for op {op!r}")
+        self._served[op] = self._served.get(op, 0) + 1
+        return handler(**args)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def op_query(self, s: Vertex, t: Vertex, k: int) -> Dict[str, Any]:
+        """All current k-st paths for ``(s, t, k)``."""
+        paths, source = self._query_paths(s, t, k)
+        return {
+            "paths": encode_paths(paths),
+            "count": len(paths),
+            "source": source,
+        }
+
+    def _query_paths(
+        self, s: Vertex, t: Vertex, k: int
+    ) -> Tuple[List[Path], str]:
+        watched = self._watched_enumerator(s, t)
+        if watched is not None and watched.k == k:
+            return watched.startup(), "watched"
+        key = (s, t, k)
+        warm = key in self.cache
+        try:
+            enumerator = self.cache.get_or_build(s, t, k)
+        except ValueError as exc:  # s == t, k < 0
+            raise BadRequestError(str(exc)) from exc
+        if warm:
+            source = "hit"
+        elif key in self.cache:
+            source = "miss"
+        else:
+            source = "bypass"
+        return enumerator.startup(), source
+
+    def _watched_enumerator(
+        self, s: Vertex, t: Vertex
+    ) -> Optional[CpeEnumerator]:
+        try:
+            return self.monitor.enumerator_for(s, t)
+        except KeyError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Watches
+    # ------------------------------------------------------------------
+    def op_watch(
+        self, s: Vertex, t: Vertex, k: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Register a monitored pair; returns its initial result set."""
+        try:
+            paths = self.monitor.watch(s, t, k)
+        except ValueError as exc:
+            if (s, t) in self.monitor.pairs():
+                raise AlreadyWatchedError(str(exc)) from exc
+            raise BadRequestError(str(exc)) from exc
+        return {"paths": encode_paths(paths), "count": len(paths)}
+
+    def op_unwatch(self, s: Vertex, t: Vertex) -> Dict[str, Any]:
+        """Drop a monitored pair."""
+        if not self.monitor.unwatch(s, t):
+            raise NotFoundError(f"pair ({s!r}, {t!r}) is not watched")
+        return {"removed": True}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def op_update(self, u: Vertex, v: Vertex, insert: bool) -> Dict[str, Any]:
+        """Apply one edge update; per-pair delta paths for watched pairs."""
+        update = EdgeUpdate(u, v, insert)
+        deltas = self._apply_one(update)
+        if deltas is None:
+            self._updates_noop += 1
+            return {"changed": False, "pairs": []}
+        self._updates_applied += 1
+        pairs = [
+            {
+                "s": pair[0],
+                "t": pair[1],
+                "paths": encode_paths(paths),
+                "count": len(paths),
+            }
+            for pair, paths in deltas.items()
+            if paths
+        ]
+        return {"changed": True, "pairs": pairs}
+
+    def op_batch_update(
+        self, updates: Sequence[UpdateTriple]
+    ) -> Dict[str, Any]:
+        """Coalesce a batch and apply its net updates in one pass.
+
+        The batch is first compressed against the current graph
+        (:func:`compress_stream`): an insert+delete of the same edge
+        within the batch cancels to nothing.  Per watched pair, paths
+        that appear and disappear *within* the surviving sequence are
+        cancelled too, so ``pairs`` reports the net path delta of the
+        whole batch.
+        """
+        stream = [EdgeUpdate(u, v, insert) for u, v, insert in updates]
+        effective = compress_stream(self.graph, stream)
+        net_new: Dict[PairKey, Set[Path]] = {}
+        net_deleted: Dict[PairKey, Set[Path]] = {}
+        applied = 0
+        for update in effective:
+            deltas = self._apply_one(update)
+            if deltas is None:
+                continue
+            applied += 1
+            for pair, paths in deltas.items():
+                new = net_new.setdefault(pair, set())
+                deleted = net_deleted.setdefault(pair, set())
+                for path in paths:
+                    if update.insert:
+                        if path in deleted:
+                            deleted.discard(path)
+                        else:
+                            new.add(path)
+                    else:
+                        if path in new:
+                            new.discard(path)
+                        else:
+                            deleted.add(path)
+        self._updates_applied += applied
+        self._updates_cancelled += len(stream) - len(effective)
+        pairs = []
+        for pair in self.monitor.pairs():
+            new = sorted(net_new.get(pair, ()), key=lambda p: (len(p), repr(p)))
+            deleted = sorted(
+                net_deleted.get(pair, ()), key=lambda p: (len(p), repr(p))
+            )
+            if not new and not deleted:
+                continue
+            pairs.append(
+                {
+                    "s": pair[0],
+                    "t": pair[1],
+                    "new_paths": encode_paths(new),
+                    "deleted_paths": encode_paths(deleted),
+                    "net": len(new) - len(deleted),
+                }
+            )
+        return {
+            "received": len(stream),
+            "applied": applied,
+            "cancelled": len(stream) - len(effective),
+            "pairs": pairs,
+        }
+
+    def _apply_one(
+        self, update: EdgeUpdate
+    ) -> Optional[Dict[PairKey, List[Path]]]:
+        """Mutate the graph once; repair every live index.
+
+        Returns ``{pair: delta_paths}`` for watched pairs, or None when
+        the update was a no-op (edge already present/absent).
+        """
+        if not self.graph.apply_update(update):
+            return None
+        deltas = {
+            pair: self.monitor.enumerator_for(*pair).observe(update).paths
+            for pair in self.monitor.pairs()
+        }
+        self.cache.observe_all(update)
+        return deltas
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def op_stats(self) -> Dict[str, Any]:
+        """Engine-side counters (the server merges admission stats in)."""
+        return {
+            "graph": {
+                "vertices": self.graph.num_vertices,
+                "edges": self.graph.num_edges,
+            },
+            "default_k": self.default_k,
+            "watched_pairs": len(self.monitor),
+            "served": dict(self._served),
+            "updates": {
+                "applied": self._updates_applied,
+                "cancelled": self._updates_cancelled,
+                "noop": self._updates_noop,
+            },
+            "cache": self.cache.stats().as_dict(),
+        }

@@ -3,10 +3,13 @@
 - :mod:`repro.workloads.queries` — query pairs (uniform random and
   degree-percentile "hot" pairs);
 - :mod:`repro.workloads.updates` — result-relevant edge update streams;
+- :mod:`repro.workloads.traffic` — interleaved query/update service
+  traffic for the serving benchmarks;
 - :mod:`repro.workloads.runner` — timed execution and latency summaries.
 """
 
 from repro.workloads.queries import Query, hot_queries, random_queries
+from repro.workloads.traffic import service_traffic
 from repro.workloads.updates import relevant_update_stream
 from repro.workloads.runner import (
     DynamicRun,
@@ -20,6 +23,7 @@ __all__ = [
     "random_queries",
     "hot_queries",
     "relevant_update_stream",
+    "service_traffic",
     "run_static",
     "run_dynamic",
     "StaticRun",

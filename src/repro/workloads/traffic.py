@@ -1,0 +1,108 @@
+"""Mixed service traffic: interleaved query and update operations.
+
+The serving benchmarks (``repro bench-serve``,
+``benchmarks/bench_service.py``) need realistic request mixes over one
+graph: mostly reads (``query``) with a stream of writes (``update``)
+woven in.  :func:`service_traffic` builds such a mix from the existing
+workload generators — query pairs from :func:`repro.workloads.queries`
+and a *valid* update stream from
+:func:`repro.workloads.updates.relevant_update_stream` — so the traffic
+exercises exactly the paper's workload shape, just spoken over the wire.
+
+Operations are tagged tuples, deliberately protocol-agnostic so this
+module does not depend on :mod:`repro.service`:
+
+- ``("query", s, t, k)``
+- ``("update", u, v, insert)``
+
+Updates keep their generated order (queries never mutate, so any
+interleaving of the two streams replays validly against the graph).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.workloads.queries import hot_queries, random_queries
+from repro.workloads.updates import relevant_update_stream
+
+TrafficOp = Tuple  # ("query", s, t, k) | ("update", u, v, insert)
+
+
+def service_traffic(
+    graph: DynamicDiGraph,
+    count: int,
+    k: int,
+    update_fraction: float = 0.2,
+    distinct_pairs: int = 8,
+    hot_fraction: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> List[TrafficOp]:
+    """``count`` interleaved service operations for ``graph``.
+
+    Parameters
+    ----------
+    count:
+        Total number of operations to emit.
+    k:
+        Hop constraint for every query.
+    update_fraction:
+        Target fraction of ``update`` operations (best effort: sparse
+        induced subgraphs may yield fewer valid updates).
+    distinct_pairs:
+        Number of distinct query pairs the queries cycle through — a
+        small pool models monitoring traffic and gives a warm-index
+        cache something to hit.
+    hot_fraction:
+        When set (e.g. ``0.10``), draw the pairs from the top degree
+        percentile instead of uniformly.
+    seed:
+        Seeds pair choice, update generation and interleaving.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not 0.0 <= update_fraction <= 1.0:
+        raise ValueError("update_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    if hot_fraction is not None:
+        pairs = hot_queries(
+            graph, distinct_pairs, k, hot_fraction, seed=rng.randrange(2**31)
+        )
+    else:
+        pairs = random_queries(
+            graph, distinct_pairs, k, seed=rng.randrange(2**31)
+        )
+
+    num_updates = int(round(count * update_fraction))
+    anchor = pairs[0]
+    updates = relevant_update_stream(
+        graph,
+        anchor.s,
+        anchor.t,
+        anchor.k,
+        num_insertions=(num_updates + 1) // 2,
+        num_deletions=num_updates // 2,
+        seed=rng.randrange(2**31),
+    )
+    num_updates = len(updates)
+    num_queries = count - num_updates
+
+    ops: List[TrafficOp] = []
+    update_iter = iter(updates)
+    queries_left, updates_left = num_queries, num_updates
+    while queries_left or updates_left:
+        take_update = updates_left and (
+            not queries_left
+            or rng.random() < updates_left / (updates_left + queries_left)
+        )
+        if take_update:
+            upd = next(update_iter)
+            ops.append(("update", upd.u, upd.v, upd.insert))
+            updates_left -= 1
+        else:
+            query = pairs[rng.randrange(len(pairs))]
+            ops.append(("query", query.s, query.t, query.k))
+            queries_left -= 1
+    return ops

@@ -52,6 +52,31 @@ class TestCompressStream:
         survivors = compress_stream(g, stream)
         assert survivors == [EdgeUpdate(2, 3, True), EdgeUpdate(0, 1, True)]
 
+    def test_insert_delete_same_edge_cancels_and_order_is_preserved(self):
+        """A net-zero insert+delete pair vanishes; survivors keep order.
+
+        Regression for the service layer's batch ingestion: an edge
+        inserted and deleted within one batch must produce *no* repair
+        work, and the surviving updates must replay in their original
+        relative order.
+        """
+        g = DynamicDiGraph([(4, 5)])
+        stream = [
+            EdgeUpdate(9, 10, True),    # survivor 1
+            EdgeUpdate(0, 1, True),     # cancelled by the delete below
+            EdgeUpdate(4, 5, False),    # survivor 2
+            EdgeUpdate(0, 1, False),    # completes the net-zero pair
+            EdgeUpdate(6, 7, True),     # survivor 3
+        ]
+        survivors = compress_stream(g, stream)
+        assert EdgeUpdate(0, 1, True) not in survivors
+        assert EdgeUpdate(0, 1, False) not in survivors
+        assert survivors == [
+            EdgeUpdate(9, 10, True),
+            EdgeUpdate(4, 5, False),
+            EdgeUpdate(6, 7, True),
+        ]
+
     def test_compressed_replay_equals_full_replay(self):
         rng = random.Random(12)
         for _ in range(30):

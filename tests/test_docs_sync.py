@@ -63,18 +63,26 @@ def test_design_md_lists_every_experiment_driver():
 def test_api_md_names_exist():
     """Spot-check that classes named in docs/API.md are importable."""
     import repro
-    from repro import apps, baselines, core, related, workloads
+    from repro import apps, baselines, core, related, service, workloads
 
     text = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
     for name, owner in (
         ("CpeEnumerator", repro),
         ("MultiPairMonitor", core),
+        ("PairKey", core),
+        ("snapshot_size_bytes", core.serialize),
         ("CsmStarEnumerator", baselines),
         ("CsmDcgEnumerator", baselines),
         ("RiskMonitor", apps),
         ("CycleMonitor", apps),
         ("k_shortest_simple_paths", related),
         ("run_dynamic", workloads),
+        ("service_traffic", workloads),
+        ("PathQueryEngine", service),
+        ("PathQueryServer", service),
+        ("ServiceClient", service),
+        ("IndexCache", service),
+        ("AdmissionController", service),
     ):
         assert name in text
         assert hasattr(owner, name), f"{name} documented but not exported"

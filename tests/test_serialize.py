@@ -13,7 +13,7 @@ from repro.core.serialize import (
     save_enumerator,
     snapshot,
 )
-from repro.graph.digraph import DynamicDiGraph
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
 from tests.conftest import make_random_graph, random_query
 from tests.test_maintenance_insert import assert_index_matches_fresh
 
@@ -72,6 +72,43 @@ class TestSnapshotRestore:
         cpe = CpeEnumerator(g, 0, 1, 2)
         clone = restore(snapshot(cpe))
         assert clone.graph.has_vertex(7)
+
+    def test_restored_enumerator_matches_original_update_results(self):
+        """Original and restored clone agree update-by-update.
+
+        The service layer restores warm indexes from snapshots; a
+        restored enumerator must not merely hold the same paths but
+        produce *identical UpdateResults* (the same delta paths for the
+        same updates) under any subsequent stream.
+        """
+        rng = random.Random(91)
+        for _ in range(10):
+            g = make_random_graph(rng, max_edges=14)
+            s, t, k = random_query(rng, g)
+            cpe = CpeEnumerator(g, s, t, k)
+            clone = restore(snapshot(cpe))
+            for _ in range(12):
+                u, v = rng.sample(list(g.vertices()), 2)
+                insert = not g.has_edge(u, v)
+                original = cpe.apply(EdgeUpdate(u, v, insert))
+                mirrored = clone.apply(EdgeUpdate(u, v, insert))
+                assert mirrored.changed == original.changed
+                assert set(mirrored.paths) == set(original.paths), (
+                    f"delta divergence on e({u}, {v}, "
+                    f"{'+' if insert else '-'}) for q({s}, {t}, {k})"
+                )
+            assert set(clone.startup()) == set(cpe.startup())
+
+    def test_snapshot_size_bytes_hook(self):
+        from repro.core.serialize import snapshot_size_bytes
+
+        cpe = make_cpe()
+        full = snapshot_size_bytes(cpe)
+        slim = snapshot_size_bytes(cpe, include_graph=False)
+        assert 0 < slim < full
+        assert full == len(
+            json.dumps(snapshot(cpe), separators=(",", ":")).encode("utf-8")
+        )
 
     def test_randomized_round_trips_after_updates(self):
         rng = random.Random(55)

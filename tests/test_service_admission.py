@@ -1,0 +1,194 @@
+"""Tests for admission control: capacity, deadlines, drain."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service.admission import AdmissionController
+from repro.service.protocol import (
+    DeadlineExceededError,
+    OverloadedError,
+    ShuttingDownError,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmit:
+    def test_serializes_execution(self):
+        async def main():
+            controller = AdmissionController(capacity=4)
+            active = 0
+            peak = 0
+
+            async def job():
+                nonlocal active, peak
+                async with controller.admit():
+                    active += 1
+                    peak = max(peak, active)
+                    await asyncio.sleep(0.01)
+                    active -= 1
+
+            await asyncio.gather(*[job() for _ in range(4)])
+            assert peak == 1, "admitted bodies must never overlap"
+            assert controller.stats().admitted == 4
+
+        run(main())
+
+    def test_overload_rejection_is_immediate(self):
+        async def main():
+            controller = AdmissionController(capacity=1, retry_after_ms=77)
+            release = asyncio.Event()
+
+            async def occupant():
+                async with controller.admit():
+                    await release.wait()
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0.01)
+            with pytest.raises(OverloadedError) as info:
+                async with controller.admit():
+                    pass
+            assert info.value.retry_after_ms == 77
+            assert controller.stats().rejected_overload == 1
+            release.set()
+            await task
+
+        run(main())
+
+    def test_deadline_already_elapsed(self):
+        async def main():
+            controller = AdmissionController(capacity=2)
+            with pytest.raises(DeadlineExceededError):
+                async with controller.admit(deadline=time.monotonic() - 1):
+                    pass
+            assert controller.stats().expired == 1
+
+        run(main())
+
+    def test_deadline_elapses_while_queued(self):
+        async def main():
+            controller = AdmissionController(capacity=4)
+            release = asyncio.Event()
+
+            async def occupant():
+                async with controller.admit():
+                    await release.wait()
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0.01)
+            with pytest.raises(DeadlineExceededError):
+                async with controller.admit(
+                    deadline=time.monotonic() + 0.05
+                ):
+                    pass
+            assert controller.stats().expired == 1
+            release.set()
+            await task
+            # the occupant's slot was never lost
+            assert controller.in_flight == 0
+
+        run(main())
+
+    def test_deadline_met_while_queued_still_runs(self):
+        async def main():
+            controller = AdmissionController(capacity=4)
+            release = asyncio.Event()
+            ran = False
+
+            async def occupant():
+                async with controller.admit():
+                    await release.wait()
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0.01)
+
+            async def waiter():
+                nonlocal ran
+                async with controller.admit(
+                    deadline=time.monotonic() + 5.0
+                ):
+                    ran = True
+
+            waiter_task = asyncio.create_task(waiter())
+            await asyncio.sleep(0.01)
+            release.set()
+            await asyncio.gather(task, waiter_task)
+            assert ran
+
+        run(main())
+
+
+class TestShutdown:
+    def test_begin_shutdown_rejects_new_work(self):
+        async def main():
+            controller = AdmissionController()
+            controller.begin_shutdown()
+            with pytest.raises(ShuttingDownError):
+                async with controller.admit():
+                    pass
+            assert controller.stats().rejected_shutdown == 1
+
+        run(main())
+
+    def test_drain_waits_for_in_flight(self):
+        async def main():
+            controller = AdmissionController()
+            finished = False
+
+            async def job():
+                nonlocal finished
+                async with controller.admit():
+                    await asyncio.sleep(0.02)
+                    finished = True
+
+            task = asyncio.create_task(job())
+            await asyncio.sleep(0.005)
+            controller.begin_shutdown()
+            assert await controller.drain(timeout=2.0)
+            assert finished
+            await task
+
+        run(main())
+
+    def test_drain_times_out(self):
+        async def main():
+            controller = AdmissionController()
+            release = asyncio.Event()
+
+            async def job():
+                async with controller.admit():
+                    await release.wait()
+
+            task = asyncio.create_task(job())
+            await asyncio.sleep(0.005)
+            assert not await controller.drain(timeout=0.02)
+            release.set()
+            await task
+
+        run(main())
+
+    def test_drain_on_idle_returns_immediately(self):
+        async def main():
+            controller = AdmissionController()
+            assert await controller.drain(timeout=0.01)
+
+        run(main())
+
+
+class TestConfig:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+
+    def test_stats_shape(self):
+        controller = AdmissionController(capacity=3)
+        digest = controller.stats().as_dict()
+        assert digest["capacity"] == 3
+        assert set(digest) == {
+            "admitted", "rejected_overload", "rejected_shutdown",
+            "expired", "in_flight", "capacity",
+        }

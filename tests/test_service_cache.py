@@ -1,0 +1,150 @@
+"""Tests for the warm-index LRU cache."""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import path_set
+from repro.core.serialize import snapshot_size_bytes
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+from repro.service.cache import IndexCache
+from tests.conftest import make_random_graph, random_query
+
+
+def chain_graph(n=8):
+    return DynamicDiGraph([(i, i + 1) for i in range(n)] +
+                          [(0, 2), (1, 3), (2, 4)])
+
+
+class TestLookups:
+    def test_miss_then_hit(self):
+        cache = IndexCache(chain_graph())
+        first = cache.get_or_build(0, 4, 4)
+        second = cache.get_or_build(0, 4, 4)
+        assert first is second
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.hits == 1
+        assert stats.entries == 1
+        assert stats.hit_rate == 0.5
+
+    def test_distinct_k_is_a_distinct_entry(self):
+        cache = IndexCache(chain_graph())
+        a = cache.get_or_build(0, 4, 3)
+        b = cache.get_or_build(0, 4, 4)
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_cached_results_are_correct(self):
+        g = chain_graph()
+        cache = IndexCache(g)
+        enum = cache.get_or_build(0, 4, 4)
+        assert set(enum.startup()) == path_set(g, 0, 4, 4)
+
+
+class TestEvictionAndBudget:
+    def test_lru_eviction_under_budget(self):
+        g = chain_graph()
+        one_entry = snapshot_size_bytes(
+            IndexCache(g).get_or_build(0, 4, 4), include_graph=False
+        )
+        cache = IndexCache(g, budget_bytes=int(one_entry * 2.5))
+        cache.get_or_build(0, 4, 4)
+        cache.get_or_build(1, 5, 4)
+        cache.get_or_build(0, 4, 4)          # refresh: (1,5,4) is now LRU
+        cache.get_or_build(2, 6, 4)          # must evict something
+        assert (0, 4, 4) in cache
+        assert (1, 5, 4) not in cache
+        assert cache.stats().evictions >= 1
+
+    def test_oversized_entry_is_bypassed(self):
+        g = chain_graph()
+        cache = IndexCache(g, budget_bytes=1)
+        enum = cache.get_or_build(0, 4, 4)
+        assert enum is not None
+        assert len(cache) == 0
+        assert cache.stats().bypasses == 1
+
+    def test_current_bytes_tracks_entries(self):
+        g = chain_graph()
+        cache = IndexCache(g)
+        cache.get_or_build(0, 4, 4)
+        stats = cache.stats()
+        assert 0 < stats.current_bytes <= stats.budget_bytes
+        cache.clear()
+        assert cache.stats().current_bytes == 0
+        assert cache.stats().entries == 0
+
+    def test_invalidate(self):
+        cache = IndexCache(chain_graph())
+        cache.get_or_build(0, 4, 4)
+        assert cache.invalidate((0, 4, 4))
+        assert not cache.invalidate((0, 4, 4))
+        assert cache.stats().current_bytes == 0
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            IndexCache(chain_graph(), budget_bytes=0)
+
+
+class TestObserveAll:
+    def test_cached_entries_follow_updates(self):
+        g = chain_graph()
+        cache = IndexCache(g)
+        enum = cache.get_or_build(0, 4, 4)
+        update = EdgeUpdate(0, 4, True)
+        assert g.apply_update(update)
+        cache.observe_all(update)
+        assert set(enum.startup()) == path_set(g, 0, 4, 4)
+
+    def test_randomized_consistency_under_streams(self):
+        rng = random.Random(41)
+        for _ in range(10):
+            g = make_random_graph(rng, max_edges=14)
+            cache = IndexCache(g)
+            queries = []
+            for _ in range(3):
+                s, t, k = random_query(rng, g)
+                cache.get_or_build(s, t, k)
+                queries.append((s, t, k))
+            for _ in range(8):
+                u, v = rng.sample(list(g.vertices()), 2)
+                update = EdgeUpdate(u, v, not g.has_edge(u, v))
+                assert g.apply_update(update)
+                cache.observe_all(update)
+            for s, t, k in queries:
+                entry = cache.peek((s, t, k))
+                if entry is not None:
+                    assert set(entry.startup()) == path_set(g, s, t, k), (
+                        f"stale cache entry for {(s, t, k)}"
+                    )
+
+    def test_stats_dict_is_json_shaped(self):
+        cache = IndexCache(chain_graph())
+        cache.get_or_build(0, 4, 4)
+        digest = cache.stats().as_dict()
+        assert digest["entries"] == 1
+        assert set(digest) >= {
+            "hits", "misses", "evictions", "bypasses",
+            "entries", "current_bytes", "budget_bytes", "hit_rate",
+        }
+
+
+class TestSizingHook:
+    def test_graphless_size_is_smaller(self):
+        g = chain_graph()
+        cache = IndexCache(g)
+        enum = cache.get_or_build(0, 4, 4)
+        with_graph = snapshot_size_bytes(enum)
+        without = snapshot_size_bytes(enum, include_graph=False)
+        assert 0 < without < with_graph
+
+    def test_size_matches_serialized_length(self):
+        import json
+
+        from repro.core.serialize import snapshot
+
+        enum = IndexCache(chain_graph()).get_or_build(0, 4, 4)
+        expected = len(
+            json.dumps(snapshot(enum), separators=(",", ":")).encode()
+        )
+        assert snapshot_size_bytes(enum) == expected

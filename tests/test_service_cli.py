@@ -1,0 +1,49 @@
+"""Tests for the ``serve`` / ``bench-serve`` CLI commands."""
+
+import json
+
+from repro.cli import main
+
+
+class TestBenchServe:
+    def test_small_run_reports_and_saves(self, tmp_path, capsys):
+        target = tmp_path / "serve.json"
+        code = main([
+            "bench-serve", "WG",
+            "--requests", "40",
+            "--scale", "0.1",
+            "--seed", "7",
+            "--save", str(target),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput" in out
+        assert "p99" in out
+        summary = json.loads(target.read_text())
+        assert summary["requests"] == 40
+        assert summary["ok"] == 40
+        assert summary["errors"] == {}
+        assert summary["latency_ms"]["p99"] >= summary["latency_ms"]["p50"]
+
+    def test_acceptance_thousand_requests_no_errors(self, capsys):
+        """The ISSUE bar: >= 1,000 served requests without error."""
+        code = main([
+            "bench-serve", "WG",
+            "--requests", "1000",
+            "--scale", "0.1",
+            "--update-fraction", "0.1",
+            "--seed", "11",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1000 requests" in out
+        assert "(1000 ok, 0 errors)" in out
+
+
+class TestServeParser:
+    def test_bad_watch_pair_is_a_usage_error(self, capsys):
+        code = main([
+            "serve", "WG", "--scale", "0.1", "--watch", "nonsense",
+        ])
+        assert code == 2
+        assert "expected S:T" in capsys.readouterr().err

@@ -1,0 +1,201 @@
+"""Tests for the serving core (no sockets involved)."""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import path_set
+from repro.core.enumerator import CpeEnumerator
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+from repro.service.engine import PathQueryEngine
+from repro.service.protocol import (
+    AlreadyWatchedError,
+    BadRequestError,
+    InternalError,
+    NotFoundError,
+    decode_paths,
+)
+from tests.conftest import make_random_graph, random_query
+
+
+def diamond_engine(**kwargs):
+    graph = DynamicDiGraph([(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)])
+    return PathQueryEngine(graph, default_k=3, **kwargs)
+
+
+class TestQuery:
+    def test_query_equals_direct_enumerator(self):
+        engine = diamond_engine()
+        result = engine.op_query(s=0, t=3, k=3)
+        direct = CpeEnumerator(engine.graph, 0, 3, 3).startup()
+        assert set(decode_paths(result["paths"])) == set(direct)
+        assert result["count"] == len(direct)
+        assert result["source"] == "miss"
+
+    def test_repeated_query_hits_cache(self):
+        engine = diamond_engine()
+        engine.op_query(s=0, t=3, k=3)
+        assert engine.op_query(s=0, t=3, k=3)["source"] == "hit"
+        assert engine.cache.stats().hits == 1
+
+    def test_query_on_watched_pair_uses_monitor_index(self):
+        engine = diamond_engine()
+        engine.op_watch(s=0, t=3)
+        result = engine.op_query(s=0, t=3, k=3)
+        assert result["source"] == "watched"
+        assert len(engine.cache) == 0
+
+    def test_watched_pair_with_other_k_goes_to_cache(self):
+        engine = diamond_engine()
+        engine.op_watch(s=0, t=3)          # k = default_k = 3
+        result = engine.op_query(s=0, t=3, k=2)
+        assert result["source"] == "miss"
+
+    def test_invalid_query_is_bad_request(self):
+        engine = diamond_engine()
+        with pytest.raises(BadRequestError):
+            engine.op_query(s=0, t=0, k=3)
+
+
+class TestWatch:
+    def test_watch_returns_initial_paths(self):
+        engine = diamond_engine()
+        result = engine.op_watch(s=0, t=3)
+        assert set(decode_paths(result["paths"])) == path_set(
+            engine.graph, 0, 3, 3
+        )
+
+    def test_double_watch_is_structured_error(self):
+        engine = diamond_engine()
+        engine.op_watch(s=0, t=3)
+        with pytest.raises(AlreadyWatchedError):
+            engine.op_watch(s=0, t=3)
+
+    def test_watch_rejects_s_equals_t(self):
+        engine = diamond_engine()
+        with pytest.raises(BadRequestError):
+            engine.op_watch(s=1, t=1)
+
+    def test_unwatch(self):
+        engine = diamond_engine()
+        engine.op_watch(s=0, t=3)
+        assert engine.op_unwatch(s=0, t=3) == {"removed": True}
+        with pytest.raises(NotFoundError):
+            engine.op_unwatch(s=0, t=3)
+
+
+class TestUpdate:
+    def test_update_reports_watched_deltas(self):
+        engine = diamond_engine()
+        engine.op_watch(s=0, t=3)
+        result = engine.op_update(u=1, v=2, insert=True)
+        assert result["changed"]
+        (pair,) = result["pairs"]
+        assert (pair["s"], pair["t"]) == (0, 3)
+        assert decode_paths(pair["paths"]) == [(0, 1, 2, 3)]
+
+    def test_noop_update_changes_nothing(self):
+        engine = diamond_engine()
+        engine.op_watch(s=0, t=3)
+        result = engine.op_update(u=0, v=1, insert=True)  # already present
+        assert result == {"changed": False, "pairs": []}
+        assert engine.op_stats()["updates"]["noop"] == 1
+
+    def test_update_repairs_cached_queries(self):
+        engine = diamond_engine()
+        engine.op_query(s=0, t=3, k=3)                # warm the cache
+        engine.op_update(u=0, v=1, insert=False)
+        result = engine.op_query(s=0, t=3, k=3)
+        assert result["source"] == "hit"
+        assert set(decode_paths(result["paths"])) == path_set(
+            engine.graph, 0, 3, 3
+        )
+
+    def test_batch_update_cancels_churn(self):
+        engine = diamond_engine()
+        engine.op_watch(s=0, t=3)
+        result = engine.op_batch_update(
+            updates=[(1, 2, True), (1, 2, False), (3, 0, True)]
+        )
+        assert result["received"] == 3
+        assert result["applied"] == 1
+        assert result["cancelled"] == 2
+        assert result["pairs"] == []   # net path delta for (0, 3) is empty
+
+    def test_batch_update_net_delta_matches_bruteforce(self):
+        rng = random.Random(23)
+        for _ in range(15):
+            graph = make_random_graph(rng, max_edges=12)
+            s, t, k = random_query(rng, graph)
+            engine = PathQueryEngine(graph, default_k=k)
+            try:
+                engine.op_watch(s=s, t=t)
+            except BadRequestError:
+                continue
+            before = path_set(graph, s, t, k)
+            scratch = graph.copy()
+            triples = []
+            for _ in range(10):
+                u, v = rng.sample(list(graph.vertices()), 2)
+                insert = not scratch.has_edge(u, v)
+                scratch.apply_update(EdgeUpdate(u, v, insert))
+                triples.append((u, v, insert))
+            result = engine.op_batch_update(updates=triples)
+            after = path_set(graph, s, t, k)
+            new, deleted = set(), set()
+            for pair in result["pairs"]:
+                if (pair["s"], pair["t"]) == (s, t):
+                    new = set(decode_paths(pair["new_paths"]))
+                    deleted = set(decode_paths(pair["deleted_paths"]))
+            assert new == after - before
+            assert deleted == before - after
+
+
+class TestDispatchAndStats:
+    def test_handle_routes_and_counts(self):
+        engine = diamond_engine()
+        engine.handle("query", {"s": 0, "t": 3, "k": 3})
+        engine.handle("stats", {})
+        stats = engine.op_stats()
+        assert stats["served"]["query"] == 1
+        assert stats["served"]["stats"] == 1
+        assert stats["graph"]["vertices"] == 4
+
+    def test_handle_unknown_op_is_internal_error(self):
+        with pytest.raises(InternalError):
+            diamond_engine().handle("nonsense", {})
+
+    def test_stats_are_json_serializable(self):
+        import json
+
+        engine = diamond_engine()
+        engine.op_query(s=0, t=3, k=3)
+        json.dumps(engine.op_stats())
+
+
+class TestLongInterleavings:
+    def test_served_state_tracks_direct_enumeration(self):
+        """Random query/watch/update interleavings stay exact."""
+        rng = random.Random(77)
+        for _ in range(8):
+            graph = make_random_graph(rng, max_edges=14)
+            engine = PathQueryEngine(graph, default_k=4)
+            vertices = list(graph.vertices())
+            for _ in range(25):
+                action = rng.random()
+                u, v = rng.sample(vertices, 2)
+                if action < 0.3:
+                    engine.op_update(u=u, v=v, insert=not graph.has_edge(u, v))
+                elif action < 0.45:
+                    try:
+                        engine.op_watch(s=u, t=v)
+                    except AlreadyWatchedError:
+                        pass
+                else:
+                    k = rng.randint(1, 4)
+                    result = engine.op_query(s=u, t=v, k=k)
+                    expected = path_set(graph, u, v, k)
+                    assert set(decode_paths(result["paths"])) == expected, (
+                        f"divergence for q({u}, {v}, {k}) "
+                        f"via {result['source']}"
+                    )
