@@ -1,0 +1,68 @@
+"""Lint-engine benchmark: a full-repo pass must stay interactive.
+
+`repro lint src/` runs on every CI build and is meant to be cheap
+enough to run on every save; the budget is five seconds for the whole
+tree (it runs in well under one on the reference machine).  The run is
+recorded under ``benchmarks/results/lint_full_repo.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.analysis import run_lint
+
+SRC = Path(__file__).parent.parent / "src"
+
+#: Hard wall-clock budget for one full-repo lint pass, in seconds.
+FULL_REPO_BUDGET_SECONDS = 5.0
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return run_lint([str(SRC)])
+
+
+def bench_full_repo_lint_under_budget(full_report):
+    assert full_report.findings == (), "the repo must lint clean"
+    assert full_report.files_scanned > 50
+    assert full_report.elapsed_seconds < FULL_REPO_BUDGET_SECONDS, (
+        f"full-repo lint took {full_report.elapsed_seconds:.2f}s "
+        f"(budget {FULL_REPO_BUDGET_SECONDS:.0f}s)"
+    )
+
+    # a second timed pass, with warm caches, for the record
+    start = time.perf_counter()
+    again = run_lint([str(SRC)])
+    warm = time.perf_counter() - start
+    per_file = warm / max(again.files_scanned, 1)
+    text = "\n".join(
+        [
+            "full-repo lint (repro lint src/)",
+            f"files        {again.files_scanned}",
+            f"rules        {', '.join(again.rules)}",
+            f"cold pass    {full_report.elapsed_seconds * 1e3:.1f} ms",
+            f"warm pass    {warm * 1e3:.1f} ms",
+            f"per file     {per_file * 1e3:.2f} ms",
+            f"budget       {FULL_REPO_BUDGET_SECONDS:.0f} s",
+        ]
+    )
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "lint_full_repo.txt").write_text(
+        text + "\n", encoding="utf-8"
+    )
+
+
+def bench_single_rule_pass_is_cheaper(full_report):
+    start = time.perf_counter()
+    single = run_lint([str(SRC)], select=["R005"])
+    elapsed = time.perf_counter() - start
+    assert single.rules == ("R005",)
+    assert single.findings == ()
+    assert elapsed < FULL_REPO_BUDGET_SECONDS

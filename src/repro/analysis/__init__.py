@@ -1,0 +1,37 @@
+"""Project-specific static analysis: the ``repro lint`` engine.
+
+The CPE index is only correct while its admissibility invariants are
+preserved by every code path that touches it, and the service layer is
+only responsive while nothing blocks its event loop — failure modes
+that surface as *wrong answers*, not crashes.  This package catches the
+offending shapes before runtime with an AST-based lint:
+
+- :mod:`repro.analysis.engine` — :func:`run_lint` + :class:`LintReport`;
+- :mod:`repro.analysis.registry` — the rule registry and base class;
+- :mod:`repro.analysis.rules` — the project rules R001–R006;
+- :mod:`repro.analysis.sources` — source collection and per-line
+  ``# repro: noqa[RULE]`` suppression;
+- :mod:`repro.analysis.apidoc` — the ``docs/API.md`` reader backing the
+  export-consistency rule;
+- :mod:`repro.analysis.reporters` — text and JSON rendering.
+
+CLI entry point: ``repro lint [--format json] [--select RULES] [paths]``
+(see docs/ANALYSIS.md for the rule catalogue).
+"""
+
+from repro.analysis.engine import LintReport, run_lint
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, Rule, all_rules, rules_for
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "LintReport",
+    "run_lint",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "rules_for",
+    "render_json",
+    "render_text",
+]

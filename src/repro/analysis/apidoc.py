@@ -1,0 +1,104 @@
+"""A lightweight reader of ``docs/API.md`` for the export-consistency rule.
+
+The API reference documents modules in two shapes this parser follows:
+
+- a section heading naming a package (``## `repro.core```) followed by a
+  table whose first cell names a submodule (``| `paths` | ... |``) — the
+  remaining cells' backticked names document ``repro.core.paths``;
+- prose or per-class subsections under a package heading — backticked
+  names document the package's ``__init__`` itself.
+
+Only *plain* backticked identifiers (```name``` or ```name(...)```) count
+as documented names; dotted references and flag spellings are ignored.
+R006 then requires: a documented name that a module actually binds at
+top level must appear in that module's ``__all__``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set
+
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+_MODULE_IN_HEADING_RE = re.compile(r"`(repro(?:\.\w+)*)`")
+_SNIPPET_RE = re.compile(r"`([^`]+)`")
+_LEADING_NAME_RE = re.compile(r"^([A-Za-z_]\w*)\s*(?:\(|$)")
+_SUBMODULE_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class ApiDoc:
+    """Documented names per dotted module, as parsed from ``docs/API.md``."""
+
+    names_by_module: Mapping[str, FrozenSet[str]]
+
+    def documented(self, module_name: str) -> FrozenSet[str]:
+        """Documented names for ``module_name`` (empty if undocumented)."""
+        return self.names_by_module.get(module_name, frozenset())
+
+
+def load_api_doc(root: Path) -> Optional[ApiDoc]:
+    """Parse ``root/docs/API.md`` (``None`` when the file is absent)."""
+    path = root / "docs" / "API.md"
+    if not path.is_file():
+        return None
+    return parse_api_doc(path.read_text(encoding="utf-8"))
+
+
+def parse_api_doc(text: str) -> ApiDoc:
+    """Extract the ``{module: documented names}`` map from the markdown."""
+    names: Dict[str, Set[str]] = {}
+    current: Optional[str] = None
+    for line in text.splitlines():
+        heading = _HEADING_RE.match(line)
+        if heading is not None:
+            level, title = len(heading.group(1)), heading.group(2)
+            named = _MODULE_IN_HEADING_RE.search(title)
+            if named is not None:
+                current = named.group(1)
+            elif level <= 2:
+                current = None
+            continue
+        if current is None:
+            continue
+        if line.lstrip().startswith("|"):
+            _parse_table_row(line, current, names)
+        else:
+            _collect(line, current, names)
+    return ApiDoc(
+        names_by_module={
+            module: frozenset(found) for module, found in names.items() if found
+        }
+    )
+
+
+def _parse_table_row(
+    line: str, current: str, names: Dict[str, Set[str]]
+) -> None:
+    cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+    if not cells or all(set(cell) <= {"-", ":", " "} for cell in cells):
+        return  # separator row
+    first_snippets = _SNIPPET_RE.findall(cells[0])
+    target = current
+    rest_from = 0
+    if len(first_snippets) == 1:
+        leading = _LEADING_NAME_RE.match(first_snippets[0])
+        if leading is not None and _SUBMODULE_RE.match(leading.group(1)):
+            # `| `paths` | ... |` — the row documents a submodule.
+            target = f"{current}.{leading.group(1)}"
+            rest_from = 1
+    for cell in cells[rest_from:]:
+        _collect(cell, target, names)
+
+
+def _collect(text: str, module: str, names: Dict[str, Set[str]]) -> None:
+    found = names.setdefault(module, set())
+    for snippet in _SNIPPET_RE.findall(text):
+        leading = _LEADING_NAME_RE.match(snippet)
+        if leading is not None:
+            found.add(leading.group(1))
+
+
+__all__ = ["ApiDoc", "load_api_doc", "parse_api_doc"]

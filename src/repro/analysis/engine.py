@@ -1,0 +1,74 @@
+"""The lint driver: collect sources, run rules, honor suppressions.
+
+:func:`run_lint` is the library entry point behind ``repro lint``::
+
+    from repro.analysis import run_lint
+
+    report = run_lint(["src"])
+    assert report.ok, report.findings
+
+Findings on a line carrying ``# repro: noqa[RULE]`` (or a bare
+``# repro: noqa``) are dropped; unparsable files surface as ``E001``
+findings so a broken tree cannot silently pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, Rule, rules_for
+from repro.analysis.sources import load_modules
+
+PathInput = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: Tuple[Finding, ...]
+    files_scanned: int
+    elapsed_seconds: float
+    rules: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced no findings."""
+        return not self.findings
+
+    def for_rule(self, code: str) -> List[Finding]:
+        """The findings attributed to one rule code."""
+        return [finding for finding in self.findings if finding.rule == code]
+
+
+def run_lint(
+    paths: Sequence[PathInput],
+    select: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) with the selected rules."""
+    started = time.perf_counter()
+    rules: List[Rule] = rules_for(select)
+    modules, findings = load_modules(Path(p) for p in paths)
+    context = LintContext(
+        module_names=frozenset(module.name for module in modules)
+    )
+    for module in modules:
+        for rule in rules:
+            for finding in rule.check(module, context):
+                if module.suppressed(finding.line, finding.rule):
+                    continue
+                findings.append(finding)
+    elapsed = time.perf_counter() - started
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        files_scanned=len(modules),
+        elapsed_seconds=elapsed,
+        rules=tuple(rule.code for rule in rules),
+    )
+
+
+__all__ = ["PathInput", "LintReport", "run_lint"]

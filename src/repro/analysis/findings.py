@@ -1,0 +1,39 @@
+"""The finding record every lint rule emits.
+
+A :class:`Finding` pins one defect to a ``path:line:col`` location with
+the rule code that produced it.  Findings order naturally by location so
+reports are stable regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready representation (the ``--format json`` element)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+__all__ = ["Finding"]

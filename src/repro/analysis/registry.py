@@ -1,0 +1,108 @@
+"""The rule registry: one :class:`Rule` subclass per lint check.
+
+Rules self-register at import through :func:`register`; the engine asks
+:func:`all_rules` (or :func:`rules_for` with a ``--select`` list) for
+instances.  A rule sees one :class:`~repro.analysis.sources.SourceModule`
+at a time plus a shared :class:`LintContext` carrying cross-module facts
+(the parsed ``docs/API.md``, the full set of scanned module names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Type
+
+from repro.analysis.apidoc import ApiDoc, load_api_doc
+from repro.analysis.findings import Finding
+from repro.analysis.sources import SourceModule
+
+
+@dataclass
+class LintContext:
+    """Cross-module facts shared by every rule during one run."""
+
+    module_names: FrozenSet[str] = frozenset()
+    _api_docs: Dict[str, Optional[ApiDoc]] = field(default_factory=dict)
+
+    def api_doc_for(self, module: SourceModule) -> Optional[ApiDoc]:
+        """The parsed ``docs/API.md`` of the module's repo root, if any."""
+        if module.root is None:
+            return None
+        key = str(module.root)
+        if key not in self._api_docs:
+            self._api_docs[key] = load_api_doc(module.root)
+        return self._api_docs[key]
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(
+        self, module: SourceModule, context: LintContext
+    ) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    def finding(
+        self, module: SourceModule, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a finding attributed to this rule."""
+        return Finding(str(module.path), line, col, self.code, message)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (keyed by code)."""
+    code = rule_class.code
+    if not code:
+        raise ValueError(f"{rule_class.__name__} has no rule code")
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by code."""
+    _ensure_loaded()
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def rules_for(select: Optional[Iterable[str]]) -> List[Rule]:
+    """Instances for ``select`` codes (all rules when ``select`` is None)."""
+    if select is None:
+        return all_rules()
+    _ensure_loaded()
+    chosen: List[Rule] = []
+    for raw in select:
+        code = raw.strip().upper()
+        if not code:
+            continue
+        if code not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ValueError(f"unknown rule {code!r}; known rules: {known}")
+        chosen.append(_REGISTRY[code]())
+    if not chosen:
+        raise ValueError("empty rule selection")
+    return chosen
+
+
+def _ensure_loaded() -> None:
+    """Import the bundled rule modules exactly once."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+
+__all__ = [
+    "LintContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "rules_for",
+]

@@ -1,0 +1,36 @@
+"""Rendering a lint run: human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.engine import LintReport
+
+
+def render_text(report: "LintReport") -> str:
+    """One ``path:line:col: RULE message`` line per finding + a summary."""
+    lines = [finding.render() for finding in report.findings]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(
+        f"{len(report.findings)} {noun} "
+        f"({report.files_scanned} files scanned, "
+        f"{report.elapsed_seconds:.2f}s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: "LintReport") -> str:
+    """The whole report as one JSON document (stable key order)."""
+    payload = {
+        "findings": [finding.as_dict() for finding in report.findings],
+        "files_scanned": report.files_scanned,
+        "elapsed_seconds": round(report.elapsed_seconds, 6),
+        "rules": list(report.rules),
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+__all__ = ["render_text", "render_json"]

@@ -1,0 +1,35 @@
+"""The project-specific rule set (imported for registration side effects).
+
+Each submodule defines and registers one rule:
+
+- :mod:`~repro.analysis.rules.r001_index_mutation` — index writes stay in
+  the maintenance layer;
+- :mod:`~repro.analysis.rules.r002_private_access` — no cross-object
+  ``_private`` attribute pokes;
+- :mod:`~repro.analysis.rules.r003_async_blocking` — no blocking calls in
+  ``async def`` bodies;
+- :mod:`~repro.analysis.rules.r004_set_iteration` — no set iteration
+  order leaking into ordered results;
+- :mod:`~repro.analysis.rules.r005_mutable_defaults` — no mutable default
+  arguments;
+- :mod:`~repro.analysis.rules.r006_exports` — every public module has an
+  ``__all__`` consistent with ``docs/API.md``.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration imports)
+    r001_index_mutation,
+    r002_private_access,
+    r003_async_blocking,
+    r004_set_iteration,
+    r005_mutable_defaults,
+    r006_exports,
+)
+
+__all__ = [
+    "r001_index_mutation",
+    "r002_private_access",
+    "r003_async_blocking",
+    "r004_set_iteration",
+    "r005_mutable_defaults",
+    "r006_exports",
+]

@@ -1,0 +1,122 @@
+"""R002 — no reaching into another object's ``_private`` attributes.
+
+``obj._attr`` couples the caller to internals that maintenance code is
+free to reorganize; under the service layer's concurrency it can also
+observe half-updated state that the owning class never exposes.  Access
+through ``self``/``cls`` is fine (that *is* the owning class), and so is
+touching an attribute *the enclosing class itself declares* on another
+instance (``__eq__``/``copy`` comparing ``other._data`` — privates are
+class-private, not instance-private).  Everything else should go through
+a public accessor — or carry an explicit ``# repro: noqa[R002]`` with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, Rule, register
+from repro.analysis.sources import SourceModule
+from repro.analysis.visitor import RuleVisitor
+
+_OWN_RECEIVERS: FrozenSet[str] = frozenset({"self", "cls"})
+
+#: Underscore-prefixed names that are public API by convention.
+_CONVENTIONAL: FrozenSet[str] = frozenset(
+    {"_replace", "_asdict", "_fields", "_make", "_field_defaults"}
+)
+
+
+def _is_private(attr: str) -> bool:
+    if not attr.startswith("_"):
+        return False
+    if attr.startswith("__") and attr.endswith("__"):
+        return False  # dunder protocol names
+    return attr not in _CONVENTIONAL
+
+
+def _declared_privates(class_node: ast.ClassDef) -> Set[str]:
+    """Private attribute names the class declares (self-assigns/slots)."""
+    declared: Set[str] = set()
+    for node in ast.walk(class_node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in _OWN_RECEIVERS
+                    and _is_private(target.attr)
+                ):
+                    declared.add(target.attr)
+                elif (
+                    isinstance(target, ast.Name)
+                    and target.id == "__slots__"
+                    and isinstance(node, ast.Assign)
+                ):
+                    value = node.value
+                    if isinstance(value, (ast.Tuple, ast.List)):
+                        for element in value.elts:
+                            if isinstance(
+                                element, ast.Constant
+                            ) and isinstance(element.value, str):
+                                if _is_private(element.value):
+                                    declared.add(element.value)
+    return declared
+
+
+class _PrivateAccessVisitor(RuleVisitor):
+    def __init__(self, module: SourceModule, rule_code: str) -> None:
+        super().__init__(module, rule_code)
+        self._class_privates: List[Set[str]] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_privates.append(_declared_privates(node))
+        try:
+            self.generic_visit(node)
+        finally:
+            self._class_privates.pop()
+
+    def _class_owned(self, attr: str) -> bool:
+        return any(attr in owned for owned in self._class_privates)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if _is_private(node.attr):
+            receiver = node.value
+            owned = (
+                isinstance(receiver, ast.Name)
+                and receiver.id in _OWN_RECEIVERS
+            ) or self._class_owned(node.attr)
+            if not owned:
+                self.report(
+                    node,
+                    f"access to private attribute '{node.attr}' of a "
+                    "foreign object; add a public accessor instead",
+                )
+        self.generic_visit(node)
+
+
+@register
+class PrivateAccessRule(Rule):
+    """No cross-object access to ``_private`` attributes."""
+
+    code = "R002"
+    name = "private-access"
+    description = (
+        "_private attributes may only be accessed through self/cls; "
+        "other objects must expose public accessors"
+    )
+
+    def check(
+        self, module: SourceModule, context: LintContext
+    ) -> Iterator[Finding]:
+        visitor = _PrivateAccessVisitor(module, self.code)
+        visitor.visit(module.tree)
+        yield from visitor.findings
+
+
+__all__ = ["PrivateAccessRule"]

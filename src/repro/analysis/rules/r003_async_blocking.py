@@ -1,0 +1,89 @@
+"""R003 — no blocking calls inside ``async def`` bodies.
+
+One ``time.sleep`` or synchronous socket/file call inside the service's
+event loop stalls *every* connection, turning the admission controller's
+deadline math into fiction.  The rule flags known blocking callables in
+any ``async def`` body; a nested plain ``def`` shields its body (it may
+run in an executor), and intentional exceptions carry
+``# repro: noqa[R003]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, Rule, register
+from repro.analysis.sources import SourceModule
+from repro.analysis.visitor import RuleVisitor, dotted_name
+
+#: Dotted call targets that block the calling thread.
+BLOCKING_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.sleep",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.put",
+        "requests.delete",
+        "requests.request",
+        "os.system",
+        "os.wait",
+    }
+)
+
+#: Bare builtins that do blocking I/O.
+BLOCKING_BUILTINS: FrozenSet[str] = frozenset({"open", "input"})
+
+
+class _AsyncBlockingVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.in_async:
+            target = dotted_name(node.func)
+            if target is not None and target in BLOCKING_CALLS:
+                self.report(
+                    node,
+                    f"blocking call '{target}()' inside an async function; "
+                    "use the asyncio equivalent or run_in_executor",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in BLOCKING_BUILTINS
+            ):
+                self.report(
+                    node,
+                    f"blocking builtin '{node.func.id}()' inside an async "
+                    "function; use the asyncio equivalent or run_in_executor",
+                )
+        self.generic_visit(node)
+
+
+@register
+class AsyncBlockingRule(Rule):
+    """No blocking calls in coroutine bodies."""
+
+    code = "R003"
+    name = "async-blocking"
+    description = (
+        "async def bodies must not call blocking primitives "
+        "(time.sleep, sockets, subprocess, file I/O)"
+    )
+
+    def check(
+        self, module: SourceModule, context: LintContext
+    ) -> Iterator[Finding]:
+        visitor = _AsyncBlockingVisitor(module, self.code)
+        visitor.visit(module.tree)
+        yield from visitor.findings
+
+
+__all__ = ["BLOCKING_CALLS", "BLOCKING_BUILTINS", "AsyncBlockingRule"]

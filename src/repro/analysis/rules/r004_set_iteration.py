@@ -1,0 +1,129 @@
+"""R004 — set iteration order must not leak into ordered results.
+
+Python set iteration order depends on insertion history and hash
+randomization; a ``list(set(...))`` in an enumeration path makes query
+results differ between identical runs, which breaks the delta-result
+contract (and every golden-file test downstream).  Flagged shapes:
+
+- ``for x in {a, b}`` / ``for x in set(...)`` — loop body order depends
+  on the set;
+- list/generator/dict comprehensions drawing from a set expression
+  (set comprehensions are fine — the result is unordered anyway);
+- ``list(...)``, ``tuple(...)``, ``enumerate(...)``, ``.join(...)`` over
+  a set expression.
+
+``sorted(set(...))`` normalizes the order and is never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, Rule, register
+from repro.analysis.sources import SourceModule
+from repro.analysis.visitor import RuleVisitor
+
+_SET_CONSTRUCTORS: FrozenSet[str] = frozenset({"set", "frozenset"})
+_ORDERED_CONSUMERS: FrozenSet[str] = frozenset({"list", "tuple", "enumerate"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether ``node`` statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _SET_CONSTRUCTORS
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class _SetIterationVisitor(RuleVisitor):
+    def visit_For(self, node: ast.For) -> None:
+        self._check_loop(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_loop(node.iter)
+        self.generic_visit(node)
+
+    def _check_loop(self, iter_expr: ast.expr) -> None:
+        if _is_set_expr(iter_expr):
+            self.report(
+                iter_expr,
+                "iterating a set directly — order is nondeterministic; "
+                "sort (or use an ordered container) first",
+            )
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node)
+
+    def _check_comprehension(
+        self, node: Union[ast.ListComp, ast.GeneratorExp, ast.DictComp]
+    ) -> None:
+        for generator in node.generators:
+            if _is_set_expr(generator.iter):
+                self.report(
+                    generator.iter,
+                    "comprehension over a set produces an "
+                    "iteration-order-dependent result; sort first",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDERED_CONSUMERS
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            self.report(
+                node,
+                f"'{func.id}()' over a set fixes a nondeterministic "
+                "order; use sorted(...) instead",
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            self.report(
+                node,
+                "str.join over a set concatenates in nondeterministic "
+                "order; use sorted(...) instead",
+            )
+        self.generic_visit(node)
+
+
+@register
+class SetIterationRule(Rule):
+    """No iteration-order-dependent results built from sets."""
+
+    code = "R004"
+    name = "set-iteration-order"
+    description = (
+        "set iteration order must not determine an ordered result "
+        "(list/tuple/join/loop); sort first"
+    )
+
+    def check(
+        self, module: SourceModule, context: LintContext
+    ) -> Iterator[Finding]:
+        visitor = _SetIterationVisitor(module, self.code)
+        visitor.visit(module.tree)
+        yield from visitor.findings
+
+
+__all__ = ["SetIterationRule"]

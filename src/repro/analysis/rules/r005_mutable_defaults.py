@@ -1,0 +1,95 @@
+"""R005 — no mutable default arguments.
+
+A ``def f(x, acc=[])`` default is created once and shared by every call;
+in a long-lived monitor that is state leaking across requests.  The rule
+flags list/dict/set displays and ``list()``/``dict()``/``set()``-style
+constructor calls in any default position (positional, keyword-only, or
+lambda).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, Rule, register
+from repro.analysis.sources import SourceModule
+from repro.analysis.visitor import FunctionNode, RuleVisitor, dotted_name
+
+_MUTABLE_CALLS: FrozenSet[str] = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.OrderedDict",
+        "collections.Counter",
+        "defaultdict",
+        "deque",
+        "OrderedDict",
+        "Counter",
+    }
+)
+
+
+def _mutable_default(node: ast.expr) -> Optional[str]:
+    """A short description when ``node`` is a mutable default, else None."""
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict literal"
+    if isinstance(node, (ast.Set, ast.SetComp, ast.ListComp)):
+        return "mutable comprehension/literal"
+    if isinstance(node, ast.Call):
+        target = dotted_name(node.func)
+        if target is not None and target in _MUTABLE_CALLS:
+            return f"'{target}()' call"
+    return None
+
+
+class _MutableDefaultVisitor(RuleVisitor):
+    def enter_function(self, node: FunctionNode, is_async: bool) -> None:
+        self._check_arguments(node.args, node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_arguments(node.args, "<lambda>")
+        self.generic_visit(node)
+
+    def _check_arguments(self, args: ast.arguments, name: str) -> None:
+        defaults: List[Optional[ast.expr]] = list(args.defaults)
+        defaults.extend(args.kw_defaults)
+        for default in defaults:
+            if default is None:
+                continue
+            described = _mutable_default(default)
+            if described is not None:
+                self.report(
+                    default,
+                    f"mutable default argument ({described}) in '{name}'; "
+                    "default to None and create inside the function",
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """No mutable default arguments."""
+
+    code = "R005"
+    name = "mutable-default"
+    description = (
+        "function defaults must be immutable; use None plus an "
+        "in-body constructor"
+    )
+
+    def check(
+        self, module: SourceModule, context: LintContext
+    ) -> Iterator[Finding]:
+        visitor = _MutableDefaultVisitor(module, self.code)
+        visitor.visit(module.tree)
+        yield from visitor.findings
+
+
+__all__ = ["MutableDefaultRule"]

@@ -1,0 +1,208 @@
+"""R006 — every public module declares an honest ``__all__``.
+
+``__all__`` is the export contract the API reference, the star-import
+surface, and the docs-sync tests all key off.  The rule checks, per
+public module (name not underscore-prefixed; ``__main__`` exempt):
+
+- ``__all__`` exists and is a statically analyzable list/tuple of string
+  literals;
+- every listed name is actually bound at module top level;
+- no underscore-prefixed name is exported (dunders like ``__version__``
+  excepted);
+- names that ``docs/API.md`` documents for this module *and* the module
+  binds at top level appear in ``__all__`` (the docs/exports
+  consistency direction that is statically decidable).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, Rule, register
+from repro.analysis.sources import SourceModule
+
+_EXEMPT_BASENAMES = frozenset({"__main__"})
+
+
+def top_level_bindings(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Names bound at module top level; second item flags ``import *``."""
+    bound: Set[str] = set()
+    star = False
+
+    def bind_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind_target(element)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value)
+
+    def walk(statements: List[ast.stmt]) -> None:
+        nonlocal star
+        for statement in statements:
+            if isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                bound.add(statement.name)
+            elif isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    bound.add(
+                        alias.asname
+                        if alias.asname is not None
+                        else alias.name.split(".", 1)[0]
+                    )
+            elif isinstance(statement, ast.ImportFrom):
+                for alias in statement.names:
+                    if alias.name == "*":
+                        star = True
+                    else:
+                        bound.add(
+                            alias.asname
+                            if alias.asname is not None
+                            else alias.name
+                        )
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    bind_target(target)
+            elif isinstance(statement, ast.AnnAssign):
+                bind_target(statement.target)
+            elif isinstance(statement, ast.AugAssign):
+                bind_target(statement.target)
+            elif isinstance(statement, (ast.For, ast.AsyncFor)):
+                bind_target(statement.target)
+                walk(statement.body)
+                walk(statement.orelse)
+            elif isinstance(statement, ast.If):
+                walk(statement.body)
+                walk(statement.orelse)
+            elif isinstance(statement, ast.Try):
+                walk(statement.body)
+                for handler in statement.handlers:
+                    walk(handler.body)
+                walk(statement.orelse)
+                walk(statement.finalbody)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                for item in statement.items:
+                    if item.optional_vars is not None:
+                        bind_target(item.optional_vars)
+                walk(statement.body)
+
+    walk(tree.body)
+    return bound, star
+
+
+def find_all_assignment(
+    tree: ast.Module,
+) -> Optional[Tuple[ast.stmt, Optional[List[str]]]]:
+    """The top-level ``__all__`` statement and its literal names.
+
+    The names list is ``None`` when ``__all__`` exists but is not a plain
+    list/tuple of string literals.
+    """
+    for statement in tree.body:
+        value: Optional[ast.expr] = None
+        if isinstance(statement, ast.Assign):
+            if any(
+                isinstance(target, ast.Name) and target.id == "__all__"
+                for target in statement.targets
+            ):
+                value = statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            if (
+                isinstance(statement.target, ast.Name)
+                and statement.target.id == "__all__"
+            ):
+                value = statement.value
+        if value is None:
+            continue
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return statement, None
+        names: List[str] = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                names.append(element.value)
+            else:
+                return statement, None
+        return statement, names
+    return None
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+@register
+class ExportsRule(Rule):
+    """Public modules must declare ``__all__`` consistent with the docs."""
+
+    code = "R006"
+    name = "exports"
+    description = (
+        "public modules declare a literal __all__ of bound, public "
+        "names that covers what docs/API.md documents"
+    )
+
+    def check(
+        self, module: SourceModule, context: LintContext
+    ) -> Iterator[Finding]:
+        basename = module.basename
+        if basename in _EXEMPT_BASENAMES:
+            return
+        if basename.startswith("_") and not _is_dunder(basename):
+            return  # private module: no export contract
+        located = find_all_assignment(module.tree)
+        if located is None:
+            yield self.finding(
+                module, 1, 0, "public module defines no __all__"
+            )
+            return
+        statement, names = located
+        if names is None:
+            yield self.finding(
+                module,
+                statement.lineno,
+                statement.col_offset,
+                "__all__ is not a literal list/tuple of strings "
+                "(not statically checkable)",
+            )
+            return
+        bound, star_import = top_level_bindings(module.tree)
+        for name in names:
+            if name.startswith("_") and not _is_dunder(name):
+                yield self.finding(
+                    module,
+                    statement.lineno,
+                    statement.col_offset,
+                    f"__all__ exports private name '{name}'",
+                )
+            elif name not in bound and not star_import:
+                yield self.finding(
+                    module,
+                    statement.lineno,
+                    statement.col_offset,
+                    f"__all__ lists '{name}' but the module does not "
+                    "bind it at top level",
+                )
+        api_doc = context.api_doc_for(module)
+        if api_doc is not None:
+            exported = set(names)
+            documented = api_doc.documented(module.name)
+            for name in sorted((documented & bound) - exported):
+                if _is_dunder(name) or name.startswith("_"):
+                    continue
+                yield self.finding(
+                    module,
+                    statement.lineno,
+                    statement.col_offset,
+                    f"'{name}' is documented in docs/API.md but missing "
+                    "from __all__",
+                )
+
+
+__all__ = ["top_level_bindings", "find_all_assignment", "ExportsRule"]

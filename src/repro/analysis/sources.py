@@ -1,0 +1,173 @@
+"""Source discovery and per-module facts the rules consume.
+
+A :class:`SourceModule` bundles what every rule needs about one file:
+its dotted module name (derived by climbing ``__init__.py`` packages),
+the parsed AST, and the per-line ``# repro: noqa[...]`` suppressions.
+Collection walks directories recursively, skipping caches and hidden
+entries, and reports unparsable files as ``E001`` findings instead of
+crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Sentinel meaning "every rule is suppressed on this line".
+SUPPRESS_ALL = "*"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".mypy_cache", ".pytest_cache"}
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed source file plus the metadata rules key off."""
+
+    path: Path
+    name: str
+    text: str
+    tree: ast.Module
+    noqa: Dict[int, FrozenSet[str]]
+    root: Optional[Path]
+
+    @property
+    def basename(self) -> str:
+        """The module's final dotted component (``verify`` for ``a.b.verify``)."""
+        return self.name.rsplit(".", 1)[-1]
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is switched off on ``line`` by a noqa comment."""
+        codes = self.noqa.get(line)
+        if codes is None:
+            return False
+        return SUPPRESS_ALL in codes or rule in codes
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, climbing ``__init__.py`` packages."""
+    path = path.resolve()
+    if path.name == "__init__.py":
+        parts = [path.parent.name]
+        current = path.parent.parent
+    else:
+        parts = [path.stem]
+        current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.append(current.name)
+        current = current.parent
+    return ".".join(reversed(parts))
+
+
+def repo_root_for(path: Path) -> Optional[Path]:
+    """Nearest ancestor that looks like a project root (or ``None``)."""
+    current = path.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file() or (
+            candidate / ".git"
+        ).exists():
+            return candidate
+    return None
+
+
+def parse_noqa(text: str) -> Dict[int, FrozenSet[str]]:
+    """Per-line suppressions: ``{line: codes}`` with ``{"*"}`` meaning all."""
+    table: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        raw = match.group("rules")
+        if raw is None:
+            table[lineno] = frozenset({SUPPRESS_ALL})
+        else:
+            codes = frozenset(
+                code.strip().upper() for code in raw.split(",") if code.strip()
+            )
+            table[lineno] = codes or frozenset({SUPPRESS_ALL})
+    return table
+
+
+def iter_source_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through verbatim)."""
+    seen = set()
+    for entry in paths:
+        if entry.is_file():
+            resolved = entry.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield entry
+            continue
+        for found in sorted(entry.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in found.parts):
+                continue
+            if any(
+                part.startswith(".") and part not in (".", "..")
+                for part in found.parts
+            ):
+                continue
+            resolved = found.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield found
+
+
+def load_modules(
+    paths: Iterable[Path],
+) -> Tuple[List[SourceModule], List[Finding]]:
+    """Parse every source file; syntax errors become ``E001`` findings."""
+    modules: List[SourceModule] = []
+    errors: List[Finding] = []
+    for path in iter_source_files(paths):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            errors.append(
+                Finding(str(path), 1, 0, "E001", f"unreadable file: {exc}")
+            )
+            continue
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    str(path),
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    "E001",
+                    f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(
+            SourceModule(
+                path=path,
+                name=module_name_for(path),
+                text=text,
+                tree=tree,
+                noqa=parse_noqa(text),
+                root=repo_root_for(path),
+            )
+        )
+    return modules, errors
+
+
+__all__ = [
+    "SUPPRESS_ALL",
+    "SourceModule",
+    "module_name_for",
+    "repo_root_for",
+    "parse_noqa",
+    "iter_source_files",
+    "load_modules",
+]

@@ -1,0 +1,80 @@
+"""Visitor scaffolding shared by the AST-based rules.
+
+:class:`RuleVisitor` collects findings and tracks the lexical function
+stack so rules can ask "am I inside an ``async def`` body right now?"
+without re-implementing the bookkeeping.  :func:`dotted_name` flattens
+``a.b.c`` attribute chains for call-target matching.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.sources import SourceModule
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``"a.b.c"`` for a ``Name``/``Attribute`` chain, else ``None``."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """A findings-collecting visitor with function-context tracking.
+
+    Subclasses call :meth:`report` and may consult :attr:`in_async`,
+    which is True while visiting statements whose *nearest enclosing
+    function* is an ``async def`` (a nested plain ``def`` shields its
+    body — it may legitimately run off the event loop).
+    """
+
+    def __init__(self, module: SourceModule, rule_code: str) -> None:
+        self.module = module
+        self.rule_code = rule_code
+        self.findings: List[Finding] = []
+        self._function_stack: List[bool] = []
+
+    @property
+    def in_async(self) -> bool:
+        """Whether the nearest enclosing function is ``async def``."""
+        return bool(self._function_stack) and self._function_stack[-1]
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record one finding at ``node``'s location."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        self.findings.append(
+            Finding(str(self.module.path), line, col, self.rule_code, message)
+        )
+
+    # -- function-context bookkeeping ----------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, is_async=True)
+
+    def _visit_function(self, node: FunctionNode, is_async: bool) -> None:
+        self.enter_function(node, is_async)
+        self._function_stack.append(is_async)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._function_stack.pop()
+
+    def enter_function(self, node: FunctionNode, is_async: bool) -> None:
+        """Hook for rules that inspect signatures; default does nothing."""
+
+
+__all__ = ["FunctionNode", "dotted_name", "RuleVisitor"]

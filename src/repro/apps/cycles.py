@@ -26,7 +26,7 @@ Cycles are reported in canonical form ``(c, w, ..., c)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.enumerator import CpeEnumerator
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
@@ -57,7 +57,9 @@ class CycleMonitor:
         self.graph = graph
         self.center = center
         self.k = k
-        self._subs: Dict[Vertex, CpeEnumerator] = {}
+        # None marks an out-neighbor tracked for presence only (k < 2
+        # leaves no room for a 2+-hop cycle through it).
+        self._subs: Dict[Vertex, Optional[CpeEnumerator]] = {}
         self._counts: Dict[Vertex, int] = {}
         self._self_loop = graph.has_edge(center, center)
         graph.add_vertex(center)
@@ -70,7 +72,7 @@ class CycleMonitor:
         """Create the sub-enumerator for out-neighbor ``w``."""
         if self.k < 2:
             # no room for a 2+-hop cycle; track presence only
-            self._subs[w] = None  # type: ignore[assignment]
+            self._subs[w] = None
             self._counts[w] = 0
             return []
         sub = CpeEnumerator(self.graph, w, self.center, self.k - 1)
@@ -161,3 +163,10 @@ class CycleMonitor:
             f"CycleMonitor(center={self.center!r}, k={self.k}, "
             f"out_neighbors={len(self._subs)}, cycles={self.cycle_count()})"
         )
+
+
+__all__ = [
+    "Cycle",
+    "CycleUpdate",
+    "CycleMonitor",
+]

@@ -145,3 +145,11 @@ class RiskMonitor:
             fresh = self.policy.score(paths)
             drift[pair] = abs(fresh - self._scores[pair])
         return drift
+
+
+__all__ = [
+    "PairKey",
+    "RiskPolicy",
+    "RiskAlert",
+    "RiskMonitor",
+]

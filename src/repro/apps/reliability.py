@@ -113,3 +113,9 @@ class ReliabilityEstimator:
     def audit(self) -> bool:
         """Whether the maintained route set matches recomputation."""
         return self._routes == set(self._cpe.startup())
+
+
+__all__ = [
+    "Link",
+    "ReliabilityEstimator",
+]

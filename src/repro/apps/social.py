@@ -97,3 +97,9 @@ class TieStrengthMonitor:
         for pair, paths in self._monitor.results().items():
             worst = max(worst, abs(self._value(paths) - self._strengths[pair]))
         return worst
+
+
+__all__ = [
+    "PairKey",
+    "TieStrengthMonitor",
+]

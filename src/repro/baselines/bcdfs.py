@@ -117,3 +117,8 @@ class BcDfsEnumerator:
     def run(self):
         """Iterator facade (materializes; barrier state is per-run)."""
         return iter(self.paths())
+
+
+__all__ = [
+    "BcDfsEnumerator",
+]

@@ -132,3 +132,8 @@ class BcJoinEnumerator:
     def run(self):
         """Iterator facade."""
         return iter(self.paths())
+
+
+__all__ = [
+    "BcJoinEnumerator",
+]

@@ -46,3 +46,10 @@ def count_paths(graph: DynamicDiGraph, s: Vertex, t: Vertex, k: int) -> int:
 def path_set(graph: DynamicDiGraph, s: Vertex, t: Vertex, k: int) -> set:
     """The result as a set (test helper)."""
     return set(enumerate_paths(graph, s, t, k))
+
+
+__all__ = [
+    "enumerate_paths",
+    "count_paths",
+    "path_set",
+]

@@ -200,3 +200,8 @@ class CsmStarEnumerator:
                         if suf_set.isdisjoint(pre):
                             results.append(pre + suf)
         return results
+
+
+__all__ = [
+    "CsmStarEnumerator",
+]

@@ -282,3 +282,9 @@ class CsmDcgEnumerator:
         if update.insert:
             return self.insert_edge(update.u, update.v)
         return self.delete_edge(update.u, update.v)
+
+
+__all__ = [
+    "Counter",
+    "CsmDcgEnumerator",
+]

@@ -198,3 +198,8 @@ class PathEnumEnumerator:
     def run(self):
         """Iterator facade."""
         return iter(self.paths())
+
+
+__all__ = [
+    "PathEnumEnumerator",
+]

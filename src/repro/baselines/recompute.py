@@ -117,3 +117,10 @@ class RecomputeEnumerator:
         if update.insert:
             return self.insert_edge(update.u, update.v)
         return self.delete_edge(update.u, update.v)
+
+
+__all__ = [
+    "StaticFactory",
+    "FACTORIES",
+    "RecomputeEnumerator",
+]

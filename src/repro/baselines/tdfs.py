@@ -63,3 +63,8 @@ class TDfsEnumerator:
     def paths(self) -> List[Path]:
         """The full result as a list."""
         return list(self.run())
+
+
+__all__ = [
+    "TDfsEnumerator",
+]

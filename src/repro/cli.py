@@ -11,7 +11,9 @@ Commands:
 - ``serve`` — run the path-query service (newline-delimited JSON over
   TCP; see :mod:`repro.service`);
 - ``bench-serve`` — load-test an in-process server and report
-  throughput and p50/p99 latency.
+  throughput and p50/p99 latency;
+- ``lint`` — run the project-specific static analysis
+  (:mod:`repro.analysis`, rules R001–R006; see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -174,6 +176,27 @@ def _build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--seed", type=int, default=7)
     bs.add_argument("--save", metavar="FILE", default=None,
                     help="also write the JSON summary to FILE")
+
+    ln = sub.add_parser(
+        "lint",
+        help="run the project-specific static analysis (rules R001-R006)",
+    )
+    ln.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: ./src)",
+    )
+    ln.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    ln.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule codes to run (e.g. R001,R003)",
+    )
+    ln.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
     return parser
 
 
@@ -203,6 +226,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_experiment(args)
 
 
@@ -306,6 +331,38 @@ def _cmd_bench_serve(args) -> int:
             fh.write("\n")
         print(f"summary written to {args.save}")
     return 0 if sum(report.errors.values()) == 0 else 1
+
+
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import all_rules, render_json, render_text, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:20s} {rule.description}")
+        return 0
+    paths = args.paths or (["src"] if Path("src").is_dir() else [])
+    if not paths:
+        print("error: no paths given and no ./src directory", file=sys.stderr)
+        return 2
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    select = None
+    if args.select is not None:
+        select = [code for code in args.select.split(",") if code.strip()]
+    try:
+        report = run_lint(paths, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report)
+    )
+    print(rendered)
+    return 0 if report.ok else 1
 
 
 def _cmd_verify(args) -> int:
@@ -471,3 +528,8 @@ def _cmd_experiment(args) -> int:
 
 if __name__ == "__main__":
     raise SystemExit(main())
+
+
+__all__ = [
+    "main",
+]

@@ -120,3 +120,11 @@ class CpeBatch:
             net_deleted, key=lambda p: (len(p), repr(p))
         )
         return result
+
+
+__all__ = [
+    "Edge",
+    "compress_stream",
+    "BatchResult",
+    "CpeBatch",
+]

@@ -172,7 +172,7 @@ class _Builder:
         """Grow left partial paths from level ``level - 1`` to ``level``."""
         t = self.t
         budget = self.k - level  # max Dist_t[y] an admissible endpoint has
-        dist = self.dist_t._dist  # hot loop: raw map, absent == far
+        dist = self.dist_t.raw  # hot loop: raw map, absent == far
         out_neighbors = self.graph.out_neighbors
         bucket = self.left.level_dict(level)
         next_frontier: List[Tuple[Vertex, ...]] = []
@@ -199,7 +199,7 @@ class _Builder:
         """Grow right partial paths (stored forward) by prepending."""
         s = self.s
         budget = self.k - level
-        dist = self.dist_s._dist
+        dist = self.dist_s.raw
         in_neighbors = self.graph.in_neighbors
         bucket = self.right.level_dict(level)
         next_frontier: List[Tuple[Vertex, ...]] = []
@@ -221,3 +221,10 @@ class _Builder:
         self.stats.expansions += expansions
         self.stats.pruned += expansions - len(next_frontier)
         self._right_frontier = next_frontier
+
+
+__all__ = [
+    "ConstructionStats",
+    "BuildResult",
+    "build_index",
+]

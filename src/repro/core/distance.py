@@ -78,6 +78,16 @@ class DistanceMap:
         """Distance from the source to ``v`` (``far`` if above horizon)."""
         return self._dist.get(v, self.far)
 
+    @property
+    def raw(self) -> Dict[Vertex, int]:
+        """The live distance mapping (absent means :attr:`far`).
+
+        Hot loops (the construction level search) probe this dict
+        directly instead of paying a method call per vertex; callers
+        must treat it as read-only.
+        """
+        return self._dist
+
     def known(self) -> Iterator[Tuple[Vertex, int]]:
         """All ``(vertex, distance)`` pairs within the horizon."""
         return iter(self._dist.items())
@@ -283,3 +293,9 @@ def induced_vertices(dist_s: DistanceMap, dist_t: DistanceMap, k: int) -> Set[Ve
     return {
         v for v, d in smaller.known() if d + larger.get(v) <= k
     }
+
+
+__all__ = [
+    "DistanceMap",
+    "induced_vertices",
+]

@@ -94,3 +94,10 @@ def enumerate_delta(
 def count_full(index: PartialPathIndex) -> int:
     """Number of k-st paths without materializing them as a list."""
     return sum(1 for _ in enumerate_full(index))
+
+
+__all__ = [
+    "enumerate_full",
+    "enumerate_delta",
+    "count_full",
+]

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
 from repro.core.construction import BuildResult, ConstructionStats, build_index
+from repro.core.distance import DistanceMap
 from repro.core.enumeration import count_full, enumerate_delta, enumerate_full
 from repro.core.index import IndexMemoryStats, PartialPathIndex
 from repro.core.maintenance import IndexMaintainer, UpdateRecord
@@ -108,8 +109,8 @@ class CpeEnumerator:
         cls,
         graph: DynamicDiGraph,
         index: PartialPathIndex,
-        dist_s,
-        dist_t,
+        dist_s: DistanceMap,
+        dist_t: DistanceMap,
     ) -> "CpeEnumerator":
         """Assemble an enumerator from pre-built state (deserialization).
 
@@ -141,6 +142,16 @@ class CpeEnumerator:
     def plan(self) -> JoinPlan:
         """The join plan chosen at construction."""
         return self._index.plan
+
+    @property
+    def dist_s(self) -> DistanceMap:
+        """The maintained ``Dist_s`` map (read-only use expected)."""
+        return self._dist_s
+
+    @property
+    def dist_t(self) -> DistanceMap:
+        """The maintained ``Dist_t`` map (read-only use expected)."""
+        return self._dist_t
 
     @property
     def construction_stats(self) -> ConstructionStats:
@@ -286,3 +297,9 @@ class CpeEnumerator:
             f"CpeEnumerator(s={self.s!r}, t={self.t!r}, k={self.k}, "
             f"index={self._index!r})"
         )
+
+
+__all__ = [
+    "UpdateResult",
+    "CpeEnumerator",
+]

@@ -123,3 +123,10 @@ def estimate_path_count(
             weight *= len(choices)
             path.append(rng.choice(choices))
     return total / samples
+
+
+__all__ = [
+    "walk_count_bound",
+    "exact_path_count",
+    "estimate_path_count",
+]

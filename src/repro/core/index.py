@@ -238,3 +238,11 @@ class PartialPathIndex:
             f"|LP|={len(self.left)}, |RP|={len(self.right)}, "
             f"direct_edge={self.direct_edge})"
         )
+
+
+__all__ = [
+    "Bucket",
+    "PathBuckets",
+    "IndexMemoryStats",
+    "PartialPathIndex",
+]

@@ -465,3 +465,9 @@ class IndexMaintainer:
             for i in range(lo, hi + 1):
                 for path in self.index.left.at(w, i):
                     removed.add(w, path)
+
+
+__all__ = [
+    "UpdateRecord",
+    "IndexMaintainer",
+]

@@ -147,3 +147,8 @@ class StrictUdfsMaintainer(IndexMaintainer):
                 if self.index.add_left(extended):
                     delta.add(v2, extended)
                     stack.append(extended)
+
+
+__all__ = [
+    "StrictUdfsMaintainer",
+]

@@ -194,3 +194,11 @@ class SlidingWindowMonitor:
     ) -> List[WindowEvent]:
         """Offer a whole stream; one :class:`WindowEvent` per element."""
         return [self.offer(u, v, ts) for u, v, ts in stream]
+
+
+__all__ = [
+    "PairKey",
+    "MultiPairMonitor",
+    "WindowEvent",
+    "SlidingWindowMonitor",
+]

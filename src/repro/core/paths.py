@@ -68,3 +68,16 @@ def sort_key(path: Path) -> Tuple[int, Path]:
 def canonical(paths: Iterable[Path]) -> Tuple[Path, ...]:
     """Deterministically ordered tuple of ``paths`` (testing helper)."""
     return tuple(sorted(paths, key=sort_key))
+
+
+__all__ = [
+    "Path",
+    "hops",
+    "is_simple",
+    "exists_in",
+    "is_k_st_path",
+    "join",
+    "uses_edge",
+    "sort_key",
+    "canonical",
+]

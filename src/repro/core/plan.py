@@ -28,8 +28,10 @@ class JoinPlan:
 
     k: int
     pairs: Tuple[Tuple[int, int], ...]
+    # Populated by __post_init__ via object.__setattr__ (frozen dataclass);
+    # no default so the unset state cannot be observed.
     _by_length: Dict[int, Tuple[int, int]] = field(
-        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+        init=False, repr=False, compare=False, hash=False
     )
 
     def __post_init__(self) -> None:
@@ -126,3 +128,10 @@ def plan_from_growth(k: int, growth: List[str]) -> JoinPlan:
     if k >= 2 and len(growth) != k - 2:
         raise ValueError(f"need exactly {k - 2} growth steps, got {len(growth)}")
     return plan
+
+
+__all__ = [
+    "JoinPlan",
+    "balanced_plan",
+    "plan_from_growth",
+]

@@ -106,3 +106,8 @@ class MaintainedResultSet:
             hops = len(path) - 1
             histogram[hops] = histogram.get(hops, 0) + 1
         return histogram == self.length_histogram()
+
+
+__all__ = [
+    "MaintainedResultSet",
+]

@@ -60,12 +60,15 @@ def restore(state: dict) -> CpeEnumerator:
         vertices=state["vertices"],
     )
     plan = JoinPlan(k, tuple(tuple(pair) for pair in state["plan"]))
+    # Deserialization rebuilds the index it owns from a snapshot that was
+    # taken under the invariants; the maintenance layer takes over once
+    # the enumerator is assembled.
     index = PartialPathIndex(s, t, k, plan)
-    index.direct_edge = bool(state["direct_edge"])
+    index.direct_edge = bool(state["direct_edge"])  # repro: noqa[R001]
     for raw in state["left"]:
-        index.add_left(tuple(raw))
+        index.add_left(tuple(raw))  # repro: noqa[R001]
     for raw in state["right"]:
-        index.add_right(tuple(raw))
+        index.add_right(tuple(raw))  # repro: noqa[R001]
     dist_s = DistanceMap(graph, s, horizon=k)
     dist_t = DistanceMap(graph.reverse_view(), t, horizon=k)
     return CpeEnumerator.from_parts(graph, index, dist_s, dist_t)
@@ -101,3 +104,13 @@ def load_enumerator(path: PathLike) -> CpeEnumerator:
     """Read a snapshot from ``path`` and restore the enumerator."""
     with open(path, "r", encoding="utf-8") as handle:
         return restore(json.load(handle))
+
+
+__all__ = [
+    "PathLike",
+    "snapshot",
+    "restore",
+    "snapshot_size_bytes",
+    "save_enumerator",
+    "load_enumerator",
+]

@@ -20,9 +20,9 @@ def verify_enumerator(cpe: CpeEnumerator) -> List[str]:
     """Audit ``cpe`` against recomputation; returns findings (empty = ok)."""
     findings: List[str] = []
 
-    if not cpe._dist_s.is_consistent():
+    if not cpe.dist_s.is_consistent():
         findings.append("Dist_s diverges from a fresh BFS")
-    if not cpe._dist_t.is_consistent():
+    if not cpe.dist_t.is_consistent():
         findings.append("Dist_t diverges from a fresh BFS")
 
     findings.extend(_structural_checks(cpe))
@@ -73,7 +73,7 @@ def _structural_checks(cpe: CpeEnumerator) -> List[str]:
             findings.append(f"LP too long for plan l={plan.l}: {path}")
         elif not exists_in(path, graph):
             findings.append(f"LP uses missing edges: {path}")
-        elif length + cpe._dist_t.get(vertex) > k:
+        elif length + cpe.dist_t.get(vertex) > k:
             findings.append(f"LP inadmissible: {path}")
     for length, vertex, path in cpe.index.right.entries():
         if hops(path) != length or path[0] != vertex:
@@ -84,7 +84,7 @@ def _structural_checks(cpe: CpeEnumerator) -> List[str]:
             findings.append(f"RP too long for plan r={plan.r}: {path}")
         elif not exists_in(path, graph):
             findings.append(f"RP uses missing edges: {path}")
-        elif length + cpe._dist_s.get(vertex) > k:
+        elif length + cpe.dist_s.get(vertex) > k:
             findings.append(f"RP inadmissible: {path}")
     return findings
 
@@ -95,3 +95,9 @@ def assert_verified(cpe: CpeEnumerator) -> None:
     if findings:
         summary = "\n  ".join(findings[:10])
         raise AssertionError(f"enumerator audit failed:\n  {summary}")
+
+
+__all__ = [
+    "verify_enumerator",
+    "assert_verified",
+]

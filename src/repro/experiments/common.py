@@ -134,3 +134,12 @@ def summarize(values: Sequence[float]) -> Dict[str, float]:
         "min": min(values),
         "max": max(values),
     }
+
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ms",
+    "speedup",
+    "summarize",
+]

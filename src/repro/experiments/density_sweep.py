@@ -91,3 +91,11 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+__all__ = [
+    "DEFAULT_VERTICES",
+    "DEFAULT_DENSITIES",
+    "run",
+    "main",
+]

@@ -97,3 +97,11 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+__all__ = [
+    "DEFAULT_DATASET",
+    "DEFAULT_KS",
+    "run",
+    "main",
+]

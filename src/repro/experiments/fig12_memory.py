@@ -81,3 +81,12 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+__all__ = [
+    "DEFAULT_DATASETS",
+    "DEFAULT_KS",
+    "result_bytes",
+    "run",
+    "main",
+]

@@ -98,3 +98,10 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+__all__ = [
+    "METHODS",
+    "run",
+    "main",
+]

@@ -73,3 +73,9 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+__all__ = [
+    "run",
+    "main",
+]

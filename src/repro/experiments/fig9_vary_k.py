@@ -96,3 +96,11 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+__all__ = [
+    "DEFAULT_DATASETS",
+    "DEFAULT_KS",
+    "run",
+    "main",
+]

@@ -172,3 +172,13 @@ def main(argv=None) -> int:
 
 if __name__ == "__main__":
     raise SystemExit(main())
+
+
+__all__ = [
+    "PathLike",
+    "KNOWN",
+    "load_csv",
+    "summarize",
+    "build_report",
+    "main",
+]

@@ -215,3 +215,15 @@ def load_all(
     """Build several datasets at once (default: all fourteen)."""
     chosen = names if names is not None else DATASET_ORDER
     return {name: load(name, scale) for name in chosen}
+
+
+__all__ = [
+    "PaperStats",
+    "DatasetSpec",
+    "REGISTRY",
+    "DATASET_ORDER",
+    "UNDIRECTED_DATASETS",
+    "spec",
+    "load",
+    "load_all",
+]

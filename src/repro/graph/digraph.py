@@ -18,7 +18,17 @@ Vertices are arbitrary hashable objects; the experiment harness uses
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Optional,
+    Set,
+    Tuple,
+)
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -172,17 +182,18 @@ class DynamicDiGraph:
     # ------------------------------------------------------------------
     # Adjacency
     # ------------------------------------------------------------------
-    def out_neighbors(self, v: Vertex) -> FrozenSet[Vertex]:
+    def out_neighbors(self, v: Vertex) -> AbstractSet[Vertex]:
         """``N_out(v)`` — live set of out-going neighbors (empty if absent).
 
         The returned object is the internal set; callers must not mutate
-        it.  It is typed as a frozen view to make that contract explicit.
+        it.  It is typed as a read-only view to make that contract
+        explicit.
         """
-        return self._out.get(v, _EMPTY)  # type: ignore[return-value]
+        return self._out.get(v, _EMPTY)
 
-    def in_neighbors(self, v: Vertex) -> FrozenSet[Vertex]:
+    def in_neighbors(self, v: Vertex) -> AbstractSet[Vertex]:
         """``N_in(v)`` — live set of in-going neighbors (empty if absent)."""
-        return self._in.get(v, _EMPTY)  # type: ignore[return-value]
+        return self._in.get(v, _EMPTY)
 
     def out_degree(self, v: Vertex) -> int:
         """Number of out-going edges of ``v``."""
@@ -267,11 +278,11 @@ class _ReverseView:
     def __init__(self, graph: DynamicDiGraph) -> None:
         self._g = graph
 
-    def out_neighbors(self, v: Vertex) -> FrozenSet[Vertex]:
+    def out_neighbors(self, v: Vertex) -> AbstractSet[Vertex]:
         """Out-neighbors in the reverse graph = in-neighbors in ``G``."""
         return self._g.in_neighbors(v)
 
-    def in_neighbors(self, v: Vertex) -> FrozenSet[Vertex]:
+    def in_neighbors(self, v: Vertex) -> AbstractSet[Vertex]:
         """In-neighbors in the reverse graph = out-neighbors in ``G``."""
         return self._g.out_neighbors(v)
 
@@ -302,3 +313,11 @@ class _ReverseView:
 
     def __repr__(self) -> str:
         return f"_ReverseView({self._g!r})"
+
+
+__all__ = [
+    "Vertex",
+    "Edge",
+    "EdgeUpdate",
+    "DynamicDiGraph",
+]

@@ -144,3 +144,8 @@ class _FrozenReverse:
     def num_vertices(self) -> int:
         """``|V|``."""
         return self._g.num_vertices
+
+
+__all__ = [
+    "FrozenDiGraph",
+]

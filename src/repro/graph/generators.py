@@ -256,3 +256,14 @@ def random_update_edges(
         u, v = rng.sample(vertices, 2)
         pairs.append((u, v))
     return pairs
+
+
+__all__ = [
+    "gnm_random_graph",
+    "preferential_attachment_graph",
+    "small_world_graph",
+    "community_graph",
+    "layered_dag",
+    "grid_graph",
+    "random_update_edges",
+]

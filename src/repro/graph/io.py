@@ -82,3 +82,12 @@ def write_update_stream(updates: Iterable[EdgeUpdate], path: PathLike) -> int:
             handle.write(f"{upd.symbol} {upd.u} {upd.v}\n")
             count += 1
     return count
+
+
+__all__ = [
+    "PathLike",
+    "read_edge_list",
+    "write_edge_list",
+    "read_update_stream",
+    "write_update_stream",
+]

@@ -102,3 +102,11 @@ def is_acyclic(graph: DynamicDiGraph) -> bool:
     return all(
         len(c) == 1 for c in strongly_connected_components(graph)
     )
+
+
+__all__ = [
+    "strongly_connected_components",
+    "component_map",
+    "condensation",
+    "is_acyclic",
+]

@@ -139,3 +139,12 @@ def degree_percentile_vertices(
     ordered = sorted(graph.vertices(), key=graph.degree, reverse=True)
     cutoff = max(1, int(len(ordered) * top_fraction))
     return ordered[:cutoff]
+
+
+__all__ = [
+    "GraphStats",
+    "average_degree",
+    "undirected_bfs_eccentricity",
+    "diameter_estimate",
+    "degree_percentile_vertices",
+]

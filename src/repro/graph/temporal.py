@@ -141,3 +141,11 @@ def replay_window(
     if expiry_queue:
         final = expiry_queue[-1][0]
         yield from expire_until(final)
+
+
+__all__ = [
+    "TemporalEdge",
+    "poisson_stream",
+    "bursty_stream",
+    "replay_window",
+]

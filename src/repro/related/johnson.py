@@ -115,3 +115,10 @@ def elementary_cycles(
 def count_cycles(graph: DynamicDiGraph, max_length: int = None) -> int:
     """Number of elementary circuits (length-bounded if given)."""
     return sum(1 for _ in elementary_cycles(graph, max_length))
+
+
+__all__ = [
+    "Cycle",
+    "elementary_cycles",
+    "count_cycles",
+]

@@ -99,3 +99,8 @@ def k_shortest_simple_paths(
             break
         accepted.append(heapq.heappop(candidates)[1])
     return accepted
+
+
+__all__ = [
+    "k_shortest_simple_paths",
+]

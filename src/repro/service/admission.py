@@ -177,3 +177,9 @@ class AdmissionController:
             in_flight=self._pending,
             capacity=self.capacity,
         )
+
+
+__all__ = [
+    "AdmissionStats",
+    "AdmissionController",
+]

@@ -186,3 +186,10 @@ class IndexCache:
             current_bytes=self._current_bytes,
             budget_bytes=self.budget_bytes,
         )
+
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "IndexCache",
+]

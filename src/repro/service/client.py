@@ -175,3 +175,9 @@ class ServiceClient:
     def stats(self, deadline_ms: Optional[float] = None) -> Dict[str, Any]:
         """Server/engine/cache/admission counters."""
         return self.call("stats", deadline_ms=deadline_ms)
+
+
+__all__ = [
+    "UpdateLike",
+    "ServiceClient",
+]

@@ -270,3 +270,9 @@ class PathQueryEngine:
             },
             "cache": self.cache.stats().as_dict(),
         }
+
+
+__all__ = [
+    "UpdateTriple",
+    "PathQueryEngine",
+]

@@ -120,3 +120,9 @@ def run_load(
             report.requests += 1
     report.elapsed_seconds = time.perf_counter() - started
     return report
+
+
+__all__ = [
+    "LoadReport",
+    "run_load",
+]

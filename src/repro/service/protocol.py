@@ -342,3 +342,37 @@ def encode_paths(paths: Iterable[Path]) -> List[List[Any]]:
 def decode_paths(raw: Iterable[Iterable[Any]]) -> List[Path]:
     """The inverse of :func:`encode_paths`."""
     return [tuple(path) for path in raw]
+
+
+__all__ = [
+    "BAD_REQUEST",
+    "UNKNOWN_OP",
+    "NOT_FOUND",
+    "ALREADY_WATCHED",
+    "OVERLOADED",
+    "DEADLINE_EXCEEDED",
+    "SHUTTING_DOWN",
+    "INTERNAL",
+    "ERROR_CODES",
+    "OPS",
+    "ServiceError",
+    "BadRequestError",
+    "UnknownOpError",
+    "NotFoundError",
+    "AlreadyWatchedError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "ShuttingDownError",
+    "InternalError",
+    "error_from_wire",
+    "RequestId",
+    "Wire",
+    "Request",
+    "decode_request",
+    "Response",
+    "ok_response",
+    "error_response",
+    "decode_response",
+    "encode_paths",
+    "decode_paths",
+]

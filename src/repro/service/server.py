@@ -302,3 +302,10 @@ def serve_in_thread(
     if "error" in box:
         raise box["error"]
     return ServerHandle(box["server"], box["loop"], box["stop"], thread)
+
+
+__all__ = [
+    "PathQueryServer",
+    "ServerHandle",
+    "serve_in_thread",
+]

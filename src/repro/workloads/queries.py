@@ -118,3 +118,10 @@ def hot_queries(
     if len(pool) < 2:
         pool = list(graph.vertices())
     return _sample_pairs(graph, pool, count, k, rng, connected)
+
+
+__all__ = [
+    "Query",
+    "random_queries",
+    "hot_queries",
+]

@@ -201,3 +201,22 @@ def recompute_factory(graph, s, t, k):
     from repro.baselines.recompute import RecomputeEnumerator
 
     return RecomputeEnumerator(graph, s, t, k, method="pathenum")
+
+
+__all__ = [
+    "DynamicFactory",
+    "StaticRunner",
+    "StaticRun",
+    "DynamicRun",
+    "run_static",
+    "run_dynamic",
+    "cpe_startup_runner",
+    "pathenum_runner",
+    "bcjoin_runner",
+    "bcdfs_runner",
+    "tdfs_runner",
+    "csm_startup_runner",
+    "cpe_factory",
+    "csm_factory",
+    "recompute_factory",
+]

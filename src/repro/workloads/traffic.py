@@ -106,3 +106,9 @@ def service_traffic(
             ops.append(("query", query.s, query.t, query.k))
             queries_left -= 1
     return ops
+
+
+__all__ = [
+    "TrafficOp",
+    "service_traffic",
+]

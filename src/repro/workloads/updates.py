@@ -89,3 +89,8 @@ def relevant_update_stream(
         scratch.apply_update(update)
         stream.append(update)
     return stream
+
+
+__all__ = [
+    "relevant_update_stream",
+]

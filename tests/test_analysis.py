@@ -1,0 +1,323 @@
+"""Tests for :mod:`repro.analysis` — the project-specific lint engine.
+
+Each rule gets a fixture triple: a snippet it must flag (with the rule
+id and line asserted), a clean snippet it must pass, and the flagged
+snippet again with a ``# repro: noqa[RULE]`` suppression on the hit
+line.  On top of that the repo itself must lint clean — ``repro lint
+src/`` is part of CI, so a regression here is a regression there.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, render_json, render_text, run_lint
+from repro.analysis.sources import parse_noqa
+
+ROOT = Path(__file__).parent.parent
+
+# ----------------------------------------------------------------------
+# Rule fixtures: code -> (bad source, expected hit line, clean source)
+# ----------------------------------------------------------------------
+RULE_FIXTURES = {
+    "R001": (
+        textwrap.dedent(
+            """\
+            def corrupt(index, path):
+                index.add_left(1, "v", path)
+            """
+        ),
+        2,
+        textwrap.dedent(
+            """\
+            def read(index):
+                return index.count_left(1, 2)
+            """
+        ),
+    ),
+    "R002": (
+        textwrap.dedent(
+            """\
+            def peek(cpe):
+                return cpe._dist_s
+            """
+        ),
+        2,
+        textwrap.dedent(
+            """\
+            class Box:
+                def __init__(self):
+                    self._value = 1
+
+                def value(self):
+                    return self._value
+            """
+        ),
+    ),
+    "R003": (
+        textwrap.dedent(
+            """\
+            import time
+
+
+            async def pause():
+                time.sleep(1)
+            """
+        ),
+        5,
+        textwrap.dedent(
+            """\
+            import asyncio
+            import time
+
+
+            def pause():
+                time.sleep(1)
+
+
+            async def apause():
+                await asyncio.sleep(1)
+            """
+        ),
+    ),
+    "R004": (
+        textwrap.dedent(
+            """\
+            def order(xs):
+                return list({x for x in xs})
+            """
+        ),
+        2,
+        textwrap.dedent(
+            """\
+            def order(xs):
+                return sorted({x for x in xs})
+            """
+        ),
+    ),
+    "R005": (
+        textwrap.dedent(
+            """\
+            def collect(item, acc=[]):
+                acc.append(item)
+                return acc
+            """
+        ),
+        1,
+        textwrap.dedent(
+            """\
+            def collect(item, acc=None):
+                if acc is None:
+                    acc = []
+                acc.append(item)
+                return acc
+            """
+        ),
+    ),
+    "R006": (
+        "def helper():\n    return 1\n",
+        1,
+        'def helper():\n    return 1\n\n\n__all__ = ["helper"]\n',
+    ),
+}
+
+
+def lint_source(tmp_path, source, select=None, name="mod.py"):
+    target = tmp_path / name
+    target.write_text(source, encoding="utf-8")
+    return run_lint([str(target)], select=select)
+
+
+def suppress_line(source, line, rule):
+    """Append ``# repro: noqa[rule]`` to the given 1-based line."""
+    lines = source.splitlines()
+    lines[line - 1] += f"  # repro: noqa[{rule}]"
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_rule_flags_bad_fixture(rule, tmp_path):
+    bad, line, _ = RULE_FIXTURES[rule]
+    report = lint_source(tmp_path, bad, select=[rule])
+    hits = report.for_rule(rule)
+    assert hits, f"{rule} missed its fixture"
+    assert hits[0].rule == rule
+    assert hits[0].line == line
+    assert hits[0].path.endswith("mod.py")
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_rule_passes_clean_fixture(rule, tmp_path):
+    _, _, clean = RULE_FIXTURES[rule]
+    report = lint_source(tmp_path, clean, select=[rule])
+    assert report.findings == (), render_text(report)
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_rule_respects_noqa(rule, tmp_path):
+    bad, line, _ = RULE_FIXTURES[rule]
+    report = lint_source(tmp_path, suppress_line(bad, line, rule),
+                         select=[rule])
+    assert report.findings == (), render_text(report)
+
+
+def test_bare_noqa_suppresses_every_rule(tmp_path):
+    bad, line, _ = RULE_FIXTURES["R005"]
+    lines = bad.splitlines()
+    lines[line - 1] += "  # repro: noqa"
+    report = lint_source(tmp_path, "\n".join(lines) + "\n", select=["R005"])
+    assert report.findings == ()
+
+
+def test_noqa_on_other_line_does_not_suppress(tmp_path):
+    bad, line, _ = RULE_FIXTURES["R005"]
+    report = lint_source(
+        tmp_path, "# repro: noqa[R005]\n" + bad, select=["R005"]
+    )
+    assert report.for_rule("R005")
+
+
+# ----------------------------------------------------------------------
+# Rule-specific edge cases
+# ----------------------------------------------------------------------
+def test_r001_allows_the_maintenance_layer(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    bad, _, _ = RULE_FIXTURES["R001"]
+    (pkg / "maintenance.py").write_text(bad, encoding="utf-8")
+    report = run_lint([str(pkg / "maintenance.py")], select=["R001"])
+    assert report.findings == (), "maintenance layer may mutate the index"
+
+
+def test_r002_allows_same_class_private_access(tmp_path):
+    source = textwrap.dedent(
+        """\
+        class Pair:
+            def __init__(self):
+                self._left = 0
+
+            def __eq__(self, other):
+                return self._left == other._left
+        """
+    )
+    report = lint_source(tmp_path, source, select=["R002"])
+    assert report.findings == ()
+
+
+def test_r003_nested_sync_def_shields_its_body(tmp_path):
+    source = textwrap.dedent(
+        """\
+        import time
+
+
+        async def outer():
+            def worker():
+                time.sleep(1)
+            return worker
+        """
+    )
+    report = lint_source(tmp_path, source, select=["R003"])
+    assert report.findings == ()
+
+
+def test_r004_ignores_sorted_set(tmp_path):
+    report = lint_source(
+        tmp_path, "order = sorted({3, 1, 2})\n__all__ = ['order']\n"
+    )
+    assert report.findings == ()
+
+
+def test_r006_flags_unbound_and_private_exports(tmp_path):
+    source = '__all__ = ["missing", "_hidden"]\n_hidden = 1\n'
+    report = lint_source(tmp_path, source, select=["R006"])
+    messages = [f.message for f in report.findings]
+    assert any("missing" in m for m in messages)
+    assert any("_hidden" in m for m in messages)
+
+
+def test_r006_exempts_private_modules(tmp_path):
+    report = lint_source(
+        tmp_path, "def helper():\n    return 1\n",
+        select=["R006"], name="_internal.py",
+    )
+    assert report.findings == ()
+
+
+# ----------------------------------------------------------------------
+# Engine / reporter plumbing
+# ----------------------------------------------------------------------
+def test_syntax_error_reported_as_e001(tmp_path):
+    report = lint_source(tmp_path, "def broken(:\n")
+    assert [f.rule for f in report.findings] == ["E001"]
+
+
+def test_unknown_rule_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        lint_source(tmp_path, "x = 1\n", select=["R999"])
+
+
+def test_json_reporter_round_trips(tmp_path):
+    bad, _, _ = RULE_FIXTURES["R005"]
+    report = lint_source(tmp_path, bad, select=["R005"])
+    payload = json.loads(render_json(report))
+    assert payload["ok"] is False
+    assert payload["files_scanned"] == 1
+    assert payload["rules"] == ["R005"]
+    assert payload["findings"][0]["rule"] == "R005"
+
+
+def test_parse_noqa_formats():
+    noqa = parse_noqa(
+        "x = 1  # repro: noqa\n"
+        "y = 2  # repro: noqa[R001, R002]\n"
+        "z = 3  # ordinary comment\n"
+    )
+    assert noqa[1] == frozenset({"*"})
+    assert noqa[2] == frozenset({"R001", "R002"})
+    assert 3 not in noqa
+
+
+def test_every_rule_has_code_name_description():
+    rules = all_rules()
+    codes = [rule.code for rule in rules]
+    assert codes == sorted(codes) and len(set(codes)) == len(codes)
+    for rule in rules:
+        assert rule.code.startswith("R") and len(rule.code) == 4
+        assert rule.name and rule.description
+
+
+# ----------------------------------------------------------------------
+# The repo itself must lint clean (this is the CI gate)
+# ----------------------------------------------------------------------
+def test_repo_src_lints_clean():
+    report = run_lint([str(ROOT / "src")])
+    assert report.findings == (), render_text(report)
+    assert report.files_scanned > 50
+
+
+def test_cli_lint_exits_zero_on_src(capsys):
+    from repro.cli import main
+
+    assert main(["lint", str(ROOT / "src")]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_cli_lint_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    bad = tmp_path / "bad.py"
+    bad.write_text(RULE_FIXTURES["R005"][0], encoding="utf-8")
+    assert main(["lint", "--select", "R005", str(bad)]) == 1
+    assert main(["lint", "--select", "bogus", str(bad)]) == 2
+    assert main(["lint", str(tmp_path / "missing.py")]) == 2
+    capsys.readouterr()
+
+    assert main(["lint", "--format", "json", "--select", "R005",
+                 str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"][0]["rule"] == "R005"

@@ -60,6 +60,58 @@ def test_design_md_lists_every_experiment_driver():
         assert module in text, f"DESIGN.md does not mention {module}"
 
 
+def test_analysis_docs_cover_every_rule():
+    """docs/ANALYSIS.md, README and API.md agree on the lint surface."""
+    from repro.analysis import all_rules
+
+    analysis_md = (ROOT / "docs" / "ANALYSIS.md").read_text(encoding="utf-8")
+    for rule in all_rules():
+        assert f"### {rule.code}" in analysis_md, (
+            f"docs/ANALYSIS.md lost the section for {rule.code}"
+        )
+        assert rule.name in analysis_md
+
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    assert "repro lint" in readme
+    assert "docs/ANALYSIS.md" in readme
+
+    api_md = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    assert "repro lint" in api_md, "API.md command block lost `repro lint`"
+    assert "`repro.analysis`" in api_md
+
+
+def test_analysis_md_examples_reflect_the_rules():
+    """The bad/good snippets in docs/ANALYSIS.md match linter behaviour."""
+    import textwrap
+
+    from repro.analysis import run_lint
+
+    bad = textwrap.dedent(
+        """\
+        def collect(item, acc=[]):
+            acc.append(item)
+        """
+    )
+    good = textwrap.dedent(
+        """\
+        def collect(item, acc=None):
+            if acc is None:
+                acc = []
+            acc.append(item)
+        """
+    )
+    import tempfile
+    from pathlib import Path as _Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bad_path = _Path(tmp) / "bad.py"
+        good_path = _Path(tmp) / "good.py"
+        bad_path.write_text(bad, encoding="utf-8")
+        good_path.write_text(good, encoding="utf-8")
+        assert run_lint([str(bad_path)], select=["R005"]).for_rule("R005")
+        assert not run_lint([str(good_path)], select=["R005"]).findings
+
+
 def test_api_md_names_exist():
     """Spot-check that classes named in docs/API.md are importable."""
     import repro

@@ -42,6 +42,14 @@ PUBLIC_MODULES = [
     "repro.workloads",
     "repro.experiments",
     "repro.experiments.report",
+    "repro.analysis",
+    "repro.analysis.engine",
+    "repro.analysis.findings",
+    "repro.analysis.registry",
+    "repro.analysis.sources",
+    "repro.analysis.reporters",
+    "repro.analysis.apidoc",
+    "repro.analysis.visitor",
     "repro.cli",
 ]
 
