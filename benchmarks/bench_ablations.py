@@ -11,6 +11,7 @@ ingredient:
 
 import pytest
 
+from benchmarks.conftest import metric, publish_json
 from repro.baselines.bcjoin import BcJoinEnumerator
 from repro.core.construction import build_index
 from repro.core.enumerator import CpeEnumerator
@@ -33,6 +34,12 @@ def bench_ablation_dynamic_cut(benchmark, workload):
     benchmark.pedantic(
         lambda: build_index(graph, q.s, q.t, q.k), rounds=3, iterations=1
     )
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        publish_json(
+            "ablation_dynamic_cut",
+            {"build_mean_s": metric(stats.stats.mean)},
+        )
 
 
 def bench_ablation_fixed_cut(benchmark, workload):
@@ -125,3 +132,13 @@ def bench_ablation_full_reenumeration(benchmark, workload, config):
             enum.startup()
 
     benchmark.pedantic(stream, rounds=3, iterations=1)
+
+__all__ = [
+    "workload",
+    "bench_ablation_dynamic_cut",
+    "bench_ablation_fixed_cut",
+    "test_ablation_distance_pruning_stores_fewer_partials",
+    "bench_ablation_delta_join",
+    "bench_ablation_complete_vs_strict_repair",
+    "bench_ablation_full_reenumeration",
+]

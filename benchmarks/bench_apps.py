@@ -8,6 +8,7 @@ import random
 
 import pytest
 
+from benchmarks.conftest import metric, publish_json
 from repro.apps.cycles import CycleMonitor
 from repro.apps.fraud import RiskMonitor, RiskPolicy
 from repro.core.monitor import MultiPairMonitor, SlidingWindowMonitor
@@ -40,6 +41,13 @@ def bench_apps_multipair_update(benchmark, config):
             monitor.delete_edge(u, v)
 
     benchmark(toggle)
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        publish_json(
+            "apps_multipair_update",
+            {"toggle_mean_s": metric(stats.stats.mean)},
+            config=config,
+        )
 
 
 def bench_apps_risk_monitor_stream(benchmark, transaction_graph):
@@ -108,3 +116,11 @@ def bench_apps_cycle_monitor(benchmark, transaction_graph):
                 monitor.insert_edge(u, v)
 
     benchmark.pedantic(run_stream, rounds=3, iterations=1)
+
+__all__ = [
+    "transaction_graph",
+    "bench_apps_multipair_update",
+    "bench_apps_risk_monitor_stream",
+    "bench_apps_sliding_window",
+    "bench_apps_cycle_monitor",
+]

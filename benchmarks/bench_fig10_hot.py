@@ -49,3 +49,10 @@ def bench_fig10_recompute_hot_stream(benchmark, workload):
         rounds=3,
         iterations=1,
     )
+
+__all__ = [
+    "figure",
+    "workload",
+    "bench_fig10_cpe_hot_stream",
+    "bench_fig10_recompute_hot_stream",
+]

@@ -51,3 +51,11 @@ def bench_fig11_startup_enumeration(benchmark, tw_query):
         rounds=3,
         iterations=1,
     )
+
+__all__ = [
+    "KS",
+    "figure",
+    "tw_query",
+    "bench_fig11_prep_and_ic",
+    "bench_fig11_startup_enumeration",
+]

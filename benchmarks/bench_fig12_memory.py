@@ -37,3 +37,10 @@ def bench_fig12_result_materialization(benchmark, config):
     query = hot_queries(graph, 1, 6, 0.05, seed=config.seed)[0]
     cpe = CpeEnumerator(graph.copy(), query.s, query.t, 6)
     benchmark.pedantic(cpe.startup, rounds=3, iterations=1)
+
+__all__ = [
+    "KS",
+    "figure",
+    "bench_fig12_memory_stats",
+    "bench_fig12_result_materialization",
+]

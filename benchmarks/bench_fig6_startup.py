@@ -62,3 +62,12 @@ def bench_fig6_bcjoin(benchmark, workload):
 def bench_fig6_csm(benchmark, workload):
     """CSM* initial matching on the same query."""
     _bench(benchmark, csm_startup_runner, workload)
+
+__all__ = [
+    "figure",
+    "workload",
+    "bench_fig6_cpe_startup",
+    "bench_fig6_pathenum",
+    "bench_fig6_bcjoin",
+    "bench_fig6_csm",
+]

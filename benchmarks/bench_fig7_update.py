@@ -59,3 +59,11 @@ def bench_fig7_pathenum_recompute(benchmark, workload):
 def bench_fig7_csm(benchmark, workload):
     """CSM* over the same stream."""
     _bench_stream(benchmark, csm_factory, workload)
+
+__all__ = [
+    "figure",
+    "workload",
+    "bench_fig7_cpe_update",
+    "bench_fig7_pathenum_recompute",
+    "bench_fig7_csm",
+]

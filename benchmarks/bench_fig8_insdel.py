@@ -59,3 +59,10 @@ def bench_fig8_irrelevant_update(benchmark, cpe):
         enum.delete_edge("iso_a", "iso_b")
 
     benchmark(toggle)
+
+__all__ = [
+    "figure",
+    "cpe",
+    "bench_fig8_insert_then_delete",
+    "bench_fig8_irrelevant_update",
+]

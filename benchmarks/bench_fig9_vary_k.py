@@ -47,3 +47,10 @@ def bench_fig9_cpe_update_at_k(benchmark, figure, workload):
         enum.delete_edge(u, v)
 
     benchmark(toggle)
+
+__all__ = [
+    "KS",
+    "figure",
+    "workload",
+    "bench_fig9_cpe_update_at_k",
+]

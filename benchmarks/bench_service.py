@@ -16,7 +16,7 @@ import os
 
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.conftest import RESULTS_DIR, metric, publish_json
 from repro.graph import datasets
 from repro.service.client import ServiceClient
 from repro.service.engine import PathQueryEngine
@@ -63,6 +63,17 @@ def load_report(config):
     (RESULTS_DIR / "service_throughput.txt").write_text(
         text + "\n", encoding="utf-8"
     )
+    publish_json(
+        "service_throughput",
+        {
+            "throughput_rps": metric(
+                report.throughput, unit="req/s", direction="higher"
+            ),
+            "latency_p50_s": metric(report.percentile(0.50)),
+            "latency_p99_s": metric(report.percentile(0.99)),
+        },
+        config=config,
+    )
     return report
 
 
@@ -91,3 +102,11 @@ def bench_service_warm_query(benchmark, config):
     finally:
         handle.stop()
     assert engine.cache.stats().hits >= 1
+
+__all__ = [
+    "REQUESTS",
+    "DATASET",
+    "load_report",
+    "bench_service_sustains_load",
+    "bench_service_warm_query",
+]

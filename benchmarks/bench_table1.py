@@ -33,3 +33,9 @@ def bench_table1_dataset_build(benchmark, config):
     benchmark.pedantic(
         lambda: datasets.load("EP", config.scale), rounds=3, iterations=1
     )
+
+__all__ = [
+    "table",
+    "bench_table1_row_stats",
+    "bench_table1_dataset_build",
+]

@@ -1,0 +1,145 @@
+"""The benchmark regression gate: fresh run vs committed baseline.
+
+Compares two ``repro-bench/1`` result files metric by metric,
+direction-aware: a "lower is better" metric regresses when it grows,
+a "higher is better" one when it shrinks.  Any shared metric regressing
+past the threshold (default 25%) fails the gate with exit code 1 —
+this is what the CI ``bench`` job runs after ``benchmarks/ci_bench.py``.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json \
+        [--baseline benchmarks/baseline.json] [--threshold 0.25]
+
+**Re-baselining.**  The committed ``benchmarks/baseline.json`` captures
+the reference machine.  After an intentional performance change (or a
+runner change), regenerate it and commit the diff::
+
+    python benchmarks/ci_bench.py --root-out none \
+        --out benchmarks/baseline.json
+
+Metrics present on only one side are reported but never fail the gate,
+so adding a metric does not require a lockstep baseline update.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_BASELINE = ROOT / "benchmarks" / "baseline.json"
+DEFAULT_THRESHOLD = 0.25
+SCHEMA = "repro-bench/1"
+
+
+def load_result(path: Path) -> dict:
+    """Parse and validate one ``repro-bench/1`` file."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError(f"{path}: no metrics")
+    return payload
+
+
+def compare(
+    baseline: dict, current: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list:
+    """Per-metric verdicts: ``(name, base, cur, change, regressed)``.
+
+    ``change`` is the regression fraction — positive means worse,
+    regardless of the metric's direction.  Metrics missing on either
+    side are skipped.
+    """
+    rows = []
+    base_metrics = baseline["metrics"]
+    cur_metrics = current["metrics"]
+    for name in sorted(set(base_metrics) & set(cur_metrics)):
+        base = base_metrics[name]
+        cur = cur_metrics[name]
+        direction = base.get("direction", "lower")
+        base_value = float(base["value"])
+        cur_value = float(cur["value"])
+        if base_value == 0:
+            rows.append((name, base_value, cur_value, 0.0, False))
+            continue
+        if direction == "higher":
+            change = (base_value - cur_value) / base_value
+        else:
+            change = (cur_value - base_value) / base_value
+        rows.append((name, base_value, cur_value, change, change > threshold))
+    return rows
+
+
+def main(argv=None) -> int:
+    """CLI entry point; exit 1 when any shared metric regresses."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh repro-bench/1 result file")
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help=f"committed baseline (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed regression fraction (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_result(Path(args.baseline))
+        current = load_result(Path(args.current))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows = compare(baseline, current, threshold=args.threshold)
+    if not rows:
+        print("error: no shared metrics to compare", file=sys.stderr)
+        return 2
+
+    width = max(len(name) for name, *_ in rows)
+    failed = []
+    for name, base_value, cur_value, change, regressed in rows:
+        flag = "REGRESSED" if regressed else "ok"
+        print(f"{name:{width}s}  base {base_value:12.4f}  "
+              f"cur {cur_value:12.4f}  change {change:+7.1%}  {flag}")
+        if regressed:
+            failed.append(name)
+
+    only_base = sorted(set(baseline["metrics"]) - set(current["metrics"]))
+    only_cur = sorted(set(current["metrics"]) - set(baseline["metrics"]))
+    for name in only_base:
+        print(f"{name:{width}s}  (baseline only — not compared)")
+    for name in only_cur:
+        print(f"{name:{width}s}  (current only — not compared)")
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} metric(s) regressed past "
+              f"{args.threshold:.0%}: {', '.join(failed)}", file=sys.stderr)
+        print("If intentional, re-baseline: python benchmarks/ci_bench.py "
+              "--root-out none --out benchmarks/baseline.json",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: no metric regressed past {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_THRESHOLD",
+    "SCHEMA",
+    "load_result",
+    "compare",
+    "main",
+]

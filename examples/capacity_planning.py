@@ -86,3 +86,10 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+__all__ = [
+    "K",
+    "PATH_BUDGET",
+    "CANDIDATES",
+    "main",
+]

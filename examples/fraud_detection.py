@@ -117,3 +117,11 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+__all__ = [
+    "HOP_CONSTRAINT",
+    "ALERT_THRESHOLD",
+    "NUM_TRANSACTIONS",
+    "path_weight",
+    "main",
+]

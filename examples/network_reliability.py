@@ -100,3 +100,13 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+__all__ = [
+    "K",
+    "LINK_UP",
+    "FLAPS",
+    "MC_SAMPLES",
+    "build_backbone",
+    "reliability",
+    "main",
+]

@@ -50,7 +50,7 @@ def main() -> None:
     cpe = CpeEnumerator(graph, s, t, k)
 
     banner("preprocessing: distance maps and induced subgraph (Theorem 4)")
-    dist_s, dist_t = cpe._dist_s, cpe._dist_t
+    dist_s, dist_t = cpe.dist_s, cpe.dist_t
     for v in sorted(graph.vertices()):
         ds = dist_s.get(v)
         dt = dist_t.get(v)
@@ -98,3 +98,9 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+__all__ = [
+    "banner",
+    "show_index",
+    "main",
+]

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Profiling a CPE workload with ``repro.obs``.
+
+Where does the time go — index construction, the start-up join, or
+update maintenance?  This example answers that with the built-in
+observability layer instead of an external profiler:
+
+1. enable `repro.obs` (it is off by default and free when off);
+2. run a representative lifecycle: build an index, enumerate, then
+   replay a stream of relevant updates;
+3. print the per-stage cost table (`obs.render_profile`) — the same
+   output `repro profile <dataset>` gives from the command line;
+4. show the head of the Prometheus exposition, which is what
+   `repro serve --metrics` exposes through the `metrics` op.
+
+Run:  python examples/profiling.py
+"""
+
+from repro import obs
+from repro.core.enumerator import CpeEnumerator
+from repro.graph import datasets
+from repro.workloads.queries import hot_queries
+from repro.workloads.updates import relevant_update_stream
+
+DATASET = "RT"
+SCALE = 0.25
+K = 6
+NUM_UPDATES = 40
+
+
+def main() -> None:
+    graph = datasets.load(DATASET, SCALE)
+    (query,) = hot_queries(graph, 1, K, seed=7)
+
+    previous = obs.set_enabled(True)
+    obs.reset()
+    try:
+        enumerator = CpeEnumerator(graph, query.s, query.t, query.k)
+        paths = enumerator.startup()
+        stream = relevant_update_stream(
+            graph, query.s, query.t, query.k,
+            num_insertions=NUM_UPDATES // 2,
+            num_deletions=NUM_UPDATES // 2, seed=7,
+        )
+        applied = 0
+        for update in stream:
+            if graph.apply_update(update):
+                enumerator.observe(update)
+                applied += 1
+        snapshot = obs.snapshot()
+    finally:
+        obs.set_enabled(previous)
+
+    title = (f"profile {DATASET} scale {SCALE} k {K}: "
+             f"q({query.s}, {query.t}), {len(paths)} initial paths, "
+             f"{applied} updates")
+    print(obs.render_profile(snapshot, title=title))
+
+    print("\nPrometheus exposition (first lines):")
+    for line in obs.render_prometheus().splitlines()[:6]:
+        print(f"    {line}")
+
+
+if __name__ == "__main__":
+    main()
+
+__all__ = [
+    "DATASET",
+    "SCALE",
+    "K",
+    "NUM_UPDATES",
+    "main",
+]

@@ -55,3 +55,7 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+__all__ = [
+    "main",
+]

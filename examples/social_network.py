@@ -91,3 +91,11 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+__all__ = [
+    "K",
+    "BETA",
+    "CHURN",
+    "strength_of",
+    "main",
+]

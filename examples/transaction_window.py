@@ -74,3 +74,11 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+__all__ = [
+    "WINDOW",
+    "HOP_CONSTRAINT",
+    "EVENTS",
+    "ACCOUNTS",
+    "main",
+]

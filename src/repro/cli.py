@@ -9,9 +9,14 @@ Commands:
   … ``fig12``, or ``all``) and print its table;
 - ``datasets`` — list the registered dataset analogues;
 - ``serve`` — run the path-query service (newline-delimited JSON over
-  TCP; see :mod:`repro.service`);
+  TCP; see :mod:`repro.service`); ``--metrics`` turns on the
+  :mod:`repro.obs` instrumentation and the ``metrics`` protocol op
+  then serves live JSON/Prometheus dumps;
 - ``bench-serve`` — load-test an in-process server and report
   throughput and p50/p99 latency;
+- ``profile`` — run a small construction/enumeration/maintenance
+  workload with :mod:`repro.obs` enabled and print the per-stage cost
+  breakdown (see docs/OBSERVABILITY.md);
 - ``lint`` — run the project-specific static analysis
   (:mod:`repro.analysis`, rules R001–R006; see docs/ANALYSIS.md).
 """
@@ -155,6 +160,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--watch", action="append", default=[], metavar="S:T",
         help="pre-register a watched pair, repeatable (e.g. --watch 3:42)",
     )
+    sv.add_argument(
+        "--metrics", action="store_true",
+        help="enable repro.obs instrumentation; clients can poll the "
+             "'metrics' op for JSON or Prometheus dumps",
+    )
 
     bs = sub.add_parser(
         "bench-serve",
@@ -176,6 +186,22 @@ def _build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--seed", type=int, default=7)
     bs.add_argument("--save", metavar="FILE", default=None,
                     help="also write the JSON summary to FILE")
+
+    pf = sub.add_parser(
+        "profile",
+        help="per-stage cost breakdown (construction/enumeration/"
+             "maintenance) via repro.obs",
+    )
+    pf.add_argument("dataset")
+    pf.add_argument("--scale", type=float, default=0.25)
+    pf.add_argument("--k", type=int, default=6)
+    pf.add_argument("--queries", type=int, default=3,
+                    help="how many hot query pairs to build and enumerate")
+    pf.add_argument("--updates", type=int, default=40,
+                    help="result-relevant updates replayed on the first pair")
+    pf.add_argument("--seed", type=int, default=7)
+    pf.add_argument("--json", action="store_true",
+                    help="emit the raw metrics snapshot as JSON")
 
     ln = sub.add_parser(
         "lint",
@@ -226,6 +252,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_experiment(args)
@@ -254,6 +282,11 @@ def _cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.metrics:
+        from repro import obs
+
+        obs.enable()
+        print("metrics: repro.obs enabled (poll the 'metrics' op)")
     graph = datasets.load(args.dataset, args.scale)
     engine = PathQueryEngine(
         graph, default_k=args.k, cache_budget_bytes=args.cache_budget
@@ -331,6 +364,62 @@ def _cmd_bench_serve(args) -> int:
             fh.write("\n")
         print(f"summary written to {args.save}")
     return 0 if sum(report.errors.values()) == 0 else 1
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.core.enumerator import CpeEnumerator
+    from repro.graph import datasets
+    from repro.workloads.queries import hot_queries
+    from repro.workloads.updates import relevant_update_stream
+
+    try:
+        graph = datasets.load(args.dataset, args.scale)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    queries = hot_queries(graph, args.queries, args.k, seed=args.seed)
+    if not queries:
+        print("error: no connected query pairs found", file=sys.stderr)
+        return 2
+    previous = obs.set_enabled(True)
+    obs.reset()
+    try:
+        total_paths = 0
+        first_enumerator = None
+        for query in queries:
+            enumerator = CpeEnumerator(graph, query.s, query.t, query.k)
+            total_paths += len(enumerator.startup())
+            if first_enumerator is None:
+                first_enumerator = enumerator
+        # Replay result-relevant updates against the first pair so the
+        # maintenance stages show up in the breakdown.
+        first = queries[0]
+        stream = relevant_update_stream(
+            graph,
+            first.s,
+            first.t,
+            first.k,
+            num_insertions=args.updates - args.updates // 2,
+            num_deletions=args.updates // 2,
+            seed=args.seed,
+        )
+        for update in stream:
+            if graph.apply_update(update):
+                first_enumerator.observe(update)
+        snapshot = obs.snapshot()
+    finally:
+        obs.set_enabled(previous)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    title = (f"profile {args.dataset} scale {args.scale} k {args.k}: "
+             f"{len(queries)} queries, {len(stream)} updates, "
+             f"{total_paths} initial paths")
+    print(obs.render_profile(snapshot, title=title))
+    return 0
 
 
 def _cmd_lint(args) -> int:

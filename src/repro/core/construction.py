@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.core.distance import DistanceMap, induced_vertices
 from repro.core.index import PartialPathIndex
 from repro.core.plan import JoinPlan
@@ -88,14 +89,16 @@ def build_index(
 
     stats = ConstructionStats()
     started = time.perf_counter()
-    dist_s = DistanceMap(graph, s, horizon=k)
-    dist_t = DistanceMap(graph.reverse_view(), t, horizon=k)
+    with obs.span("construction.prep"):
+        dist_s = DistanceMap(graph, s, horizon=k)
+        dist_t = DistanceMap(graph.reverse_view(), t, horizon=k)
     stats.prep_seconds = time.perf_counter() - started
     stats.induced_size = len(induced_vertices(dist_s, dist_t, k))
 
     started = time.perf_counter()
-    builder = _Builder(graph, s, t, k, dist_s, dist_t, stats)
-    plan = builder.run(forced_plan)
+    with obs.span("construction.build"):
+        builder = _Builder(graph, s, t, k, dist_s, dist_t, stats)
+        plan = builder.run(forced_plan)
     index = PartialPathIndex(s, t, k, plan)
     index.left = builder.left
     index.right = builder.right
@@ -103,6 +106,13 @@ def build_index(
     stats.build_seconds = time.perf_counter() - started
     stats.left_paths = len(index.left)
     stats.right_paths = len(index.right)
+    if obs.enabled():
+        obs.incr("construction.builds")
+        obs.incr("construction.expansions", stats.expansions)
+        obs.incr("construction.pruned", stats.pruned)
+        obs.observe("construction.induced_size", stats.induced_size)
+        obs.observe("construction.left_paths", stats.left_paths)
+        obs.observe("construction.right_paths", stats.right_paths)
     return BuildResult(index, dist_s, dist_t, stats)
 
 
@@ -156,6 +166,11 @@ class _Builder:
                 # comparison inverted relative to its own prose; we follow
                 # the prose, which is the variant that minimizes work.)
                 grow_left = len(self._left_frontier) < len(self._right_frontier)
+                obs.incr(
+                    "construction.cut.grow_left"
+                    if grow_left
+                    else "construction.cut.grow_right"
+                )
             if grow_left:
                 i += 1
                 self._left_level(i)
@@ -193,6 +208,11 @@ class _Builder:
         self.left.note_added(len(next_frontier))
         self.stats.expansions += expansions
         self.stats.pruned += expansions - len(next_frontier)
+        if obs.enabled():
+            obs.observe("construction.left_frontier", len(next_frontier))
+            obs.incr(
+                "construction.left_pruned", expansions - len(next_frontier)
+            )
         self._left_frontier = next_frontier
 
     def _right_level(self, level: int) -> None:
@@ -220,6 +240,11 @@ class _Builder:
         self.right.note_added(len(next_frontier))
         self.stats.expansions += expansions
         self.stats.pruned += expansions - len(next_frontier)
+        if obs.enabled():
+            obs.observe("construction.right_frontier", len(next_frontier))
+            obs.incr(
+                "construction.right_pruned", expansions - len(next_frontier)
+            )
         self._right_frontier = next_frontier
 
 

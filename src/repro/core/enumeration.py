@@ -16,12 +16,21 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import obs
 from repro.core.index import PartialPathIndex, PathBuckets
 from repro.core.paths import Path
 
 
 def enumerate_full(index: PartialPathIndex) -> Iterator[Path]:
-    """Yield every k-st path currently represented by the index."""
+    """Yield every k-st path currently represented by the index.
+
+    With observability on (:func:`repro.obs.enabled`) the join loop also
+    records per-``(i, j)`` pair output counts; the disabled path below is
+    untouched so the hot loop carries no instrumentation cost.
+    """
+    if obs.enabled():
+        yield from _enumerate_full_observed(index)
+        return
     if index.direct_edge:
         yield (index.s, index.t)
     left, right = index.left, index.right
@@ -43,6 +52,37 @@ def enumerate_full(index: PartialPathIndex) -> Iterator[Path]:
                 for rp in right_paths:
                     if lp_set.isdisjoint(rp[1:]):
                         yield lp + rp[1:]
+
+
+def _enumerate_full_observed(index: PartialPathIndex) -> Iterator[Path]:
+    """The :func:`enumerate_full` join with per-pair output accounting."""
+    total = 0
+    if index.direct_edge:
+        total += 1
+        yield (index.s, index.t)
+    left, right = index.left, index.right
+    for i, j in index.plan:
+        left_bucket = left.bucket(i)
+        right_bucket = right.bucket(j)
+        if not left_bucket or not right_bucket:
+            continue
+        if len(left_bucket) <= len(right_bucket):
+            middles = (v for v in left_bucket if v in right_bucket)
+        else:
+            middles = (v for v in right_bucket if v in left_bucket)
+        emitted = 0
+        for vc in middles:
+            right_paths = right_bucket[vc]
+            for lp in left_bucket[vc]:
+                lp_set = set(lp)
+                for rp in right_paths:
+                    if lp_set.isdisjoint(rp[1:]):
+                        emitted += 1
+                        yield lp + rp[1:]
+        obs.incr(f"enumeration.join.{i}x{j}.paths", emitted)
+        obs.observe("enumeration.join_pair_output", emitted)
+        total += emitted
+    obs.incr("enumeration.paths", total)
 
 
 def enumerate_delta(

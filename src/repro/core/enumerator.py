@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
+from repro import obs
 from repro.core.construction import BuildResult, ConstructionStats, build_index
 from repro.core.distance import DistanceMap
 from repro.core.enumeration import count_full, enumerate_delta, enumerate_full
@@ -167,7 +168,8 @@ class CpeEnumerator:
     # ------------------------------------------------------------------
     def startup(self) -> List[Path]:
         """All current k-st paths (Algorithm 1 over the index)."""
-        return list(enumerate_full(self._index))
+        with obs.span("enumeration.full"):
+            return list(enumerate_full(self._index))
 
     def iter_paths(self) -> Iterator[Path]:
         """Streaming variant of :meth:`startup`."""
@@ -197,14 +199,14 @@ class CpeEnumerator:
             )
         )
         finished = time.perf_counter()
-        return UpdateResult(
+        return self._note_update(UpdateResult(
             update,
             changed=True,
             paths=paths,
             maintain_seconds=maintained - started,
             enumerate_seconds=finished - maintained,
             record=record,
-        )
+        ))
 
     def delete_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
         """Process ``e(u, v, -)`` and return exactly the deleted paths."""
@@ -227,14 +229,28 @@ class CpeEnumerator:
         enumerated = time.perf_counter()
         self._maintainer.apply_removals(record)
         finished = time.perf_counter()
-        return UpdateResult(
+        return self._note_update(UpdateResult(
             update,
             changed=True,
             paths=paths,
             maintain_seconds=(maintained - started) + (finished - enumerated),
             enumerate_seconds=enumerated - maintained,
             record=record,
-        )
+        ))
+
+    def _note_update(self, result: UpdateResult) -> UpdateResult:
+        """Record one changed update's stage costs into :mod:`repro.obs`."""
+        if obs.enabled() and result.changed:
+            kind = "insert" if result.update.insert else "delete"
+            obs.observe(f"maintenance.{kind}.seconds", result.maintain_seconds)
+            obs.observe("enumeration.delta.seconds", result.enumerate_seconds)
+            obs.incr(f"update.{kind}.paths", result.delta_count)
+            if result.record is not None:
+                obs.incr(
+                    f"maintenance.{kind}.partials",
+                    result.record.delta_partial_paths,
+                )
+        return result
 
     def apply(self, update: EdgeUpdate) -> UpdateResult:
         """Process one :class:`~repro.graph.digraph.EdgeUpdate`."""
@@ -279,14 +295,14 @@ class CpeEnumerator:
         if not record.insert:
             self._maintainer.apply_removals(record)
         finished = time.perf_counter()
-        return UpdateResult(
+        return self._note_update(UpdateResult(
             update,
             changed=True,
             paths=paths,
             maintain_seconds=(maintained - started) + (finished - enumerated),
             enumerate_seconds=enumerated - maintained,
             record=record,
-        )
+        ))
 
     def apply_stream(self, updates) -> List[UpdateResult]:
         """Process a sequence of updates, one result per update."""

@@ -43,6 +43,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.core.distance import DistanceMap
 from repro.core.index import PartialPathIndex, PathBuckets
 from repro.core.paths import Path
@@ -140,6 +141,13 @@ class IndexMaintainer:
         self._repair_left(changed_t, record.left_delta)
         self._new_edge_right(u, v, record.right_delta)
         self._new_edge_left(u, v, record.left_delta)
+        if obs.enabled():
+            obs.incr("maintenance.inserts")
+            obs.incr("maintenance.relaxed", record.relaxed_s + record.relaxed_t)
+            obs.observe(
+                "maintenance.insert_delta_partials",
+                record.delta_partial_paths,
+            )
         return record
 
     # ------------------------------------------------------------------
@@ -351,6 +359,16 @@ class IndexMaintainer:
         if self.k >= 2:
             self._mark_inadmissible_right(changed_s, record.right_delta)
             self._mark_inadmissible_left(changed_t, record.left_delta)
+        if obs.enabled():
+            obs.incr("maintenance.deletes")
+            obs.incr(
+                "maintenance.tightened",
+                record.tightened_s + record.tightened_t,
+            )
+            obs.observe(
+                "maintenance.delete_delta_partials",
+                record.delta_partial_paths,
+            )
         return record
 
     def apply_removals(self, record: UpdateRecord) -> None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from repro import obs
 from repro.core.index import PathBuckets
 from repro.core.maintenance import IndexMaintainer
 from repro.core.paths import Path
@@ -45,6 +46,7 @@ class StrictUdfsMaintainer(IndexMaintainer):
         }
         if not relaxed:
             return
+        obs.incr("maintenance.strict.udfs_right_relaxed", len(relaxed))
         # S_edge: unrelaxed out-neighbors of relaxed vertices (the
         # vertices whose RP content is known-complete).
         frontier: Set[Vertex] = set()
@@ -103,6 +105,7 @@ class StrictUdfsMaintainer(IndexMaintainer):
         }
         if not relaxed:
             return
+        obs.incr("maintenance.strict.udfs_left_relaxed", len(relaxed))
         frontier: Set[Vertex] = set()
         for w in relaxed:
             for x in self.graph.in_neighbors(w):

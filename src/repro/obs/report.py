@@ -1,0 +1,115 @@
+"""Per-stage cost breakdowns from a metrics snapshot.
+
+``repro profile`` (and anything else holding an :func:`repro.obs.snapshot`
+dict) renders the paper-shaped cost table with :func:`render_profile`:
+one row per timed stage (every ``*.seconds`` histogram), with call
+counts, totals and tail quantiles — the Section V decomposition of
+where a query's time goes (Prep / IC / enumeration / ``CPE_update``
+maintenance), generalized to every span in the codebase.
+
+The functions here are pure: they consume the JSON-ready snapshot dict,
+never the live registry, so archived snapshots (``benchmarks/results``
+artifacts, ``repro serve`` metrics dumps) render identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.obs.spans import SPAN_SUFFIX
+
+#: One row of the profile table, JSON-ready.
+StageRow = Dict[str, float]
+
+
+def stage_rows(snapshot: Mapping[str, Any]) -> List[Tuple[str, StageRow]]:
+    """``(stage name, summary)`` pairs for every timed stage.
+
+    A timed stage is a histogram named ``<stage>.seconds`` (the span
+    convention).  Rows are sorted by descending total time — the paper's
+    "where does the time go" reading order.
+    """
+    histograms = snapshot.get("histograms", {})
+    rows: List[Tuple[str, StageRow]] = []
+    if not isinstance(histograms, Mapping):
+        return rows
+    for name, summary in histograms.items():
+        if not name.endswith(SPAN_SUFFIX):
+            continue
+        if not isinstance(summary, Mapping):
+            continue
+        stage = name[: -len(SPAN_SUFFIX)]
+        rows.append((stage, dict(summary)))
+    rows.sort(key=lambda item: item[1].get("total", 0.0), reverse=True)
+    return rows
+
+
+def render_profile(
+    snapshot: Mapping[str, Any], title: str = "per-stage cost breakdown"
+) -> str:
+    """The snapshot's timed stages as a fixed-width table.
+
+    Columns: calls, total time, mean, p50/p95/p99 — all times in
+    milliseconds.  Counters follow in a second block so path/partial
+    counts (the paper's ``|P|`` and ``Δ|P|`` columns) sit next to the
+    stage timings they explain.
+    """
+    lines = [f"== {title} =="]
+    rows = stage_rows(snapshot)
+    headers = ("stage", "calls", "total ms", "mean ms", "p50 ms",
+               "p95 ms", "p99 ms")
+    table: List[Tuple[str, ...]] = [headers]
+    for stage, summary in rows:
+        table.append((
+            stage,
+            str(int(summary.get("count", 0))),
+            _ms(summary.get("total", 0.0)),
+            _ms(summary.get("mean", 0.0)),
+            _ms(summary.get("p50", 0.0)),
+            _ms(summary.get("p95", 0.0)),
+            _ms(summary.get("p99", 0.0)),
+        ))
+    if len(table) == 1:
+        lines.append("(no timed stages recorded — is observability on?)")
+    else:
+        widths = [
+            max(len(row[i]) for row in table) for i in range(len(headers))
+        ]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(table[0], widths))
+        )
+        lines.append("-" * len(lines[-1]))
+        for row in table[1:]:
+            lines.append(
+                row[0].ljust(widths[0])
+                + "  "
+                + "  ".join(
+                    cell.rjust(w) for cell, w in zip(row[1:], widths[1:])
+                )
+            )
+    counters = snapshot.get("counters", {})
+    if isinstance(counters, Mapping) and counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"    {name.ljust(width)}  {counters[name]}")
+    return "\n".join(lines)
+
+
+def _ms(seconds: float) -> str:
+    value = float(seconds) * 1e3
+    if value == 0:
+        return "0"
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+__all__ = [
+    "StageRow",
+    "stage_rows",
+    "render_profile",
+]

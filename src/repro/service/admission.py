@@ -30,6 +30,7 @@ from typing import Any, AsyncIterator, Dict, Optional
 
 from contextlib import asynccontextmanager
 
+from repro import obs
 from repro.service.protocol import (
     DeadlineExceededError,
     OverloadedError,
@@ -111,27 +112,41 @@ class AdmissionController:
         """
         if self._draining:
             self._rejected_shutdown += 1
+            obs.incr("service.admission.rejected_shutdown")
             raise ShuttingDownError("server is shutting down")
         if self._pending >= self.capacity:
             self._rejected_overload += 1
+            obs.incr("service.admission.rejected_overload")
             raise OverloadedError(
                 f"admission queue full ({self.capacity} in flight)",
                 retry_after_ms=self.retry_after_ms,
             )
         if deadline is not None and time.monotonic() >= deadline:
             self._expired += 1
+            obs.incr("service.admission.expired")
             raise DeadlineExceededError("deadline elapsed before admission")
         self._pending += 1
         self._idle.clear()
+        observing = obs.enabled()
+        if observing:
+            obs.set_gauge("service.admission.queue_depth", self._pending)
+            queued_at = time.monotonic()
         try:
             await self._acquire(deadline)
             try:
                 self._admitted += 1
+                if observing:
+                    obs.observe(
+                        "service.admission.queue_wait.seconds",
+                        time.monotonic() - queued_at,
+                    )
                 yield
             finally:
                 self._lock.release()
         finally:
             self._pending -= 1
+            if observing:
+                obs.set_gauge("service.admission.queue_depth", self._pending)
             if self._pending == 0:
                 self._idle.set()
 

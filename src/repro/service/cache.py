@@ -22,6 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro import obs
 from repro.core.enumerator import CpeEnumerator, UpdateResult
 from repro.core.serialize import snapshot_size_bytes
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
@@ -117,12 +118,18 @@ class IndexCache:
         if entry is not None:
             self._hits += 1
             self._entries.move_to_end(key)
+            obs.incr("service.cache.hits")
+            self._note_lookup()
             return entry
         self._misses += 1
-        entry = CpeEnumerator(self.graph, s, t, k)
+        obs.incr("service.cache.misses")
+        self._note_lookup()
+        with obs.span("service.cache.build"):
+            entry = CpeEnumerator(self.graph, s, t, k)
         size = snapshot_size_bytes(entry, include_graph=False)
         if size > self.budget_bytes:
             self._bypasses += 1
+            obs.incr("service.cache.bypasses")
             return entry
         self._entries[key] = entry
         self._sizes[key] = size
@@ -168,11 +175,23 @@ class IndexCache:
             self._shrink_to_budget()
         return results
 
+    def _note_lookup(self) -> None:
+        """Mirror the lookup counters into :mod:`repro.obs`."""
+        if obs.enabled():
+            obs.incr("service.cache.lookups")
+            total = self._hits + self._misses
+            obs.set_gauge(
+                "service.cache.hit_rate",
+                self._hits / total if total else 0.0,
+            )
+            obs.set_gauge("service.cache.bytes", self._current_bytes)
+
     def _shrink_to_budget(self) -> None:
         while self._current_bytes > self.budget_bytes and self._entries:
             key, _ = self._entries.popitem(last=False)
             self._current_bytes -= self._sizes.pop(key)
             self._evictions += 1
+            obs.incr("service.cache.evictions")
 
     # ------------------------------------------------------------------
     def stats(self) -> CacheStats:

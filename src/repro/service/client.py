@@ -176,6 +176,19 @@ class ServiceClient:
         """Server/engine/cache/admission counters."""
         return self.call("stats", deadline_ms=deadline_ms)
 
+    def metrics(
+        self,
+        format: str = "json",
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """The server's :mod:`repro.obs` metrics snapshot.
+
+        ``format="json"`` returns the structured snapshot under
+        ``"metrics"``; ``format="prometheus"`` returns the text
+        exposition dump under ``"text"``.
+        """
+        return self.call("metrics", deadline_ms=deadline_ms, format=format)
+
 
 __all__ = [
     "UpdateLike",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.core.batch import compress_stream
 from repro.core.enumerator import CpeEnumerator
 from repro.core.monitor import MultiPairMonitor, PairKey
@@ -85,6 +86,10 @@ class PathQueryEngine:
         if handler is None:
             raise InternalError(f"no handler for op {op!r}")
         self._served[op] = self._served.get(op, 0) + 1
+        if obs.enabled():
+            obs.incr(f"service.requests.{op}")
+            with obs.span(f"service.op.{op}"):
+                return handler(**args)
         return handler(**args)
 
     # ------------------------------------------------------------------
@@ -253,6 +258,32 @@ class PathQueryEngine:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def op_metrics(self, format: str = "json") -> Dict[str, Any]:
+        """The process-wide :mod:`repro.obs` metrics, JSON or Prometheus.
+
+        ``format="json"`` returns the snapshot dict; ``"prometheus"``
+        returns the text exposition dump — a scrape target can poll the
+        service with ``{"op": "metrics", "format": "prometheus"}`` and
+        serve the ``text`` field verbatim.  Metrics accumulate only when
+        observability is on (``repro serve --metrics`` / ``REPRO_OBS=1``);
+        the ``enabled`` field says which mode the server runs in.
+        """
+        if format == "prometheus":
+            return {
+                "format": "prometheus",
+                "enabled": obs.enabled(),
+                "text": obs.render_prometheus(),
+            }
+        if format != "json":
+            raise BadRequestError(
+                f"metrics format must be 'json' or 'prometheus', got {format!r}"
+            )
+        return {
+            "format": "json",
+            "enabled": obs.enabled(),
+            "metrics": obs.snapshot(),
+        }
+
     def op_stats(self) -> Dict[str, Any]:
         """Engine-side counters (the server merges admission stats in)."""
         return {

@@ -29,6 +29,9 @@ batch_update ``updates`` (list of ``[u, v, insert]``)    ``received``,
                                                          ``cancelled``,
                                                          ``pairs``
 stats       —                                            server/engine counters
+metrics     optional ``format``                          ``format``,
+            (``"json"``/``"prometheus"``)                ``enabled``,
+                                                         ``metrics``/``text``
 ========== ============================================= ====================
 
 Every request may carry ``deadline_ms``, a per-request latency budget
@@ -73,7 +76,7 @@ ERROR_CODES = frozenset({
     INTERNAL,
 })
 
-OPS = ("query", "watch", "unwatch", "update", "batch_update", "stats")
+OPS = ("query", "watch", "unwatch", "update", "batch_update", "stats", "metrics")
 
 _REQUIRED_FIELDS = {
     "query": ("s", "t", "k"),
@@ -82,6 +85,7 @@ _REQUIRED_FIELDS = {
     "update": ("u", "v", "insert"),
     "batch_update": ("updates",),
     "stats": (),
+    "metrics": (),
 }
 
 
@@ -259,6 +263,14 @@ def decode_request(line: Wire) -> Request:
         args["insert"] = payload["insert"]
     if op == "batch_update":
         args["updates"] = _check_updates(payload["updates"])
+    if op == "metrics" and "format" in payload:
+        fmt = payload["format"]
+        if fmt not in ("json", "prometheus"):
+            raise BadRequestError(
+                "field 'format' must be 'json' or 'prometheus', "
+                f"got {fmt!r}"
+            )
+        args["format"] = fmt
 
     deadline_ms = payload.get("deadline_ms")
     if deadline_ms is not None:

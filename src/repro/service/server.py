@@ -25,6 +25,7 @@ import threading
 import time
 from typing import Optional, Set
 
+from repro import obs
 from repro.service.admission import AdmissionController
 from repro.service.engine import PathQueryEngine
 from repro.service.protocol import (
@@ -130,12 +131,17 @@ class PathQueryServer:
     ) -> None:
         self._writers.add(writer)
         self._connections_total += 1
+        if obs.enabled():
+            obs.incr("service.connections")
+            obs.set_gauge("service.open_connections", len(self._writers))
         try:
             await self._serve_connection(reader, writer)
         except asyncio.CancelledError:
             pass  # loop teardown cancelled the handler mid-read
         finally:
             self._writers.discard(writer)
+            if obs.enabled():
+                obs.set_gauge("service.open_connections", len(self._writers))
             writer.close()
             try:
                 await writer.wait_closed()

@@ -1,0 +1,121 @@
+"""The regression gate must catch an injected 2x slowdown."""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.check_regression import compare, load_result, main  # noqa: E402
+
+BASE = {
+    "schema": "repro-bench/1",
+    "benchmark": "ci_bench",
+    "config": {"seed": 7},
+    "metrics": {
+        "construction_s": {
+            "value": 0.010, "unit": "seconds", "direction": "lower",
+        },
+        "enumeration_paths_per_s": {
+            "value": 100000.0, "unit": "paths/s", "direction": "higher",
+        },
+        "update_throughput_per_s": {
+            "value": 5000.0, "unit": "updates/s", "direction": "higher",
+        },
+    },
+}
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+def test_identical_runs_pass():
+    rows = compare(BASE, BASE)
+    assert rows and all(not regressed for *_, regressed in rows)
+
+
+def test_injected_2x_slowdown_fails_every_axis():
+    slow = copy.deepcopy(BASE)
+    slow["metrics"]["construction_s"]["value"] = 0.020  # 2x slower
+    slow["metrics"]["enumeration_paths_per_s"]["value"] = 50000.0  # halved
+    slow["metrics"]["update_throughput_per_s"]["value"] = 2500.0  # halved
+    rows = compare(BASE, slow)
+    verdicts = {name: regressed for name, *_, regressed in rows}
+    assert verdicts == {
+        "construction_s": True,
+        "enumeration_paths_per_s": True,
+        "update_throughput_per_s": True,
+    }
+
+
+def test_direction_aware_improvements_pass():
+    fast = copy.deepcopy(BASE)
+    fast["metrics"]["construction_s"]["value"] = 0.005  # 2x faster
+    fast["metrics"]["enumeration_paths_per_s"]["value"] = 200000.0
+    rows = compare(BASE, fast)
+    assert all(not regressed for *_, regressed in rows)
+
+
+def test_threshold_boundary():
+    borderline = copy.deepcopy(BASE)
+    borderline["metrics"]["construction_s"]["value"] = 0.0124  # +24%
+    rows = compare(BASE, borderline, threshold=0.25)
+    assert all(not regressed for *_, regressed in rows)
+    over = copy.deepcopy(BASE)
+    over["metrics"]["construction_s"]["value"] = 0.0126  # +26%
+    rows = compare(BASE, over, threshold=0.25)
+    assert any(regressed for name, *_, regressed in rows
+               if name == "construction_s")
+
+
+def test_metrics_missing_on_one_side_are_skipped():
+    current = copy.deepcopy(BASE)
+    del current["metrics"]["update_throughput_per_s"]
+    current["metrics"]["new_metric"] = {
+        "value": 1.0, "unit": "", "direction": "lower",
+    }
+    rows = compare(BASE, current)
+    names = {name for name, *_ in rows}
+    assert "update_throughput_per_s" not in names
+    assert "new_metric" not in names
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    baseline_path = _write(tmp_path / "baseline.json", BASE)
+    ok_path = _write(tmp_path / "ok.json", BASE)
+    assert main([ok_path, "--baseline", baseline_path]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    slow = copy.deepcopy(BASE)
+    slow["metrics"]["construction_s"]["value"] = 0.020
+    slow_path = _write(tmp_path / "slow.json", slow)
+    assert main([slow_path, "--baseline", baseline_path]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSED" in captured.out
+    assert "re-baseline" in captured.err
+
+
+def test_main_rejects_bad_schema(tmp_path, capsys):
+    bad = {"schema": "wrong/9", "metrics": {"m": {"value": 1.0}}}
+    bad_path = _write(tmp_path / "bad.json", bad)
+    base_path = _write(tmp_path / "baseline.json", BASE)
+    assert main([bad_path, "--baseline", base_path]) == 2
+
+
+def test_load_result_validates(tmp_path):
+    empty = {"schema": "repro-bench/1", "metrics": {}}
+    path = tmp_path / "empty.json"
+    path.write_text(json.dumps(empty), encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_result(path)
+
+
+def test_committed_baseline_is_valid():
+    baseline = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.json"
+    payload = load_result(baseline)
+    assert {"construction_s", "enumeration_paths_per_s",
+            "update_throughput_per_s"} <= set(payload["metrics"])

@@ -50,6 +50,10 @@ PUBLIC_MODULES = [
     "repro.analysis.reporters",
     "repro.analysis.apidoc",
     "repro.analysis.visitor",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.spans",
+    "repro.obs.report",
     "repro.cli",
 ]
 

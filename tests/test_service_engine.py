@@ -173,6 +173,60 @@ class TestDispatchAndStats:
         json.dumps(engine.op_stats())
 
 
+class TestMetricsOp:
+    def test_metrics_json_reports_enabled_state_and_snapshot(self):
+        import json
+
+        from repro import obs
+
+        previous = obs.set_enabled(True)
+        obs.reset()
+        try:
+            engine = diamond_engine()
+            engine.handle("query", {"s": 0, "t": 3, "k": 3})
+            result = engine.handle("metrics", {})
+            assert result["format"] == "json"
+            assert result["enabled"] is True
+            counters = result["metrics"]["counters"]
+            assert counters["service.requests.query"] == 1
+            assert "service.op.query.seconds" in result["metrics"]["histograms"]
+            json.dumps(result)
+        finally:
+            obs.set_enabled(previous)
+            obs.reset()
+
+    def test_metrics_prometheus_returns_exposition_text(self):
+        from repro import obs
+
+        previous = obs.set_enabled(True)
+        obs.reset()
+        try:
+            engine = diamond_engine()
+            engine.handle("query", {"s": 0, "t": 3, "k": 3})
+            result = engine.handle("metrics", {"format": "prometheus"})
+            assert result["format"] == "prometheus"
+            assert "service_requests_query 1" in result["text"]
+        finally:
+            obs.set_enabled(previous)
+            obs.reset()
+
+    def test_metrics_disabled_mode_reports_disabled(self):
+        from repro import obs
+
+        previous = obs.set_enabled(False)
+        obs.reset()
+        try:
+            result = diamond_engine().op_metrics()
+            assert result["enabled"] is False
+            assert result["metrics"]["counters"] == {}
+        finally:
+            obs.set_enabled(previous)
+
+    def test_metrics_bad_format_rejected(self):
+        with pytest.raises(BadRequestError):
+            diamond_engine().op_metrics(format="xml")
+
+
 class TestLongInterleavings:
     def test_served_state_tracks_direct_enumeration(self):
         """Random query/watch/update interleavings stay exact."""

@@ -62,6 +62,19 @@ class TestDecodeRequest:
         )
         assert req.args == {"u": 1, "v": 2, "insert": False}
 
+    def test_metrics_format_is_optional_and_validated(self):
+        req = decode_request(encode({"id": 5, "op": "metrics"}))
+        assert req.op == "metrics"
+        assert "format" not in req.args
+        req = decode_request(
+            encode({"id": 5, "op": "metrics", "format": "prometheus"})
+        )
+        assert req.args == {"format": "prometheus"}
+        with pytest.raises(BadRequestError):
+            decode_request(
+                encode({"id": 5, "op": "metrics", "format": "xml"})
+            )
+
     def test_batch_update_triples(self):
         req = decode_request(
             encode({

@@ -108,6 +108,25 @@ class TestEndToEnd:
             assert stats["admission"]["admitted"] == 2
             assert stats["server"]["open_connections"] == 1
 
+    def test_metrics_over_the_wire(self, diamond_server):
+        from repro import obs
+
+        handle, _ = diamond_server
+        previous = obs.set_enabled(True)
+        obs.reset()
+        try:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.query(0, 3, 3)
+                result = client.metrics()
+                assert result["enabled"] is True
+                counters = result["metrics"]["counters"]
+                assert counters["service.requests.query"] >= 1
+                prom = client.metrics(format="prometheus")
+                assert "service_requests_query" in prom["text"]
+        finally:
+            obs.set_enabled(previous)
+            obs.reset()
+
     def test_two_clients_share_one_graph(self, diamond_server):
         handle, graph = diamond_server
         with ServiceClient(handle.host, handle.port) as a, \
