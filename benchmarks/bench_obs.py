@@ -9,7 +9,16 @@ the *enabled* ratio — the budget docs/OBSERVABILITY.md promises is 5%
 (CI tolerance is configurable via ``REPRO_BENCH_OBS_TOLERANCE`` because
 sub-second workloads on shared runners are noisy).
 
-The run is recorded under ``benchmarks/results/bench_obs.json``.
+The core workload now also passes through the EXPLAIN hooks
+(``explain_active()`` checks in construction/enumeration/maintenance),
+so the first benchmark's disabled side bounds their off cost too.  The
+second benchmark drives the same graph through the service engine and
+compares the structured event log off vs on
+(:mod:`repro.obs.events`) — bounding the *enabled* emission cost, which
+in turn bounds the disabled one-boolean path.
+
+Runs are recorded under ``benchmarks/results/bench_obs.json`` and
+``benchmarks/results/bench_obs_events.json``.
 """
 
 from __future__ import annotations
@@ -90,8 +99,79 @@ def bench_obs_overhead_under_budget():
     )
 
 
+def _run_engine_once(graph, queries, updates, k) -> float:
+    from repro.service.engine import PathQueryEngine
+
+    working = graph.copy()
+    engine = PathQueryEngine(working, default_k=k)
+    start = time.perf_counter()
+    for _ in range(3):
+        for query in queries:
+            engine.handle(
+                "query", {"s": query.s, "t": query.t, "k": query.k}
+            )
+    for update in updates:
+        engine.handle(
+            "update", {"u": update.u, "v": update.v, "insert": update.insert}
+        )
+    return time.perf_counter() - start
+
+
+def bench_events_overhead_under_budget():
+    """Engine traffic with the event log on stays within the tolerance.
+
+    The A side (events disabled) is the production default: every emit
+    site reduces to one module-boolean check.  The B side takes the
+    full ring-buffer write, so the asserted ratio is an upper bound on
+    what anyone pays with the log left off.
+    """
+    from repro.obs import events
+
+    graph, query, updates, config = _workload()
+    queries = hot_queries(graph, 4, config.k, 0.05, seed=config.seed)
+    previous_obs = obs.set_enabled(False)
+    previous_events = events.set_enabled(False)
+    disabled_times = []
+    enabled_times = []
+    try:
+        _run_engine_once(graph, queries, updates, config.k)  # warm-up
+        for _ in range(REPEATS):
+            events.set_enabled(False)
+            disabled_times.append(
+                _run_engine_once(graph, queries, updates, config.k)
+            )
+            events.set_enabled(True)
+            events.reset()
+            enabled_times.append(
+                _run_engine_once(graph, queries, updates, config.k)
+            )
+    finally:
+        events.set_enabled(previous_events)
+        events.reset()
+        obs.set_enabled(previous_obs)
+    disabled = statistics.median(disabled_times)
+    enabled = statistics.median(enabled_times)
+    ratio = enabled / disabled
+    print(f"\nevents overhead: disabled {disabled * 1e3:.2f} ms, "
+          f"enabled {enabled * 1e3:.2f} ms, ratio {ratio:.3f} "
+          f"(tolerance {TOLERANCE:.2f})")
+    publish_json(
+        "bench_obs_events",
+        {
+            "disabled_s": metric(disabled),
+            "enabled_s": metric(enabled),
+            "overhead_ratio": metric(ratio, unit="ratio"),
+        },
+        config=config,
+    )
+    assert ratio < TOLERANCE, (
+        f"event-log overhead ratio {ratio:.3f} exceeds {TOLERANCE:.2f}"
+    )
+
+
 __all__ = [
     "TOLERANCE",
     "REPEATS",
     "bench_obs_overhead_under_budget",
+    "bench_events_overhead_under_budget",
 ]

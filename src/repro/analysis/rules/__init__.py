@@ -13,7 +13,9 @@ Each submodule defines and registers one rule:
 - :mod:`~repro.analysis.rules.r005_mutable_defaults` — no mutable default
   arguments;
 - :mod:`~repro.analysis.rules.r006_exports` — every public module has an
-  ``__all__`` consistent with ``docs/API.md``.
+  ``__all__`` consistent with ``docs/API.md``;
+- :mod:`~repro.analysis.rules.r007_obs_events` — no ``print``/``logging``
+  in the engine/service layers (use :mod:`repro.obs.events`).
 """
 
 from repro.analysis.rules import (  # noqa: F401  (registration imports)
@@ -23,6 +25,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration imports)
     r004_set_iteration,
     r005_mutable_defaults,
     r006_exports,
+    r007_obs_events,
 )
 
 __all__ = [
@@ -32,4 +35,5 @@ __all__ = [
     "r004_set_iteration",
     "r005_mutable_defaults",
     "r006_exports",
+    "r007_obs_events",
 ]

@@ -16,9 +16,16 @@ Commands:
   throughput and p50/p99 latency;
 - ``profile`` — run a small construction/enumeration/maintenance
   workload with :mod:`repro.obs` enabled and print the per-stage cost
-  breakdown (see docs/OBSERVABILITY.md);
+  breakdown (see docs/OBSERVABILITY.md); ``--format json`` emits the
+  machine-readable ``repro-bench/1`` payload instead;
+- ``explain`` — per-query EXPLAIN/ANALYZE (:mod:`repro.obs.explain`):
+  dynamic-cut decisions, Opt. 1 prune counters, bucket sizes and
+  join-pair cardinalities, as text, JSON, or Chrome trace-event JSON
+  (``--format trace``, loadable in ``chrome://tracing`` / Perfetto);
+- ``top`` — plain-terminal live dashboard for a running server: QPS,
+  p95 latency, cache hit rate, in-flight requests, recent events;
 - ``lint`` — run the project-specific static analysis
-  (:mod:`repro.analysis`, rules R001–R006; see docs/ANALYSIS.md).
+  (:mod:`repro.analysis`, rules R001–R007; see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -165,6 +172,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable repro.obs instrumentation; clients can poll the "
              "'metrics' op for JSON or Prometheus dumps",
     )
+    sv.add_argument(
+        "--events", action="store_true",
+        help="enable the structured event log; clients can poll the "
+             "'events' op (and 'repro top' shows the tail)",
+    )
 
     bs = sub.add_parser(
         "bench-serve",
@@ -202,10 +214,56 @@ def _build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--seed", type=int, default=7)
     pf.add_argument("--json", action="store_true",
                     help="emit the raw metrics snapshot as JSON")
+    pf.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="'json' emits the repro-bench/1 per-stage payload "
+             "(default: text table)",
+    )
+
+    xp = sub.add_parser(
+        "explain",
+        help="EXPLAIN/ANALYZE one query: cut decisions, prune counters, "
+             "join cardinalities",
+    )
+    xp.add_argument("dataset")
+    xp.add_argument("s", type=int, nargs="?", default=None,
+                    help="source vertex (default: auto-pick a hot pair)")
+    xp.add_argument("t", type=int, nargs="?", default=None,
+                    help="target vertex (default: auto-pick a hot pair)")
+    xp.add_argument("k", type=int, nargs="?", default=6,
+                    help="hop constraint (default: 6)")
+    xp.add_argument("--scale", type=float, default=0.25)
+    xp.add_argument("--seed", type=int, default=7,
+                    help="seed for the auto-picked query pair")
+    xp.add_argument("--analyze", action="store_true",
+                    help="run the enumeration and report measured "
+                         "probe/emit cardinalities")
+    xp.add_argument(
+        "--format", choices=("text", "json", "trace"), default="text",
+        help="'trace' emits Chrome trace-event JSON for "
+             "chrome://tracing / Perfetto",
+    )
+    xp.add_argument("--out", metavar="FILE", default=None,
+                    help="write the output to FILE instead of stdout")
+
+    tp = sub.add_parser(
+        "top",
+        help="live dashboard for a running server (QPS, p95, cache, events)",
+    )
+    tp.add_argument("--host", default="127.0.0.1")
+    tp.add_argument("--port", type=int, default=7471)
+    tp.add_argument("--interval", type=float, default=2.0,
+                    help="seconds between polls (default: 2)")
+    tp.add_argument("--iterations", type=int, default=0,
+                    help="stop after N refreshes (default: run until Ctrl-C)")
+    tp.add_argument("--events", type=int, default=8,
+                    help="recent events to show (default: 8)")
+    tp.add_argument("--no-clear", action="store_true",
+                    help="append refreshes instead of clearing the screen")
 
     ln = sub.add_parser(
         "lint",
-        help="run the project-specific static analysis (rules R001-R006)",
+        help="run the project-specific static analysis (rules R001-R007)",
     )
     ln.add_argument(
         "paths", nargs="*",
@@ -254,6 +312,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench_serve(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_experiment(args)
@@ -287,6 +349,11 @@ def _cmd_serve(args) -> int:
 
         obs.enable()
         print("metrics: repro.obs enabled (poll the 'metrics' op)")
+    if args.events:
+        from repro.obs import events
+
+        events.set_enabled(True)
+        print("events: structured event log enabled (poll the 'events' op)")
     graph = datasets.load(args.dataset, args.scale)
     engine = PathQueryEngine(
         graph, default_k=args.k, cache_budget_bytes=args.cache_budget
@@ -415,10 +482,238 @@ def _cmd_profile(args) -> int:
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
         return 0
+    if args.format == "json":
+        payload = _profile_bench_payload(args, snapshot, len(queries),
+                                         len(stream), total_paths)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     title = (f"profile {args.dataset} scale {args.scale} k {args.k}: "
              f"{len(queries)} queries, {len(stream)} updates, "
              f"{total_paths} initial paths")
     print(obs.render_profile(snapshot, title=title))
+    return 0
+
+
+def _profile_bench_payload(args, snapshot, num_queries, num_updates,
+                           total_paths) -> dict:
+    """Shape a metrics snapshot as a ``repro-bench/1`` payload.
+
+    One metric pair per ``*.seconds`` stage (total and p95), so the
+    output is consumable by the same tooling as the CI benchmark
+    results (see docs/OBSERVABILITY.md).
+    """
+    from repro.obs.report import stage_rows
+
+    metrics = {}
+    for stage, row in stage_rows(snapshot):
+        key = stage.replace(".", "_")
+        metrics[f"{key}_total_s"] = {
+            "value": row.get("total", 0.0),
+            "unit": "seconds",
+            "direction": "lower",
+        }
+        metrics[f"{key}_p95_s"] = {
+            "value": row.get("p95", 0.0),
+            "unit": "seconds",
+            "direction": "lower",
+        }
+    metrics["initial_paths"] = {
+        "value": total_paths, "unit": "paths", "direction": "higher",
+    }
+    return {
+        "schema": "repro-bench/1",
+        "benchmark": "profile",
+        "config": {
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "k": args.k,
+            "queries": num_queries,
+            "updates": num_updates,
+            "seed": args.seed,
+        },
+        "metrics": metrics,
+    }
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.graph import datasets
+
+    try:
+        graph = datasets.load(args.dataset, args.scale)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if (args.s is None) != (args.t is None):
+        print("error: give both s and t, or neither", file=sys.stderr)
+        return 2
+    s, t = args.s, args.t
+    if s is None:
+        from repro.workloads.queries import hot_queries
+
+        picked = hot_queries(graph, 1, args.k, seed=args.seed)
+        if not picked:
+            print("error: no connected query pairs found", file=sys.stderr)
+            return 2
+        s, t = picked[0].s, picked[0].t
+        print(f"# auto-picked query pair s={s} t={t} (seed {args.seed})",
+              file=sys.stderr)
+    elif not (graph.has_vertex(s) and graph.has_vertex(t)):
+        print("error: s/t not in the graph", file=sys.stderr)
+        return 2
+    try:
+        if args.format == "trace":
+            # Spans only fire with obs enabled; the trace buffer needs
+            # them for the "X" timeline rows under the explain instants.
+            previous = obs.set_enabled(True)
+            try:
+                with obs.tracing() as buffer:
+                    report = obs.explain_query(
+                        graph, s, t, args.k, analyze=args.analyze
+                    )
+            finally:
+                obs.set_enabled(previous)
+            rendered = json.dumps(
+                report.to_chrome_trace(buffer), indent=2, sort_keys=True
+            )
+        else:
+            report = obs.explain_query(graph, s, t, args.k,
+                                       analyze=args.analyze)
+            if args.format == "json":
+                rendered = json.dumps(
+                    report.to_dict(), indent=2, sort_keys=True
+                )
+            else:
+                rendered = report.render_text()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    if args.analyze and report.record.invariant_ok() is False:
+        print("error: join-pair emit total does not match the enumerated "
+              "path count", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _counter_total(snapshot: dict, prefix: str) -> float:
+    return sum(
+        value for name, value in snapshot.get("counters", {}).items()
+        if name.startswith(prefix)
+    )
+
+
+def _render_top_frame(address, iteration, interval, stats, snapshot,
+                      event_payload, max_events, qps) -> str:
+    """One dashboard refresh, as plain text (no curses, no ANSI)."""
+    lines = [f"repro top — {address}   "
+             f"refresh #{iteration} (every {interval:g}s)"]
+    requests = _counter_total(snapshot, "service.requests.")
+    errors = _counter_total(snapshot, "service.errors.")
+    qps_text = f"{qps:.1f}" if qps is not None else "--"
+    lines.append(f"  requests {requests:.0f} total   errors {errors:.0f}   "
+                 f"qps {qps_text}")
+    histogram = snapshot.get("histograms", {}).get("service.op.query.seconds")
+    if histogram and histogram.get("count"):
+        lines.append(
+            f"  query latency  p50 {histogram['p50'] * 1000.0:.2f} ms   "
+            f"p95 {histogram['p95'] * 1000.0:.2f} ms   "
+            f"p99 {histogram['p99'] * 1000.0:.2f} ms   "
+            f"({int(histogram['count'])} samples)"
+        )
+    else:
+        lines.append("  query latency  (no samples yet)")
+    cache = stats.get("cache", {})
+    admission = stats.get("admission", {})
+    lines.append(
+        f"  cache hit rate {cache.get('hit_rate', 0.0) * 100.0:.1f}%   "
+        f"entries {cache.get('entries', 0)}   "
+        f"evictions {cache.get('evictions', 0)}"
+    )
+    lines.append(
+        f"  in-flight {admission.get('in_flight', 0)}"
+        f"/{admission.get('capacity', 0)}   "
+        f"admitted {admission.get('admitted', 0)}   "
+        f"rejected {admission.get('rejected_overload', 0)} overload / "
+        f"{admission.get('rejected_shutdown', 0)} shutdown   "
+        f"expired {admission.get('expired', 0)}"
+    )
+    graph = stats.get("graph", {})
+    lines.append(
+        f"  graph {graph.get('vertices', '?')} vertices / "
+        f"{graph.get('edges', '?')} edges   "
+        f"watched pairs {stats.get('watched_pairs', '?')}"
+    )
+    if event_payload.get("enabled"):
+        tail = event_payload.get("events", [])[-max_events:]
+        lines.append(f"  recent events ({event_payload.get('total_emitted', 0)}"
+                     f" emitted, showing {len(tail)}):")
+        for event in tail:
+            extras = {
+                key: value for key, value in event.items()
+                if key not in ("seq", "ts", "kind", "corr_id")
+            }
+            detail = " ".join(f"{k}={extras[k]}" for k in sorted(extras))
+            corr = event.get("corr_id", "-")
+            lines.append(f"    #{event['seq']:<6d} {corr:>8s}  "
+                         f"{event['kind']:<18s} {detail}")
+    else:
+        lines.append("  recent events: event log disabled on the server "
+                     "(start it with --events)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.service.client import ServiceClient
+
+    try:
+        client = ServiceClient(args.host, args.port)
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    previous_requests = None
+    previous_at = None
+    iteration = 0
+    try:
+        with client:
+            while True:
+                iteration += 1
+                stats = client.stats()
+                snapshot = client.metrics().get("metrics", {})
+                event_payload = client.events(limit=args.events)
+                now = time.monotonic()
+                requests = _counter_total(snapshot, "service.requests.")
+                qps = None
+                if previous_requests is not None and now > previous_at:
+                    qps = max(0.0, requests - previous_requests) / (
+                        now - previous_at
+                    )
+                previous_requests, previous_at = requests, now
+                frame = _render_top_frame(
+                    f"{args.host}:{args.port}", iteration, args.interval,
+                    stats, snapshot, event_payload, args.events, qps,
+                )
+                if not args.no_clear and sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame)
+                if args.iterations and iteration >= args.iterations:
+                    break
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    except (ConnectionError, OSError) as exc:
+        print(f"error: connection lost: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

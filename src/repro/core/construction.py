@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro import obs
+from repro.obs.explain import active as explain_active
 from repro.core.distance import DistanceMap, induced_vertices
 from repro.core.index import PartialPathIndex
 from repro.core.plan import JoinPlan
@@ -113,6 +114,14 @@ def build_index(
         obs.observe("construction.induced_size", stats.induced_size)
         obs.observe("construction.left_paths", stats.left_paths)
         obs.observe("construction.right_paths", stats.right_paths)
+    recorder = explain_active()
+    if recorder is not None:
+        recorder.record_plan(plan.pairs)
+        recorder.record_buckets(
+            {n: index.left.count_at_length(n) for n in index.left.lengths()},
+            {n: index.right.count_at_length(n) for n in index.right.lengths()},
+            index.direct_edge,
+        )
     return BuildResult(index, dist_s, dist_t, stats)
 
 
@@ -143,6 +152,9 @@ class _Builder:
         self.right = PathBuckets()
         self._left_frontier: List[Tuple[Vertex, ...]] = [(s,)]
         self._right_frontier: List[Tuple[Vertex, ...]] = [(t,)]
+        # Per-query EXPLAIN recorder, checked once per build / level (not
+        # per expansion) so the no-recorder case stays free.
+        self._explain = explain_active()
 
     # ------------------------------------------------------------------
     def run(self, forced_plan: Optional[JoinPlan]) -> JoinPlan:
@@ -156,6 +168,7 @@ class _Builder:
         self._right_level(1)
         pairs.append((1, 1))
         forced = list(forced_plan.pairs) if forced_plan is not None else None
+        recorder = self._explain
         while i + j < k:
             if forced is not None:
                 ni, nj = forced[i + j - 1]
@@ -170,6 +183,14 @@ class _Builder:
                     "construction.cut.grow_left"
                     if grow_left
                     else "construction.cut.grow_right"
+                )
+            if recorder is not None:
+                recorder.record_cut(
+                    i + j + 1,
+                    "left" if grow_left else "right",
+                    len(self._left_frontier),
+                    len(self._right_frontier),
+                    forced=forced is not None,
                 )
             if grow_left:
                 i += 1
@@ -213,6 +234,10 @@ class _Builder:
             obs.incr(
                 "construction.left_pruned", expansions - len(next_frontier)
             )
+        if self._explain is not None:
+            self._explain.record_level(
+                "left", level, expansions, len(next_frontier)
+            )
         self._left_frontier = next_frontier
 
     def _right_level(self, level: int) -> None:
@@ -244,6 +269,10 @@ class _Builder:
             obs.observe("construction.right_frontier", len(next_frontier))
             obs.incr(
                 "construction.right_pruned", expansions - len(next_frontier)
+            )
+        if self._explain is not None:
+            self._explain.record_level(
+                "right", level, expansions, len(next_frontier)
             )
         self._right_frontier = next_frontier
 

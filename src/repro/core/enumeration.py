@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro import obs
+from repro.obs.explain import ExplainRecord
+from repro.obs.explain import active as explain_active
 from repro.core.index import PartialPathIndex, PathBuckets
 from repro.core.paths import Path
 
@@ -25,9 +27,16 @@ def enumerate_full(index: PartialPathIndex) -> Iterator[Path]:
     """Yield every k-st path currently represented by the index.
 
     With observability on (:func:`repro.obs.enabled`) the join loop also
-    records per-``(i, j)`` pair output counts; the disabled path below is
-    untouched so the hot loop carries no instrumentation cost.
+    records per-``(i, j)`` pair output counts; with an EXPLAIN recorder
+    installed (:func:`repro.obs.explain.active`) it additionally counts
+    cut vertices and per-pair probe/emit cardinalities.  The disabled
+    path below is untouched so the hot loop carries no instrumentation
+    cost beyond the two per-call checks.
     """
+    recorder = explain_active()
+    if recorder is not None:
+        yield from _enumerate_full_explained(index, recorder)
+        return
     if obs.enabled():
         yield from _enumerate_full_observed(index)
         return
@@ -83,6 +92,53 @@ def _enumerate_full_observed(index: PartialPathIndex) -> Iterator[Path]:
         obs.observe("enumeration.join_pair_output", emitted)
         total += emitted
     obs.incr("enumeration.paths", total)
+
+
+def _enumerate_full_explained(
+    index: PartialPathIndex, recorder: ExplainRecord
+) -> Iterator[Path]:
+    """The :func:`enumerate_full` join with per-pair EXPLAIN accounting.
+
+    Records, for every plan pair, the cut-vertex count (middles present
+    on both sides), the probe count (``(lp, rp)`` combinations tested
+    for vertex-disjointness), and the emit count.  Also feeds the
+    regular obs counters when the gate is on, so ANALYZE under a live
+    service does not lose metrics.
+    """
+    observed = obs.enabled()
+    total = 0
+    if index.direct_edge:
+        total += 1
+        yield (index.s, index.t)
+    left, right = index.left, index.right
+    for i, j in index.plan:
+        left_bucket = left.bucket(i)
+        right_bucket = right.bucket(j)
+        cut_vertices = 0
+        probes = 0
+        emitted = 0
+        if left_bucket and right_bucket:
+            if len(left_bucket) <= len(right_bucket):
+                middles = (v for v in left_bucket if v in right_bucket)
+            else:
+                middles = (v for v in right_bucket if v in left_bucket)
+            for vc in middles:
+                cut_vertices += 1
+                right_paths = right_bucket[vc]
+                for lp in left_bucket[vc]:
+                    lp_set = set(lp)
+                    probes += len(right_paths)
+                    for rp in right_paths:
+                        if lp_set.isdisjoint(rp[1:]):
+                            emitted += 1
+                            yield lp + rp[1:]
+        recorder.record_join_pair(i, j, cut_vertices, probes, emitted)
+        if observed:
+            obs.incr(f"enumeration.join.{i}x{j}.paths", emitted)
+            obs.observe("enumeration.join_pair_output", emitted)
+        total += emitted
+    if observed:
+        obs.incr("enumeration.paths", total)
 
 
 def enumerate_delta(

@@ -21,6 +21,15 @@ The facade is intentionally tiny: counters (:func:`incr`), gauges
 (:func:`span`), and the two export formats (:func:`snapshot` for JSON,
 :func:`render_prometheus` for a Prometheus scrape/dump).  The metric
 name catalog and naming convention live in docs/OBSERVABILITY.md.
+
+Three sibling namespaces ride along, each with the same off-by-default
+cost contract:
+
+- :mod:`repro.obs.events` — the structured event log (bounded ring of
+  typed events with correlation IDs);
+- :mod:`repro.obs.explain` — per-query EXPLAIN/ANALYZE recording
+  (dynamic-cut decisions, prune counters, join cardinalities);
+- :mod:`repro.obs.trace` — Chrome trace-event export built on spans.
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, Union
 
+from repro.obs import events, explain, trace
+from repro.obs.explain import ExplainRecord, ExplainReport, explain_query
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -36,7 +47,14 @@ from repro.obs.metrics import (
     prometheus_name,
 )
 from repro.obs.report import render_profile, stage_rows
-from repro.obs.spans import NOOP_SPAN, NoopSpan, Span
+from repro.obs.spans import (
+    NOOP_SPAN,
+    NoopSpan,
+    Span,
+    set_trace_sink,
+    trace_sink,
+)
+from repro.obs.trace import TraceBuffer, tracing, validate_chrome_trace
 
 _REGISTRY = MetricsRegistry()
 _ENABLED = os.environ.get("REPRO_OBS", "") not in ("", "0", "false", "no")
@@ -133,12 +151,23 @@ def render_prometheus() -> str:
 
 __all__ = [
     "Counter",
+    "ExplainRecord",
+    "ExplainReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NoopSpan",
     "NOOP_SPAN",
     "Span",
+    "TraceBuffer",
+    "events",
+    "explain",
+    "explain_query",
+    "trace",
+    "tracing",
+    "set_trace_sink",
+    "trace_sink",
+    "validate_chrome_trace",
     "prometheus_name",
     "enabled",
     "enable",

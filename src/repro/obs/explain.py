@@ -1,0 +1,491 @@
+"""Query-level EXPLAIN / ANALYZE for hop-constrained path queries.
+
+``repro.obs`` metrics aggregate across every query a process serves;
+this module answers the per-query question — *why did this query cost
+what it cost* — in the spirit of a database ``EXPLAIN``:
+
+- the dynamic-cut decisions (Optimization 2): which side each growth
+  step extended, and the two frontier sizes (the cost estimates) that
+  drove the choice, ending at the ``(l, r)`` split with ``l + r = k``;
+- the distance-pruning counters (Optimization 1): per BFS level, how
+  many expansions were attempted and how many partial paths survived;
+- the index shape: ``LP_i`` / ``RP_j`` bucket sizes per length;
+- the join plan with, per ``(i, j)`` pair, the cut-vertex count, the
+  estimated output cardinality (``Σ_v |LP_i(v)|·|RP_j(v)|`` over shared
+  middle vertices — an upper bound that ignores the disjointness
+  filter), and — under ANALYZE — the actual probe and emit counts,
+  with the invariant that per-pair emits (plus the direct edge) sum to
+  the enumerated k-st path total.
+
+The recorder rides a :class:`~contextvars.ContextVar`: the core layers
+call :func:`active` once per build / enumeration / repair (not per
+expansion) and record only when a recorder is installed, so the common
+no-recorder case costs one context-variable read per query-level
+operation.  :func:`explain_query` is the driver behind ``repro
+explain``, the ``explain`` wire op, and ``ServiceClient.explain()``.
+
+This module deliberately imports nothing from ``repro.core`` at import
+time (the core layers import *it*); the drivers import the core lazily.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.trace import TraceBuffer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core import
+    from repro.graph.digraph import DynamicDiGraph, Vertex
+
+
+@dataclass(frozen=True)
+class CutStep:
+    """One dynamic-cut growth decision (Optimization 2)."""
+
+    step: int            # growth step index (2, 3, ... — level sums)
+    side: str            # "left" or "right"
+    left_frontier: int   # frontier-cost estimate for the left side
+    right_frontier: int  # frontier-cost estimate for the right side
+    forced: bool         # True when a forced plan bypassed the cut
+    ts: float            # perf_counter stamp (for trace placement)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view."""
+        return {
+            "step": self.step,
+            "side": self.side,
+            "left_frontier": self.left_frontier,
+            "right_frontier": self.right_frontier,
+            "forced": self.forced,
+        }
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """One BFS level's admissibility accounting (Optimization 1)."""
+
+    side: str        # "left" or "right"
+    level: int       # partial-path length this level produced
+    expansions: int  # successor expansions attempted
+    admitted: int    # partial paths that passed the distance test
+    ts: float
+
+    @property
+    def pruned(self) -> int:
+        """Expansions discarded by the admissibility test."""
+        return self.expansions - self.admitted
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view."""
+        return {
+            "side": self.side,
+            "level": self.level,
+            "expansions": self.expansions,
+            "admitted": self.admitted,
+            "pruned": self.pruned,
+        }
+
+
+@dataclass
+class JoinPairStats:
+    """One ``(i, j)`` join pair's measured cardinalities (ANALYZE)."""
+
+    i: int
+    j: int
+    cut_vertices: int  # middle vertices present on both sides
+    probes: int        # (lp, rp) combinations tested for disjointness
+    emitted: int       # full paths produced by this pair
+    ts: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view."""
+        return {
+            "i": self.i,
+            "j": self.j,
+            "cut_vertices": self.cut_vertices,
+            "probes": self.probes,
+            "emitted": self.emitted,
+        }
+
+
+@dataclass
+class MaintenanceStats:
+    """One index repair observed while a recorder was active."""
+
+    kind: str  # "insert" or "delete"
+    delta_partials: int
+    relaxed: int
+    tightened: int
+    direct_changed: bool
+    ts: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view."""
+        return {
+            "kind": self.kind,
+            "delta_partials": self.delta_partials,
+            "relaxed": self.relaxed,
+            "tightened": self.tightened,
+            "direct_changed": self.direct_changed,
+        }
+
+
+@dataclass
+class ExplainRecord:
+    """Everything the core layers report for one explained query.
+
+    The record is write-mostly: the construction, enumeration, and
+    maintenance layers append through the ``record_*`` methods while
+    the record is installed via :func:`recording`; the report layer
+    reads it afterwards.
+    """
+
+    cut_steps: List[CutStep] = field(default_factory=list)
+    levels: List[LevelStats] = field(default_factory=list)
+    plan_pairs: Tuple[Tuple[int, int], ...] = ()
+    left_buckets: Dict[int, int] = field(default_factory=dict)
+    right_buckets: Dict[int, int] = field(default_factory=dict)
+    direct_edge: bool = False
+    join_pairs: List[JoinPairStats] = field(default_factory=list)
+    maintenance: List[MaintenanceStats] = field(default_factory=list)
+    total_paths: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Write side (called from repro.core while installed)
+    # ------------------------------------------------------------------
+    def record_cut(self, step: int, side: str, left_frontier: int,
+                   right_frontier: int, forced: bool = False) -> None:
+        """One Optimization 2 growth decision with its cost estimates."""
+        self.cut_steps.append(CutStep(
+            step, side, left_frontier, right_frontier, forced,
+            time.perf_counter(),
+        ))
+
+    def record_level(self, side: str, level: int, expansions: int,
+                     admitted: int) -> None:
+        """One BFS level's expansion / admission counts."""
+        self.levels.append(LevelStats(
+            side, level, expansions, admitted, time.perf_counter()
+        ))
+
+    def record_plan(self, pairs: Tuple[Tuple[int, int], ...]) -> None:
+        """The final join plan (Algorithm 2's trace of ``(i, j)`` pairs)."""
+        self.plan_pairs = tuple(pairs)
+
+    def record_buckets(self, left: Dict[int, int], right: Dict[int, int],
+                       direct_edge: bool) -> None:
+        """Per-length ``LP_i`` / ``RP_j`` path counts and the direct edge."""
+        self.left_buckets = dict(left)
+        self.right_buckets = dict(right)
+        self.direct_edge = direct_edge  # repro: noqa[R001]
+
+    def record_join_pair(self, i: int, j: int, cut_vertices: int,
+                         probes: int, emitted: int) -> None:
+        """One join pair's measured cardinalities (ANALYZE only)."""
+        self.join_pairs.append(JoinPairStats(
+            i, j, cut_vertices, probes, emitted, time.perf_counter()
+        ))
+
+    def record_total(self, total: int) -> None:
+        """The enumerated k-st path total (ANALYZE only)."""
+        self.total_paths = total
+
+    def record_maintenance(self, kind: str, delta_partials: int,
+                           relaxed: int, tightened: int,
+                           direct_changed: bool) -> None:
+        """One index repair's delta accounting."""
+        self.maintenance.append(MaintenanceStats(
+            kind, delta_partials, relaxed, tightened, direct_changed,
+            time.perf_counter(),
+        ))
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    @property
+    def split(self) -> Tuple[int, int]:
+        """The chosen ``(l, r)`` with ``l + r = k`` (``(0, 0)`` if unset)."""
+        return self.plan_pairs[-1] if self.plan_pairs else (0, 0)
+
+    def emitted_total(self) -> Optional[int]:
+        """Per-pair emits plus the direct edge; ``None`` before ANALYZE."""
+        if not self.join_pairs and self.total_paths is None:
+            return None
+        emitted = sum(pair.emitted for pair in self.join_pairs)
+        return emitted + (1 if self.direct_edge else 0)
+
+    def invariant_ok(self) -> Optional[bool]:
+        """Whether per-pair emits sum to the enumerated total.
+
+        ``None`` when ANALYZE has not run (nothing to check).
+        """
+        if self.total_paths is None:
+            return None
+        return self.emitted_total() == self.total_paths
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view of the whole record."""
+        out: Dict[str, Any] = {
+            "cut": {
+                "split": list(self.split),
+                "steps": [step.as_dict() for step in self.cut_steps],
+            },
+            "levels": [level.as_dict() for level in self.levels],
+            "plan": [list(pair) for pair in self.plan_pairs],
+            "buckets": {
+                "left": {str(n): c for n, c in sorted(self.left_buckets.items())},
+                "right": {str(n): c for n, c in sorted(self.right_buckets.items())},
+                "direct_edge": self.direct_edge,
+            },
+        }
+        if self.join_pairs:
+            out["join_pairs"] = [pair.as_dict() for pair in self.join_pairs]
+        if self.maintenance:
+            out["maintenance"] = [m.as_dict() for m in self.maintenance]
+        if self.total_paths is not None:
+            out["total_paths"] = self.total_paths
+            out["emitted_total"] = self.emitted_total()
+            out["invariant_ok"] = self.invariant_ok()
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Recorder installation (ContextVar so asyncio.to_thread inherits it)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: "ContextVar[Optional[ExplainRecord]]" = ContextVar(
+    "repro_obs_explain", default=None
+)
+
+
+def active() -> Optional[ExplainRecord]:
+    """The installed recorder, or ``None`` (the common, free case)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def recording(
+    record: Optional[ExplainRecord] = None,
+) -> Iterator[ExplainRecord]:
+    """Install ``record`` (or a fresh one) for the enclosed region::
+
+        with explain.recording() as rec:
+            result = build_index(graph, s, t, k)
+            total = sum(1 for _ in enumerate_full(result.index))
+        assert rec.invariant_ok()
+    """
+    rec = record if record is not None else ExplainRecord()
+    token = _ACTIVE.set(rec)
+    try:
+        yield rec
+    finally:
+        _ACTIVE.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# The EXPLAIN / ANALYZE driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExplainReport:
+    """The rendered result of one :func:`explain_query` run."""
+
+    s: Any
+    t: Any
+    k: int
+    analyze: bool
+    num_vertices: int
+    num_edges: int
+    record: ExplainRecord
+    estimates: List[Dict[str, Any]] = field(default_factory=list)
+    construction_seconds: float = 0.0
+    enumeration_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON shape (`repro explain --format json`, wire op)."""
+        out: Dict[str, Any] = {
+            "schema": "repro-explain/1",
+            "query": {"s": self.s, "t": self.t, "k": self.k},
+            "analyze": self.analyze,
+            "graph": {
+                "num_vertices": self.num_vertices,
+                "num_edges": self.num_edges,
+            },
+            "timings": {
+                "construction_seconds": self.construction_seconds,
+                "enumeration_seconds": self.enumeration_seconds,
+            },
+            "estimates": list(self.estimates),
+        }
+        out.update(self.record.as_dict())
+        return out
+
+    def render_text(self) -> str:
+        """A human-readable EXPLAIN table (``--format text``)."""
+        rec = self.record
+        l, r = rec.split
+        mode = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        lines = [
+            f"{mode} q(s={self.s!r}, t={self.t!r}, k={self.k}) "
+            f"on {self.num_vertices} vertices / {self.num_edges} edges",
+            f"cut: l={l} r={r}  plan "
+            + " ".join(f"({i},{j})" for i, j in rec.plan_pairs),
+        ]
+        if rec.cut_steps:
+            lines.append("dynamic cut decisions (Opt. 2):")
+            for step in rec.cut_steps:
+                mark = " [forced]" if step.forced else ""
+                lines.append(
+                    f"  step {step.step}: grow {step.side:<5} "
+                    f"(left frontier {step.left_frontier}, "
+                    f"right frontier {step.right_frontier}){mark}"
+                )
+        if rec.levels:
+            lines.append("level search (Opt. 1 distance pruning):")
+            lines.append("  side   level  expansions  admitted  pruned")
+            for lv in rec.levels:
+                lines.append(
+                    f"  {lv.side:<5}  {lv.level:>5}  {lv.expansions:>10}  "
+                    f"{lv.admitted:>8}  {lv.pruned:>6}"
+                )
+        lines.append("index buckets:")
+        for length in sorted(rec.left_buckets):
+            lines.append(f"  LP_{length}: {rec.left_buckets[length]} paths")
+        for length in sorted(rec.right_buckets):
+            lines.append(f"  RP_{length}: {rec.right_buckets[length]} paths")
+        lines.append(f"  direct edge: {'yes' if rec.direct_edge else 'no'}")
+        if self.estimates:
+            lines.append("join pairs:")
+            header = "  (i,j)  cut_vertices  est_output"
+            measured = {(p.i, p.j): p for p in rec.join_pairs}
+            if measured:
+                header += "  probes  emitted"
+            lines.append(header)
+            for est in self.estimates:
+                i, j = est["i"], est["j"]
+                row = (
+                    f"  ({i},{j})  {est['cut_vertices']:>12}  "
+                    f"{est['est_output']:>10}"
+                )
+                pair = measured.get((i, j))
+                if pair is not None:
+                    row += f"  {pair.probes:>6}  {pair.emitted:>7}"
+                lines.append(row)
+        if rec.total_paths is not None:
+            emitted = rec.emitted_total()
+            ok = rec.invariant_ok()
+            lines.append(
+                f"total paths: {rec.total_paths} "
+                f"(join emits {emitted} incl. direct edge)"
+            )
+            lines.append(
+                "invariant emit-total == path-total: "
+                + ("ok" if ok else "VIOLATED")
+            )
+        lines.append(
+            f"timings: construction {self.construction_seconds * 1e3:.3f} ms"
+            + (
+                f", enumeration {self.enumeration_seconds * 1e3:.3f} ms"
+                if self.analyze
+                else ""
+            )
+        )
+        return "\n".join(lines)
+
+    def annotate_trace(self, buffer: TraceBuffer) -> None:
+        """Drop instant markers for the decisions into ``buffer``."""
+        for step in self.record.cut_steps:
+            buffer.instant("explain.cut", step.ts, step.as_dict())
+        for level in self.record.levels:
+            buffer.instant("explain.level", level.ts, level.as_dict())
+        for pair in self.record.join_pairs:
+            buffer.instant("explain.join", pair.ts, pair.as_dict())
+
+    def to_chrome_trace(self, buffer: TraceBuffer) -> Dict[str, Any]:
+        """``buffer`` (spans collected during the run) plus this report's
+        instant markers and metadata, as Chrome trace JSON."""
+        self.annotate_trace(buffer)
+        return buffer.to_chrome_trace(metadata={"explain": self.to_dict()})
+
+
+def explain_query(
+    graph: "DynamicDiGraph",
+    s: "Vertex",
+    t: "Vertex",
+    k: int,
+    analyze: bool = False,
+) -> ExplainReport:
+    """EXPLAIN (estimate) or ANALYZE (run and measure) one query.
+
+    Always builds the index (the index *is* the plan — construction is
+    the cheap part by design); with ``analyze=True`` additionally runs
+    the full join enumeration so the report carries actual per-pair
+    probe/emit cardinalities and the invariant check.
+    """
+    # Imported lazily: repro.core imports this module for the hooks.
+    from repro.core.construction import build_index
+    from repro.core.enumeration import enumerate_full
+
+    with recording() as rec:
+        started = time.perf_counter()
+        result = build_index(graph, s, t, k)
+        construction_seconds = time.perf_counter() - started
+        index = result.index
+        estimates: List[Dict[str, Any]] = []
+        for i, j in index.plan:
+            left_bucket = index.left.bucket(i)
+            right_bucket = index.right.bucket(j)
+            if len(left_bucket) <= len(right_bucket):
+                middles = [v for v in left_bucket if v in right_bucket]
+            else:
+                middles = [v for v in right_bucket if v in left_bucket]
+            est = sum(
+                len(left_bucket[v]) * len(right_bucket[v]) for v in middles
+            )
+            estimates.append({
+                "i": i,
+                "j": j,
+                "cut_vertices": len(middles),
+                "est_output": est,
+            })
+        enumeration_seconds = 0.0
+        if analyze:
+            # obs.span is gated; the CLI enables obs for --format trace so
+            # the enumeration shows up as an interval on the timeline.
+            from repro import obs
+
+            started = time.perf_counter()
+            with obs.span("enumeration.full"):
+                total = sum(1 for _ in enumerate_full(index))
+            enumeration_seconds = time.perf_counter() - started
+            rec.record_total(total)
+    return ExplainReport(
+        s=s,
+        t=t,
+        k=k,
+        analyze=analyze,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        record=rec,
+        estimates=estimates,
+        construction_seconds=construction_seconds,
+        enumeration_seconds=enumeration_seconds,
+    )
+
+
+__all__ = [
+    "CutStep",
+    "LevelStats",
+    "JoinPairStats",
+    "MaintenanceStats",
+    "ExplainRecord",
+    "ExplainReport",
+    "active",
+    "recording",
+    "explain_query",
+]

@@ -299,8 +299,9 @@ class MetricsRegistry:
             elif isinstance(metric, Histogram):
                 lines.append(f"# TYPE {name} summary")
                 for q in SNAPSHOT_QUANTILES:
+                    label = escape_label_value(str(q))
                     lines.append(
-                        f'{name}{{quantile="{q}"}} '
+                        f'{name}{{quantile="{label}"}} '
                         f"{_fmt_value(metric.quantile(q))}"
                     )
                 lines.append(f"{name}_sum {_fmt_value(metric.total)}")
@@ -318,6 +319,22 @@ def prometheus_name(name: str) -> str:
     return sanitized
 
 
+def escape_label_value(value: str) -> str:
+    """A label value escaped for the text exposition format.
+
+    Inside the double quotes of a label value the format reserves
+    backslash, double-quote, and line-feed; they must appear as ``\\\\``,
+    ``\\"`` and ``\\n`` respectively or the sample line is unparseable
+    (a raw newline even splits the sample in two).  Backslash must be
+    escaped first so the other escapes' backslashes survive.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _fmt_value(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
@@ -331,5 +348,6 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "escape_label_value",
     "prometheus_name",
 ]

@@ -17,19 +17,52 @@ The cost contract the instrumented hot paths rely on:
 
 Spans deliberately do not form a tree — nesting works (each span times
 itself independently), but there is no parent/child bookkeeping to pay
-for on paths that run millions of times per second.
+for on paths that run millions of times per second.  Tree structure is
+recovered *offline* instead: when a trace sink is installed
+(:func:`set_trace_sink`, used by ``repro explain --format trace``),
+every finished span also reports its start time, duration, and thread
+ident to the sink, and interval containment per thread reconstructs
+the nesting — e.g. in the Chrome trace viewer, which draws exactly
+that.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from types import TracebackType
-from typing import Optional, Type
+from typing import Optional, Protocol, Type
 
 from repro.obs.metrics import MetricsRegistry
 
 #: Suffix appended to a span name to form its histogram's name.
 SPAN_SUFFIX = ".seconds"
+
+
+class TraceSink(Protocol):
+    """Anything that wants finished-span intervals (see ``obs.trace``)."""
+
+    def record_span(self, name: str, started: float, duration: float,
+                    thread_id: int) -> None:
+        """Accept one finished span interval (perf_counter seconds)."""
+
+
+#: The installed trace sink, or ``None`` (the common case: no tracing).
+_TRACE_SINK: Optional[TraceSink] = None
+
+
+def set_trace_sink(sink: Optional[TraceSink]) -> Optional[TraceSink]:
+    """Install (or clear, with ``None``) the trace sink; returns the
+    previous one so callers can save/restore around a traced region."""
+    global _TRACE_SINK
+    previous = _TRACE_SINK
+    _TRACE_SINK = sink
+    return previous
+
+
+def trace_sink() -> Optional[TraceSink]:
+    """The currently installed trace sink, if any."""
+    return _TRACE_SINK
 
 
 class NoopSpan:
@@ -75,6 +108,11 @@ class Span:
     ) -> None:
         elapsed = time.perf_counter() - self._started
         self._registry.histogram(self.name + SPAN_SUFFIX).observe(elapsed)
+        sink = _TRACE_SINK
+        if sink is not None:
+            sink.record_span(
+                self.name, self._started, elapsed, threading.get_ident()
+            )
         return None
 
 
@@ -83,4 +121,7 @@ __all__ = [
     "NoopSpan",
     "NOOP_SPAN",
     "Span",
+    "TraceSink",
+    "set_trace_sink",
+    "trace_sink",
 ]

@@ -31,6 +31,7 @@ from typing import Any, AsyncIterator, Dict, Optional
 from contextlib import asynccontextmanager
 
 from repro import obs
+from repro.obs import events
 from repro.service.protocol import (
     DeadlineExceededError,
     OverloadedError,
@@ -113,10 +114,16 @@ class AdmissionController:
         if self._draining:
             self._rejected_shutdown += 1
             obs.incr("service.admission.rejected_shutdown")
+            events.emit(events.REQUEST_REJECTED, reason="shutdown")
             raise ShuttingDownError("server is shutting down")
         if self._pending >= self.capacity:
             self._rejected_overload += 1
             obs.incr("service.admission.rejected_overload")
+            events.emit(
+                events.REQUEST_REJECTED,
+                reason="overload",
+                in_flight=self._pending,
+            )
             raise OverloadedError(
                 f"admission queue full ({self.capacity} in flight)",
                 retry_after_ms=self.retry_after_ms,
@@ -124,6 +131,7 @@ class AdmissionController:
         if deadline is not None and time.monotonic() >= deadline:
             self._expired += 1
             obs.incr("service.admission.expired")
+            events.emit(events.DEADLINE_EXCEEDED, where="pre_admission")
             raise DeadlineExceededError("deadline elapsed before admission")
         self._pending += 1
         self._idle.clear()
@@ -140,6 +148,7 @@ class AdmissionController:
                         "service.admission.queue_wait.seconds",
                         time.monotonic() - queued_at,
                     )
+                events.emit(events.QUERY_ADMITTED, in_flight=self._pending)
                 yield
             finally:
                 self._lock.release()
@@ -159,6 +168,8 @@ class AdmissionController:
             await asyncio.wait_for(self._lock.acquire(), timeout=remaining)
         except asyncio.TimeoutError:
             self._expired += 1
+            obs.incr("service.admission.expired")
+            events.emit(events.DEADLINE_EXCEEDED, where="queued")
             raise DeadlineExceededError(
                 "deadline elapsed while queued"
             ) from None

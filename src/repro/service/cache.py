@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro import obs
+from repro.obs import events
 from repro.core.enumerator import CpeEnumerator, UpdateResult
 from repro.core.serialize import snapshot_size_bytes
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
@@ -119,10 +120,12 @@ class IndexCache:
             self._hits += 1
             self._entries.move_to_end(key)
             obs.incr("service.cache.hits")
+            events.emit(events.CACHE_HIT, s=s, t=t, k=k)
             self._note_lookup()
             return entry
         self._misses += 1
         obs.incr("service.cache.misses")
+        events.emit(events.CACHE_MISS, s=s, t=t, k=k)
         self._note_lookup()
         with obs.span("service.cache.build"):
             entry = CpeEnumerator(self.graph, s, t, k)
@@ -189,9 +192,14 @@ class IndexCache:
     def _shrink_to_budget(self) -> None:
         while self._current_bytes > self.budget_bytes and self._entries:
             key, _ = self._entries.popitem(last=False)
-            self._current_bytes -= self._sizes.pop(key)
+            freed = self._sizes.pop(key)
+            self._current_bytes -= freed
             self._evictions += 1
             obs.incr("service.cache.evictions")
+            events.emit(
+                events.CACHE_EVICT,
+                s=key[0], t=key[1], k=key[2], freed_bytes=freed,
+            )
 
     # ------------------------------------------------------------------
     def stats(self) -> CacheStats:

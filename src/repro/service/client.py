@@ -68,11 +68,16 @@ class ServiceClient:
         self,
         op: str,
         deadline_ms: Optional[float] = None,
+        corr_id: Optional[str] = None,
         **fields: Any,
     ) -> Response:
-        """Send one request and block for its response (no raising)."""
+        """Send one request and block for its response (no raising).
+
+        ``corr_id`` tags the request for the server's structured event
+        log, so a client can find every event its request caused.
+        """
         self._next_id += 1
-        request = Request(self._next_id, op, fields, deadline_ms)
+        request = Request(self._next_id, op, fields, deadline_ms, corr_id)
         self._file.write((request.to_wire() + "\n").encode("utf-8"))
         self._file.flush()
         line = self._file.readline()
@@ -81,10 +86,16 @@ class ServiceClient:
         return decode_response(line)
 
     def call(
-        self, op: str, deadline_ms: Optional[float] = None, **fields: Any
+        self,
+        op: str,
+        deadline_ms: Optional[float] = None,
+        corr_id: Optional[str] = None,
+        **fields: Any,
     ) -> Dict[str, Any]:
         """Like :meth:`request` but unwraps ``result``, raising on error."""
-        response = self.request(op, deadline_ms=deadline_ms, **fields)
+        response = self.request(
+            op, deadline_ms=deadline_ms, corr_id=corr_id, **fields
+        )
         response.raise_for_error()
         return response.result or {}
 
@@ -188,6 +199,32 @@ class ServiceClient:
         exposition dump under ``"text"``.
         """
         return self.call("metrics", deadline_ms=deadline_ms, format=format)
+
+    def explain(
+        self,
+        s: Vertex,
+        t: Vertex,
+        k: int,
+        analyze: bool = False,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """The server-side EXPLAIN (or ANALYZE) report for a query.
+
+        Returns the ``repro-explain/1`` report object: cut decisions,
+        prune counters, bucket sizes, join-pair cardinalities (with
+        ``analyze=True``) — see :mod:`repro.obs.explain`.
+        """
+        result = self.call(
+            "explain", deadline_ms=deadline_ms, s=s, t=t, k=k, analyze=analyze
+        )
+        explain: Dict[str, Any] = result["explain"]
+        return explain
+
+    def events(
+        self, limit: int = 50, deadline_ms: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The tail of the server's structured event log."""
+        return self.call("events", deadline_ms=deadline_ms, limit=limit)
 
 
 __all__ = [

@@ -28,9 +28,12 @@ requests — the server layer only ever encodes.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
+from repro.obs import events
+from repro.obs.explain import explain_query
 from repro.core.batch import compress_stream
 from repro.core.enumerator import CpeEnumerator
 from repro.core.monitor import MultiPairMonitor, PairKey
@@ -86,11 +89,35 @@ class PathQueryEngine:
         if handler is None:
             raise InternalError(f"no handler for op {op!r}")
         self._served[op] = self._served.get(op, 0) + 1
-        if obs.enabled():
-            obs.incr(f"service.requests.{op}")
-            with obs.span(f"service.op.{op}"):
-                return handler(**args)
-        return handler(**args)
+        eventing = events.enabled()
+        if eventing:
+            events.emit(events.QUERY_STARTED, op=op)
+            started = time.perf_counter()
+        try:
+            if obs.enabled():
+                obs.incr(f"service.requests.{op}")
+                with obs.span(f"service.op.{op}"):
+                    result = handler(**args)
+            else:
+                result = handler(**args)
+        except Exception as exc:
+            if eventing:
+                events.emit(
+                    events.QUERY_FINISHED,
+                    op=op,
+                    ok=False,
+                    error=type(exc).__name__,
+                    seconds=time.perf_counter() - started,
+                )
+            raise
+        if eventing:
+            events.emit(
+                events.QUERY_FINISHED,
+                op=op,
+                ok=True,
+                seconds=time.perf_counter() - started,
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Queries
@@ -248,6 +275,12 @@ class PathQueryEngine:
         """
         if not self.graph.apply_update(update):
             return None
+        events.emit(
+            events.UPDATE_APPLIED,
+            u=update.u,
+            v=update.v,
+            insert=update.insert,
+        )
         deltas = {
             pair: self.monitor.enumerator_for(*pair).observe(update).paths
             for pair in self.monitor.pairs()
@@ -282,6 +315,33 @@ class PathQueryEngine:
             "format": "json",
             "enabled": obs.enabled(),
             "metrics": obs.snapshot(),
+        }
+
+    def op_explain(
+        self, s: Vertex, t: Vertex, k: int, analyze: bool = False
+    ) -> Dict[str, Any]:
+        """EXPLAIN (or ANALYZE) one query against the live graph.
+
+        Runs :func:`repro.obs.explain.explain_query` on a throwaway
+        index — the warm cache and watched indexes are left untouched so
+        a diagnostic query never perturbs serving state.
+        """
+        try:
+            report = explain_query(self.graph, s, t, k, analyze=analyze)
+        except ValueError as exc:  # s == t, k < 0
+            raise BadRequestError(str(exc)) from exc
+        return {"explain": report.to_dict()}
+
+    def op_events(self, limit: int = 50) -> Dict[str, Any]:
+        """The tail of the structured event log (newest last)."""
+        log = events.log()
+        tail = events.tail(limit)
+        return {
+            "enabled": events.enabled(),
+            "capacity": log.capacity,
+            "total_emitted": log.total_emitted,
+            "count": len(tail),
+            "events": tail,
         }
 
     def op_stats(self) -> Dict[str, Any]:

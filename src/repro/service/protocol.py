@@ -32,12 +32,21 @@ stats       —                                            server/engine counter
 metrics     optional ``format``                          ``format``,
             (``"json"``/``"prometheus"``)                ``enabled``,
                                                          ``metrics``/``text``
+explain     ``s``, ``t``, ``k``, optional ``analyze``    ``explain`` (the
+                                                         ``repro-explain/1``
+                                                         report object)
+events      optional ``limit``                           ``enabled``, ``count``,
+                                                         ``total_emitted``,
+                                                         ``events``
 ========== ============================================= ====================
 
 Every request may carry ``deadline_ms``, a per-request latency budget
 relative to server receipt; a request still queued when its budget runs
-out fails with ``deadline_exceeded``.  Vertices must be JSON scalars
-(``int`` or ``str``) — the same constraint as
+out fails with ``deadline_exceeded``.  Every request may also carry
+``corr_id`` (a string): the correlation ID stamped onto every
+:mod:`repro.obs.events` event the request causes.  When absent, the
+server mints one per request while the event log is enabled.  Vertices
+must be JSON scalars (``int`` or ``str``) — the same constraint as
 :mod:`repro.core.serialize`.
 
 Paths travel as JSON lists of vertices and are converted back to the
@@ -76,7 +85,17 @@ ERROR_CODES = frozenset({
     INTERNAL,
 })
 
-OPS = ("query", "watch", "unwatch", "update", "batch_update", "stats", "metrics")
+OPS = (
+    "query",
+    "watch",
+    "unwatch",
+    "update",
+    "batch_update",
+    "stats",
+    "metrics",
+    "explain",
+    "events",
+)
 
 _REQUIRED_FIELDS = {
     "query": ("s", "t", "k"),
@@ -86,6 +105,8 @@ _REQUIRED_FIELDS = {
     "batch_update": ("updates",),
     "stats": (),
     "metrics": (),
+    "explain": ("s", "t", "k"),
+    "events": (),
 }
 
 
@@ -181,6 +202,7 @@ class Request:
     op: str
     args: Dict[str, Any] = field(default_factory=dict)
     deadline_ms: Optional[float] = None
+    corr_id: Optional[str] = None
 
     def to_wire(self) -> str:
         """This request as one JSON line (without the newline)."""
@@ -188,6 +210,8 @@ class Request:
         payload.update(self.args)
         if self.deadline_ms is not None:
             payload["deadline_ms"] = self.deadline_ms
+        if self.corr_id is not None:
+            payload["corr_id"] = self.corr_id
         return json.dumps(payload, separators=(",", ":"))
 
 
@@ -247,14 +271,25 @@ def decode_request(line: Wire) -> Request:
         raise BadRequestError(f"op {op!r} missing field(s): {', '.join(missing)}")
 
     args: Dict[str, Any] = {}
-    if op in ("query", "watch", "unwatch"):
+    if op in ("query", "watch", "unwatch", "explain"):
         args["s"] = _check_vertex(payload["s"], "s")
         args["t"] = _check_vertex(payload["t"], "t")
-    if op == "query" or (op == "watch" and "k" in payload):
+    if op in ("query", "explain") or (op == "watch" and "k" in payload):
         k = payload["k"]
         if isinstance(k, bool) or not isinstance(k, int) or k < 0:
             raise BadRequestError("field 'k' must be a non-negative integer")
         args["k"] = k
+    if op == "explain" and "analyze" in payload:
+        if not isinstance(payload["analyze"], bool):
+            raise BadRequestError("field 'analyze' must be a boolean")
+        args["analyze"] = payload["analyze"]
+    if op == "events" and "limit" in payload:
+        limit = payload["limit"]
+        if isinstance(limit, bool) or not isinstance(limit, int) or limit < 0:
+            raise BadRequestError(
+                "field 'limit' must be a non-negative integer"
+            )
+        args["limit"] = limit
     if op == "update":
         args["u"] = _check_vertex(payload["u"], "u")
         args["v"] = _check_vertex(payload["v"], "v")
@@ -280,7 +315,10 @@ def decode_request(line: Wire) -> Request:
             raise BadRequestError(
                 "field 'deadline_ms' must be a non-negative number"
             )
-    return Request(request_id, op, args, deadline_ms)
+    corr_id = payload.get("corr_id")
+    if corr_id is not None and not isinstance(corr_id, str):
+        raise BadRequestError("field 'corr_id' must be a string or absent")
+    return Request(request_id, op, args, deadline_ms, corr_id)
 
 
 # ---------------------------------------------------------------------------

@@ -26,6 +26,7 @@ import time
 from typing import Optional, Set
 
 from repro import obs
+from repro.obs import events
 from repro.service.admission import AdmissionController
 from repro.service.engine import PathQueryEngine
 from repro.service.protocol import (
@@ -194,6 +195,18 @@ class PathQueryServer:
         deadline = None
         if request.deadline_ms is not None:
             deadline = time.monotonic() + request.deadline_ms / 1000.0
+        # Correlation: bind the request's corr_id (minting one when the
+        # event log is on) into the context so every event this request
+        # causes — in admission, the engine worker thread (to_thread
+        # copies the context), or the cache — carries it.
+        previous_corr = None
+        corr_bound = False
+        if events.enabled():
+            corr_id = request.corr_id
+            if corr_id is None:
+                corr_id = events.new_correlation_id()
+            previous_corr = events.set_correlation_id(corr_id)
+            corr_bound = True
         try:
             async with self.admission.admit(deadline):
                 result = await asyncio.to_thread(
@@ -205,6 +218,9 @@ class PathQueryServer:
             return error_response(
                 request.id, InternalError(f"{type(exc).__name__}: {exc}")
             )
+        finally:
+            if corr_bound:
+                events.set_correlation_id(previous_corr)
         if request.op == "stats":
             result["admission"] = self.admission.stats().as_dict()
             result["server"] = {

@@ -193,6 +193,61 @@ def test_r001_allows_the_maintenance_layer(tmp_path):
     assert report.findings == (), "maintenance layer may mutate the index"
 
 
+def _scoped_module(tmp_path, dotted_dir, filename, source):
+    """Write ``source`` as a module inside a tmp package tree."""
+    pkg = tmp_path
+    for part in dotted_dir.split("/"):
+        pkg = pkg / part
+        pkg.mkdir(exist_ok=True)
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+    target = pkg / filename
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+_R007_BAD = textwrap.dedent(
+    """\
+    def handle(op):
+        print("handling", op)
+    """
+)
+
+
+def test_r007_flags_print_in_service_layer(tmp_path):
+    target = _scoped_module(tmp_path, "repro/service", "engine.py", _R007_BAD)
+    report = run_lint([str(target)], select=["R007"])
+    hits = report.for_rule("R007")
+    assert hits and hits[0].line == 2
+    assert "repro.obs.events" in hits[0].message
+
+
+def test_r007_flags_logging_import_in_core_layer(tmp_path):
+    source = "import logging\n\nlog = logging.getLogger(__name__)\n"
+    target = _scoped_module(tmp_path, "repro/core", "maintenance.py", source)
+    report = run_lint([str(target)], select=["R007"])
+    hits = report.for_rule("R007")
+    assert hits and hits[0].line == 1
+
+    source = "from logging import getLogger\n"
+    target = _scoped_module(tmp_path, "repro/core", "other.py", source)
+    report = run_lint([str(target)], select=["R007"])
+    assert report.for_rule("R007")
+
+
+def test_r007_ignores_modules_outside_the_scoped_layers(tmp_path):
+    for dotted in ("repro/cli_helpers", "repro/experiments", "other"):
+        target = _scoped_module(tmp_path, dotted, "mod.py", _R007_BAD)
+        report = run_lint([str(target)], select=["R007"])
+        assert report.findings == (), f"{dotted} should be out of scope"
+
+
+def test_r007_respects_noqa(tmp_path):
+    source = suppress_line(_R007_BAD, 2, "R007")
+    target = _scoped_module(tmp_path, "repro/service", "engine.py", source)
+    report = run_lint([str(target)], select=["R007"])
+    assert report.findings == ()
+
+
 def test_r002_allows_same_class_private_access(tmp_path):
     source = textwrap.dedent(
         """\

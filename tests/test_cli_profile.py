@@ -36,6 +36,33 @@ def test_profile_json_mode_emits_snapshot(capsys):
     assert snapshot["counters"]["construction.builds"] >= 1
 
 
+def test_profile_format_json_emits_bench_payload(capsys):
+    assert main(["profile", "RT", "--scale", "0.25", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-bench/1"
+    assert payload["benchmark"] == "profile"
+    assert payload["config"]["dataset"] == "RT"
+    assert payload["config"]["scale"] == 0.25
+    metrics = payload["metrics"]
+    assert "construction_build_seconds_total_s" in metrics or (
+        "construction_build_total_s" in metrics
+    )
+    for metric in metrics.values():
+        assert set(metric) == {"value", "unit", "direction"}
+        assert metric["direction"] in ("lower", "higher")
+    assert metrics["initial_paths"]["unit"] == "paths"
+
+
+def test_profile_legacy_json_flag_still_wins(capsys):
+    # --json predates --format and emits the raw snapshot; it must keep
+    # doing so even when both flags appear.
+    assert main([
+        "profile", "RT", "--scale", "0.25", "--json", "--format", "json",
+    ]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert set(snapshot) >= {"counters", "gauges", "histograms"}
+
+
 def test_profile_respects_query_and_update_knobs(capsys):
     assert main([
         "profile", "RT", "--scale", "0.25",

@@ -248,6 +248,33 @@ def test_render_prometheus_exposition():
     assert "op_seconds_count 1" in text
 
 
+def test_escape_label_value_covers_the_reserved_characters():
+    # Regression: label values went into the exposition unescaped, so a
+    # backslash, quote, or newline produced unparseable (or split)
+    # sample lines.  The text format mandates \\, \", and \n escapes.
+    from repro.obs.metrics import escape_label_value
+
+    assert escape_label_value("plain-0.95") == "plain-0.95"
+    assert escape_label_value("back\\slash") == "back\\\\slash"
+    assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+    assert escape_label_value("line\nbreak") == "line\\nbreak"
+    # backslash escaping must run first or the other escapes double up
+    assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+    # escaped output is always a single line
+    assert "\n" not in escape_label_value("a\nb\nc")
+
+
+def test_render_prometheus_label_values_stay_single_line():
+    obs.enable()
+    obs.observe("op.seconds", 0.5)
+    for line in obs.render_prometheus().splitlines():
+        if "{" in line:
+            # one sample per line: "name{labels} value"
+            assert line.count("{") == 1 and line.count("}") == 1
+            labels = line[line.index("{") + 1:line.index("}")]
+            assert labels.count('"') % 2 == 0
+
+
 # ---------------------------------------------------------------------------
 # Reporting
 # ---------------------------------------------------------------------------

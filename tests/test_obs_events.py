@@ -1,0 +1,171 @@
+"""Tests for :mod:`repro.obs.events` — the structured event log.
+
+The ring buffer, the module facade's enabled gate, and the
+correlation-id context are each exercised directly; the service-side
+wiring (who emits what, and when) lives in tests/test_service_events.py.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import events
+from repro.obs.events import Event, EventLog
+
+
+@pytest.fixture(autouse=True)
+def _clean_event_state():
+    previous = events.set_enabled(False)
+    events.reset()
+    previous_corr = events.set_correlation_id(None)
+    yield
+    events.set_enabled(previous)
+    events.set_correlation_id(previous_corr)
+    events.reset()
+
+
+class TestEventLog:
+    def test_emit_and_tail_oldest_first(self):
+        log = EventLog(capacity=8)
+        for n in range(3):
+            log.emit(events.QUERY_STARTED, op=f"op{n}")
+        tail = log.tail(10)
+        assert [e.seq for e in tail] == [0, 1, 2]
+        assert [e.fields["op"] for e in tail] == ["op0", "op1", "op2"]
+
+    def test_ring_drops_oldest_and_counts_them(self):
+        log = EventLog(capacity=4)
+        for n in range(6):
+            log.emit(events.CACHE_HIT, n=n)
+        snapshot = log.snapshot()
+        assert snapshot["total_emitted"] == 6
+        assert snapshot["dropped"] == 2
+        assert [e.seq for e in log.tail(10)] == [2, 3, 4, 5]
+
+    def test_tail_limit(self):
+        log = EventLog(capacity=8)
+        for n in range(5):
+            log.emit(events.CACHE_MISS, n=n)
+        assert [e.seq for e in log.tail(2)] == [3, 4]
+
+    def test_as_dict_flattens_fields(self):
+        log = EventLog(capacity=4)
+        log.emit(events.UPDATE_APPLIED, corr_id="r000007", u=1, v=2)
+        payload = log.tail(1)[0].as_dict()
+        assert payload["kind"] == events.UPDATE_APPLIED
+        assert payload["corr_id"] == "r000007"
+        assert payload["u"] == 1 and payload["v"] == 2
+        assert "fields" not in payload
+
+    def test_as_dict_omits_unset_corr_id(self):
+        log = EventLog(capacity=4)
+        log.emit(events.QUERY_ADMITTED)
+        assert "corr_id" not in log.tail(1)[0].as_dict()
+
+    def test_events_are_frozen(self):
+        log = EventLog(capacity=4)
+        log.emit(events.QUERY_ADMITTED)
+        event = log.tail(1)[0]
+        assert isinstance(event, Event)
+        with pytest.raises(AttributeError):
+            event.kind = "other"
+
+    def test_clear_keeps_capacity(self):
+        log = EventLog(capacity=4)
+        log.emit(events.QUERY_ADMITTED)
+        log.clear()
+        assert log.tail(10) == []
+        assert log.capacity == 4
+
+    def test_concurrent_emits_keep_unique_sequence_numbers(self):
+        log = EventLog(capacity=4096)
+        per_thread = 100
+
+        def worker():
+            for _ in range(per_thread):
+                log.emit(events.CACHE_HIT)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tail = log.tail(10_000)
+        assert log.total_emitted == 8 * per_thread
+        seqs = [e.seq for e in tail]
+        assert len(seqs) == len(set(seqs))
+        assert seqs == sorted(seqs)
+
+
+class TestModuleFacade:
+    def test_disabled_emit_is_a_noop(self):
+        events.emit(events.QUERY_STARTED, op="query")
+        assert events.tail() == []
+        assert events.log().total_emitted == 0
+
+    def test_enable_disable_round_trip(self):
+        assert events.set_enabled(True) is False
+        try:
+            events.emit(events.QUERY_STARTED, op="query")
+            assert len(events.tail()) == 1
+        finally:
+            assert events.set_enabled(False) is True
+
+    def test_tail_returns_dicts(self):
+        events.set_enabled(True)
+        events.emit(events.CACHE_EVICT, s=1, t=2, k=3, freed_bytes=10)
+        (payload,) = events.tail()
+        assert payload["kind"] == events.CACHE_EVICT
+        assert payload["freed_bytes"] == 10
+
+    def test_every_kind_constant_is_listed(self):
+        assert events.QUERY_ADMITTED in events.EVENT_KINDS
+        assert events.DEADLINE_EXCEEDED in events.EVENT_KINDS
+        assert len(set(events.EVENT_KINDS)) == len(events.EVENT_KINDS)
+
+
+class TestCorrelation:
+    def test_ambient_corr_id_is_stamped(self):
+        events.set_enabled(True)
+        previous = events.set_correlation_id("r4242")
+        try:
+            events.emit(events.QUERY_STARTED, op="query")
+        finally:
+            events.set_correlation_id(previous)
+        assert events.tail()[0]["corr_id"] == "r4242"
+
+    def test_explicit_corr_id_wins_over_ambient(self):
+        events.set_enabled(True)
+        previous = events.set_correlation_id("ambient")
+        try:
+            events.emit(events.QUERY_STARTED, corr_id="explicit", op="query")
+        finally:
+            events.set_correlation_id(previous)
+        assert events.tail()[0]["corr_id"] == "explicit"
+
+    def test_set_correlation_id_returns_previous(self):
+        first = events.set_correlation_id("one")
+        second = events.set_correlation_id("two")
+        assert second == "one"
+        events.set_correlation_id(first)
+        assert events.correlation_id() == first
+
+    def test_new_correlation_ids_are_unique(self):
+        minted = {events.new_correlation_id() for _ in range(50)}
+        assert len(minted) == 50
+
+    def test_corr_id_is_thread_local(self):
+        events.set_correlation_id("main-thread")
+        seen = {}
+
+        def worker():
+            seen["before"] = events.correlation_id()
+            events.set_correlation_id("worker-thread")
+            seen["after"] = events.correlation_id()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["before"] is None
+        assert seen["after"] == "worker-thread"
+        assert events.correlation_id() == "main-thread"

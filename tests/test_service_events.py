@@ -1,0 +1,200 @@
+"""Service-layer event-log wiring and span correctness under concurrency.
+
+Covers the tentpole's correlation contract — a request's ``corr_id``
+(client-supplied or server-minted) stamps every event that request
+causes across admission, the engine worker thread, and the cache — and
+the span tree: with the asyncio server interleaving requests from
+several client threads, per-thread span intervals must still nest
+cleanly (a child span never partially overlaps its parent).
+"""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import events
+from repro.obs.trace import TraceBuffer
+from repro.graph.digraph import DynamicDiGraph
+from repro.service.client import ServiceClient
+from repro.service.engine import PathQueryEngine
+from repro.service.server import serve_in_thread
+
+
+@pytest.fixture
+def event_server(diamond):
+    previous = events.set_enabled(True)
+    events.reset()
+    engine = PathQueryEngine(diamond, default_k=3)
+    handle = serve_in_thread(engine)
+    try:
+        yield handle
+    finally:
+        handle.stop()
+        events.set_enabled(previous)
+        events.reset()
+
+
+def _events_of_kind(payload, kind):
+    return [e for e in payload["events"] if e["kind"] == kind]
+
+
+class TestServiceEvents:
+    def test_client_corr_id_stamps_the_whole_request(self, event_server):
+        with ServiceClient(event_server.host, event_server.port) as client:
+            client.call("query", corr_id="mine-001", s=0, t=3, k=3)
+            payload = client.events(limit=100)
+        for kind in (events.QUERY_ADMITTED, events.QUERY_STARTED,
+                     events.CACHE_MISS, events.QUERY_FINISHED):
+            matching = [e for e in _events_of_kind(payload, kind)
+                        if e.get("corr_id") == "mine-001"]
+            assert matching, f"no {kind} event with the client corr_id"
+
+    def test_minted_corr_ids_differ_per_request(self, event_server):
+        with ServiceClient(event_server.host, event_server.port) as client:
+            client.query(0, 3, 3)
+            client.query(0, 3, 2)
+            payload = client.events(limit=100)
+        started = _events_of_kind(payload, events.QUERY_STARTED)
+        query_corrs = [e["corr_id"] for e in started
+                       if e.get("op") == "query"]
+        assert len(query_corrs) == 2
+        assert query_corrs[0] != query_corrs[1]
+
+    def test_cache_hit_and_miss_share_the_query_corr(self, event_server):
+        with ServiceClient(event_server.host, event_server.port) as client:
+            client.query(0, 3, 3)
+            client.query(0, 3, 3)
+            payload = client.events(limit=100)
+        misses = _events_of_kind(payload, events.CACHE_MISS)
+        hits = _events_of_kind(payload, events.CACHE_HIT)
+        assert len(misses) == 1 and len(hits) == 1
+        started = {e["corr_id"]: e for e in
+                   _events_of_kind(payload, events.QUERY_STARTED)
+                   if e.get("op") == "query"}
+        assert misses[0]["corr_id"] in started
+        assert hits[0]["corr_id"] in started
+        assert misses[0]["corr_id"] != hits[0]["corr_id"]
+
+    def test_update_applied_event(self, event_server):
+        with ServiceClient(event_server.host, event_server.port) as client:
+            client.insert_edge(1, 2)
+            payload = client.events(limit=100)
+        applied = _events_of_kind(payload, events.UPDATE_APPLIED)
+        assert applied and applied[0]["u"] == 1 and applied[0]["v"] == 2
+        assert applied[0]["insert"] is True
+
+    def test_zero_deadline_emits_deadline_event(self, event_server):
+        with ServiceClient(event_server.host, event_server.port) as client:
+            response = client.request("query", deadline_ms=0, s=0, t=3, k=3)
+            assert response.error is not None
+            payload = client.events(limit=100)
+        exceeded = _events_of_kind(payload, events.DEADLINE_EXCEEDED)
+        assert exceeded and exceeded[0]["where"] == "pre_admission"
+
+    def test_events_op_payload_shape(self, event_server):
+        with ServiceClient(event_server.host, event_server.port) as client:
+            client.query(0, 3, 3)
+            payload = client.events(limit=5)
+        assert payload["enabled"] is True
+        assert payload["capacity"] >= 1
+        assert payload["count"] == len(payload["events"]) <= 5
+        assert payload["total_emitted"] >= payload["count"]
+
+    def test_finished_event_reports_errors(self, event_server):
+        with ServiceClient(event_server.host, event_server.port) as client:
+            response = client.request("explain", s=0, t=0, k=3)
+            assert response.error is not None
+            payload = client.events(limit=100)
+        finished = _events_of_kind(payload, events.QUERY_FINISHED)
+        failed = [e for e in finished if not e["ok"]]
+        assert failed and "error" in failed[0]
+
+
+class TestEventsDisabled:
+    def test_events_op_reports_disabled(self, diamond):
+        engine = PathQueryEngine(diamond, default_k=3)
+        with serve_in_thread(engine) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.query(0, 3, 3)
+                payload = client.events()
+        assert payload["enabled"] is False
+        assert payload["events"] == []
+
+
+class TestSpanConcurrencyUnderService:
+    def _assert_nesting(self, spans):
+        """Within one thread, spans either nest or are disjoint."""
+        spans = sorted(spans, key=lambda s: s[1])
+        for idx, (name_a, start_a, dur_a, _) in enumerate(spans):
+            end_a = start_a + dur_a
+            for name_b, start_b, dur_b, _ in spans[idx + 1:]:
+                end_b = start_b + dur_b
+                if start_b >= end_a:
+                    continue  # disjoint
+                assert end_b <= end_a, (
+                    f"span {name_b!r} partially overlaps {name_a!r}"
+                )
+
+    def test_interleaved_requests_keep_span_trees_clean(self):
+        graph = DynamicDiGraph(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4)]
+        )
+        engine = PathQueryEngine(graph, default_k=4)
+        buffer = TraceBuffer()
+        previous_enabled = obs.set_enabled(True)
+        previous_sink = obs.set_trace_sink(buffer)
+        try:
+            with serve_in_thread(engine) as handle:
+                errors = []
+
+                def worker(worker_id):
+                    try:
+                        with ServiceClient(handle.host,
+                                           handle.port) as client:
+                            for k in (2, 3, 4):
+                                client.query(0, 3 if worker_id % 2 else 4, k)
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=worker, args=(n,))
+                           for n in range(4)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                assert errors == []
+        finally:
+            obs.set_trace_sink(previous_sink)
+            obs.set_enabled(previous_enabled)
+
+        spans = buffer.spans()
+        query_spans = [s for s in spans if s[0] == "service.op.query"]
+        assert query_spans, "no query spans were recorded"
+        by_thread = {}
+        for span in spans:
+            by_thread.setdefault(span[3], []).append(span)
+        for thread_spans in by_thread.values():
+            self._assert_nesting(thread_spans)
+
+    def test_child_span_is_contained_in_its_parent(self):
+        graph = DynamicDiGraph([(0, 1), (1, 2), (0, 2)])
+        engine = PathQueryEngine(graph, default_k=2)
+        buffer = TraceBuffer()
+        previous_enabled = obs.set_enabled(True)
+        previous_sink = obs.set_trace_sink(buffer)
+        try:
+            with serve_in_thread(engine) as handle:
+                with ServiceClient(handle.host, handle.port) as client:
+                    client.query(0, 2, 2)
+        finally:
+            obs.set_trace_sink(previous_sink)
+            obs.set_enabled(previous_enabled)
+        spans = buffer.spans()
+        builds = [s for s in spans if s[0] == "service.cache.build"]
+        queries = [s for s in spans if s[0] == "service.op.query"]
+        assert builds and queries
+        build, query = builds[0], queries[0]
+        assert build[3] == query[3], "parent/child must share a thread"
+        assert query[1] <= build[1]
+        assert build[1] + build[2] <= query[1] + query[2]
