@@ -1,0 +1,221 @@
+"""Sharded-monitor fan-out benchmark: multi-process vs single-process.
+
+Watches a fixed-seed set of hot pairs on WG, replays a deterministic
+round-trip update stream (forward then inverted, so every sample does
+identical work on an identical graph), and measures how many updates
+per second the full watched set can absorb:
+
+- ``fanout_updates_per_s.single`` — in-process ``MultiPairMonitor``
+  reference;
+- ``fanout_updates_per_s.workers_N`` — ``ShardedMonitor`` with N
+  worker processes (N in 1, 2, 4);
+- ``speedup_4w_vs_1w`` — sharded 4-worker over sharded 1-worker
+  throughput, the number that should approach the core count on a
+  multi-core host;
+- ``sharded_startup_4w_s`` — spawn + snapshot-restore + watch cost.
+
+The ``config.cpus`` field records ``os.cpu_count()`` of the machine
+that produced the result: speedups are only meaningful relative to the
+cores that were actually available (on a 1-CPU host the 4-worker run
+cannot beat 1-worker — the committed baseline was recorded on such a
+host, so multi-core CI only ever improves on it).
+
+Usage::
+
+    python benchmarks/bench_parallel.py [--out FILE] [--repeats N]
+        [--pairs N] [--skip-single]
+
+Writes ``benchmarks/results/bench_parallel.json`` (repro-bench/1) and a
+human-readable ``bench_parallel.txt``.  Compare against the committed
+baseline with ``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.monitor import MultiPairMonitor  # noqa: E402
+from repro.graph import datasets  # noqa: E402
+from repro.parallel import ShardedMonitor  # noqa: E402
+from repro.workloads.queries import hot_queries  # noqa: E402
+from repro.workloads.updates import relevant_update_stream  # noqa: E402
+
+DATASET = "WG"
+SCALE = 0.25
+K = 6
+SEED = 7
+NUM_PAIRS = 32
+NUM_INSERTIONS = 10
+NUM_DELETIONS = 10
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _watched_pairs(graph, count):
+    """``count`` distinct hot (s, t) pairs, fixed seed."""
+    pairs = []
+    seen = set()
+    for query in hot_queries(graph, 4 * count, K, 0.10, seed=SEED):
+        key = (query.s, query.t)
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append(key)
+        if len(pairs) == count:
+            return pairs
+    raise RuntimeError(
+        f"only found {len(pairs)} distinct hot pairs (need {count})"
+    )
+
+
+def _round_trip_stream(graph, s, t):
+    """A deterministic update stream that returns ``graph`` to its
+    start state: forward then inverted."""
+    scratch = graph.copy()
+    stream = relevant_update_stream(
+        scratch, s, t, K, NUM_INSERTIONS, NUM_DELETIONS, seed=SEED
+    )
+    return list(stream) + [u.inverted() for u in reversed(stream)]
+
+
+def _measure(monitor, round_trip, repeats):
+    """Best-of-``repeats`` fan-out throughput in updates/s."""
+    for update in round_trip:  # warm-up
+        monitor.apply(update)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for update in round_trip:
+            monitor.apply(update)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, len(round_trip) / elapsed)
+    return best
+
+
+def run_bench_parallel(
+    repeats: int = 3, num_pairs: int = NUM_PAIRS, skip_single: bool = False
+) -> dict:
+    """The fixed-seed measurement; returns a ``repro-bench/1`` payload."""
+    graph = datasets.load(DATASET, SCALE)
+    pairs = _watched_pairs(graph, num_pairs)
+    s, t = pairs[0]
+    round_trip = _round_trip_stream(graph, s, t)
+
+    metrics = {}
+    lines = [
+        f"Sharded fan-out benchmark — {DATASET} scale {SCALE}, "
+        f"{len(pairs)} watched pairs, k={K}, "
+        f"{len(round_trip)} updates/replay, "
+        f"cpus={os.cpu_count()}",
+    ]
+
+    if not skip_single:
+        reference = MultiPairMonitor(graph.copy(), K)
+        for u, v in pairs:
+            reference.watch(u, v)
+        rate = _measure(reference, round_trip, repeats)
+        metrics["fanout_updates_per_s.single"] = {
+            "value": rate, "unit": "updates/s", "direction": "higher",
+        }
+        lines.append(f"single-process reference   {rate:10.1f} updates/s")
+
+    by_workers = {}
+    startup_4w = 0.0
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        monitor = ShardedMonitor(graph.copy(), K, workers=workers)
+        try:
+            monitor.watch_many(pairs)
+            startup = time.perf_counter() - start
+            rate = _measure(monitor, round_trip, repeats)
+        finally:
+            monitor.close()
+        by_workers[workers] = rate
+        if workers == 4:
+            startup_4w = startup
+        metrics[f"fanout_updates_per_s.workers_{workers}"] = {
+            "value": rate, "unit": "updates/s", "direction": "higher",
+        }
+        lines.append(
+            f"sharded {workers} worker(s)        {rate:10.1f} updates/s"
+            f"   (startup {startup:.2f}s)"
+        )
+
+    speedup = by_workers[4] / by_workers[1] if by_workers.get(1) else 0.0
+    metrics["speedup_4w_vs_1w"] = {
+        "value": speedup, "unit": "x", "direction": "higher",
+    }
+    metrics["sharded_startup_4w_s"] = {
+        "value": startup_4w, "unit": "seconds", "direction": "lower",
+    }
+    lines.append(f"speedup 4w vs 1w           {speedup:10.2f}x")
+
+    return {
+        "schema": "repro-bench/1",
+        "benchmark": "bench_parallel",
+        "config": {
+            "dataset": DATASET,
+            "scale": SCALE,
+            "k": K,
+            "seed": SEED,
+            "num_pairs": len(pairs),
+            "num_insertions": NUM_INSERTIONS,
+            "num_deletions": NUM_DELETIONS,
+            "repeats": repeats,
+            "worker_counts": list(WORKER_COUNTS),
+            "cpus": os.cpu_count(),
+        },
+        "metrics": metrics,
+        "text": "\n".join(lines),
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(ROOT / "benchmarks" / "results" / "bench_parallel.json"),
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--pairs", type=int, default=NUM_PAIRS)
+    parser.add_argument(
+        "--skip-single", action="store_true",
+        help="skip the in-process MultiPairMonitor reference run",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench_parallel(
+        repeats=args.repeats, num_pairs=args.pairs,
+        skip_single=args.skip_single,
+    )
+    text = payload.pop("text")
+    print(text)
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    out.with_suffix(".txt").write_text(text + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+__all__ = [
+    "run_bench_parallel",
+    "main",
+]

@@ -3,9 +3,11 @@
 The serving layers have a structured observability channel
 (:mod:`repro.obs.events`): typed, correlation-stamped, bounded, and
 pollable over the wire.  A stray ``print(...)`` or ``logging`` call in
-``repro.core`` or ``repro.service`` bypasses all of that — it interleaves
-with protocol output on stdout in embedded runs, is invisible to
-``repro top`` and the ``events`` op, and carries no correlation id.
+``repro.core``, ``repro.service``, or ``repro.parallel`` bypasses all of
+that — it interleaves with protocol output on stdout in embedded runs
+(and, for worker processes, scrambles the parent's terminal), is
+invisible to ``repro top`` and the ``events`` op, and carries no
+correlation id.
 Emit an event (or raise) instead; genuinely exceptional diagnostics can
 be suppressed per line with ``# repro: noqa[R007]``.
 """
@@ -21,7 +23,11 @@ from repro.analysis.sources import SourceModule
 from repro.analysis.visitor import RuleVisitor
 
 #: Package prefixes the rule polices (the serving and algorithm layers).
-SCOPED_PREFIXES: Tuple[str, ...] = ("repro.core", "repro.service")
+SCOPED_PREFIXES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.service",
+    "repro.parallel",
+)
 
 
 def _in_scope(module_name: str) -> bool:
@@ -65,13 +71,13 @@ class _ObsEventsVisitor(RuleVisitor):
 
 @register
 class ObsEventsRule(Rule):
-    """No ``print``/``logging`` in ``repro.core`` / ``repro.service``."""
+    """No ``print``/``logging`` in the engine, service, or parallel layer."""
 
     code = "R007"
     name = "obs-events"
     description = (
-        "repro.core and repro.service must not print or use stdlib "
-        "logging; diagnostics go through repro.obs.events"
+        "repro.core, repro.service, and repro.parallel must not print or "
+        "use stdlib logging; diagnostics go through repro.obs.events"
     )
 
     def check(

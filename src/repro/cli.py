@@ -164,6 +164,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--cache-budget", type=int, default=4 << 20,
                     help="warm-index cache budget in bytes")
     sv.add_argument(
+        "--workers", type=int, default=1,
+        help="shard watched pairs across N worker processes "
+             "(repro.parallel); 1 = single-process",
+    )
+    sv.add_argument(
         "--watch", action="append", default=[], metavar="S:T",
         help="pre-register a watched pair, repeatable (e.g. --watch 3:42)",
     )
@@ -354,10 +359,19 @@ def _cmd_serve(args) -> int:
 
         events.set_enabled(True)
         print("events: structured event log enabled (poll the 'events' op)")
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
     graph = datasets.load(args.dataset, args.scale)
     engine = PathQueryEngine(
-        graph, default_k=args.k, cache_budget_bytes=args.cache_budget
+        graph,
+        default_k=args.k,
+        cache_budget_bytes=args.cache_budget,
+        workers=args.workers,
     )
+    if args.workers > 1:
+        print(f"parallel: watched pairs sharded across "
+              f"{args.workers} worker processes")
     for s, t in pairs:
         initial = engine.op_watch(s, t)
         print(f"watch ({s}, {t}): {initial['count']} initial paths")
@@ -381,6 +395,8 @@ def _cmd_serve(args) -> int:
         asyncio.run(main())
     except KeyboardInterrupt:
         pass
+    finally:
+        engine.close()
     print("\nshut down")
     return 0
 
@@ -651,6 +667,14 @@ def _render_top_frame(address, iteration, interval, stats, snapshot,
         f"{graph.get('edges', '?')} edges   "
         f"watched pairs {stats.get('watched_pairs', '?')}"
     )
+    parallel = stats.get("parallel", {})
+    if parallel.get("workers", 1) > 1:
+        shards = parallel.get("pairs_per_shard", [])
+        spread = "/".join(str(n) for n in shards) if shards else "?"
+        lines.append(
+            f"  parallel {parallel['workers']} workers   "
+            f"pairs per shard {spread}"
+        )
     if event_payload.get("enabled"):
         tail = event_payload.get("events", [])[-max_events:]
         lines.append(f"  recent events ({event_payload.get('total_emitted', 0)}"

@@ -40,20 +40,24 @@ def compress_stream(
     """
     initial: Dict[Edge, bool] = {}
     final: Dict[Edge, bool] = {}
-    last_seen: Dict[Edge, int] = {}
+    last_effective: Dict[Edge, int] = {}
     for position, update in enumerate(updates):
         edge = update.edge
         if edge not in initial:
             initial[edge] = graph.has_edge(*edge)
             final[edge] = initial[edge]
-        final[edge] = update.insert
-        last_seen[edge] = position
+        if update.insert != final[edge]:
+            # Only occurrences that flip the running state count as
+            # "effective"; no-op re-inserts/re-deletes must not bump the
+            # edge's position in the survivor ordering.
+            final[edge] = update.insert
+            last_effective[edge] = position
     survivors = [
         EdgeUpdate(edge[0], edge[1], final[edge])
         for edge in initial
         if final[edge] != initial[edge]
     ]
-    survivors.sort(key=lambda upd: last_seen[upd.edge])
+    survivors.sort(key=lambda upd: last_effective[upd.edge])
     return survivors
 
 

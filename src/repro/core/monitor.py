@@ -56,6 +56,14 @@ class MultiPairMonitor:
         self._enumerators[key] = enumerator
         return enumerator.startup()
 
+    def watch_many(
+        self,
+        pairs: Iterable[PairKey],
+        k: Optional[int] = None,
+    ) -> Dict[PairKey, List[Path]]:
+        """Register several pairs; initial result set per pair."""
+        return {(s, t): self.watch(s, t, k) for s, t in pairs}
+
     def unwatch(self, s: Vertex, t: Vertex) -> bool:
         """Stop monitoring a pair; True if it was watched."""
         return self._enumerators.pop((s, t), None) is not None
@@ -67,6 +75,15 @@ class MultiPairMonitor:
     def enumerator_for(self, s: Vertex, t: Vertex) -> CpeEnumerator:
         """The underlying enumerator of one pair (raises KeyError)."""
         return self._enumerators[(s, t)]
+
+    def watched_k(self, s: Vertex, t: Vertex) -> Optional[int]:
+        """The hop constraint a pair is watched at, or None."""
+        enumerator = self._enumerators.get((s, t))
+        return None if enumerator is None else enumerator.k
+
+    def results_for(self, s: Vertex, t: Vertex) -> List[Path]:
+        """The current full result set of one pair (raises KeyError)."""
+        return self._enumerators[(s, t)].startup()
 
     def __len__(self) -> int:
         return len(self._enumerators)
@@ -88,6 +105,10 @@ class MultiPairMonitor:
                 key: UpdateResult(update, changed=False)
                 for key in self._enumerators
             }
+        return self.observe(update)
+
+    def observe(self, update: EdgeUpdate) -> Dict[PairKey, UpdateResult]:
+        """Repair every index for an update already applied to the graph."""
         return {
             key: enumerator.observe(update)
             for key, enumerator in self._enumerators.items()
@@ -161,9 +182,9 @@ class SlidingWindowMonitor:
                 f"({timestamp} < {self._now})"
             )
         event = WindowEvent(timestamp)
-        self._advance(timestamp, event)
-        self._now = timestamp
         edge = (u, v)
+        self._advance(timestamp, event, offered=edge)
+        self._now = timestamp
         if edge not in self._latest:
             event.arrivals = self.monitor.insert_edge(u, v)
         self._latest[edge] = timestamp
@@ -179,13 +200,23 @@ class SlidingWindowMonitor:
         self._now = timestamp
         return event
 
-    def _advance(self, timestamp: float, event: WindowEvent) -> None:
+    def _advance(
+        self,
+        timestamp: float,
+        event: WindowEvent,
+        offered: Optional[Tuple[Vertex, Vertex]] = None,
+    ) -> None:
         while self._expiry and self._expiry[0][0] <= timestamp:
             expires_at, u, v = self._expiry.popleft()
             edge = (u, v)
             latest = self._latest.get(edge)
             if latest is None or latest + self.window > timestamp:
                 continue  # re-offered since: this expiration is stale
+            if edge == offered and latest + self.window == timestamp:
+                # Re-offered at exactly its expiry instant: last activity
+                # wins, so the offer extends the edge instead of
+                # expiring and re-inserting it (spurious path churn).
+                continue
             del self._latest[edge]
             event.expirations.append(self.monitor.delete_edge(u, v))
 

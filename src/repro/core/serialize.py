@@ -30,6 +30,39 @@ PathLike = Union[str, Path]
 _FORMAT = "repro/cpe-snapshot"
 _VERSION = 1
 
+_GRAPH_FORMAT = "repro/graph-snapshot"
+_GRAPH_VERSION = 1
+
+
+def graph_snapshot(graph: DynamicDiGraph) -> dict:
+    """The graph's full edge/vertex state as a JSON-compatible dict.
+
+    The replica-seeding payload of the shard layer
+    (:mod:`repro.parallel`): each worker process rebuilds its private
+    graph copy from this dict via :func:`restore_graph` and then stays
+    in sync by replaying the same update stream as the parent.
+    """
+    return {
+        "format": _GRAPH_FORMAT,
+        "version": _GRAPH_VERSION,
+        "vertices": list(graph.vertices()),
+        "edges": [list(edge) for edge in graph.edges()],
+    }
+
+
+def restore_graph(state: dict) -> DynamicDiGraph:
+    """Rebuild a graph from a :func:`graph_snapshot` dict."""
+    if state.get("format") != _GRAPH_FORMAT:
+        raise ValueError("not a graph snapshot")
+    if state.get("version") != _GRAPH_VERSION:
+        raise ValueError(
+            f"unsupported graph snapshot version {state.get('version')!r}"
+        )
+    return DynamicDiGraph(
+        edges=(tuple(edge) for edge in state["edges"]),
+        vertices=state["vertices"],
+    )
+
 
 def snapshot(cpe: CpeEnumerator) -> dict:
     """The enumerator's full state as a JSON-compatible dict."""
@@ -110,6 +143,8 @@ __all__ = [
     "PathLike",
     "snapshot",
     "restore",
+    "graph_snapshot",
+    "restore_graph",
     "snapshot_size_bytes",
     "save_enumerator",
     "load_enumerator",

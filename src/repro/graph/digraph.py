@@ -89,8 +89,15 @@ class DynamicDiGraph:
         edges: Optional[Iterable[Edge]] = None,
         vertices: Optional[Iterable[Vertex]] = None,
     ) -> None:
-        self._out: Dict[Vertex, Set[Vertex]] = {}
-        self._in: Dict[Vertex, Set[Vertex]] = {}
+        # Adjacency is stored as insertion-ordered dict-backed sets
+        # (``Dict[Vertex, None]`` exposed as a ``KeysView``) rather than
+        # ``set`` so that neighbor iteration order is a deterministic
+        # function of the edge-arrival sequence.  This makes enumeration
+        # order reproducible across graph rebuilds — in particular a
+        # replica restored from :func:`repro.core.serialize.graph_snapshot`
+        # enumerates paths in exactly the same order as the original.
+        self._out: Dict[Vertex, Dict[Vertex, None]] = {}
+        self._in: Dict[Vertex, Dict[Vertex, None]] = {}
         self._num_edges = 0
         if vertices is not None:
             for v in vertices:
@@ -106,8 +113,8 @@ class DynamicDiGraph:
         """Register ``v``; returns True if it was new."""
         if v in self._out:
             return False
-        self._out[v] = set()
-        self._in[v] = set()
+        self._out[v] = {}
+        self._in[v] = {}
         return True
 
     def remove_vertex(self, v: Vertex) -> bool:
@@ -148,8 +155,8 @@ class DynamicDiGraph:
         out_u = self._out[u]
         if v in out_u:
             return False
-        out_u.add(v)
-        self._in[v].add(u)
+        out_u[v] = None
+        self._in[v][u] = None
         self._num_edges += 1
         return True
 
@@ -158,8 +165,8 @@ class DynamicDiGraph:
         out_u = self._out.get(u)
         if out_u is None or v not in out_u:
             return False
-        out_u.discard(v)
-        self._in[v].discard(u)
+        del out_u[v]
+        del self._in[v][u]
         self._num_edges -= 1
         return True
 
@@ -169,7 +176,7 @@ class DynamicDiGraph:
         return out_u is not None and v in out_u
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over all edges as ``(u, v)`` pairs."""
+        """Iterate over all edges as ``(u, v)`` pairs (insertion order)."""
         for u, succ in self._out.items():
             for v in succ:
                 yield (u, v)
@@ -185,15 +192,17 @@ class DynamicDiGraph:
     def out_neighbors(self, v: Vertex) -> AbstractSet[Vertex]:
         """``N_out(v)`` — live set of out-going neighbors (empty if absent).
 
-        The returned object is the internal set; callers must not mutate
-        it.  It is typed as a read-only view to make that contract
-        explicit.
+        The returned object is a live, read-only view over the internal
+        adjacency; callers must not mutate it.  Iteration follows edge
+        insertion order, so neighbor order is deterministic.
         """
-        return self._out.get(v, _EMPTY)
+        succ = self._out.get(v)
+        return _EMPTY if succ is None else succ.keys()
 
     def in_neighbors(self, v: Vertex) -> AbstractSet[Vertex]:
         """``N_in(v)`` — live set of in-going neighbors (empty if absent)."""
-        return self._in.get(v, _EMPTY)
+        pred = self._in.get(v)
+        return _EMPTY if pred is None else pred.keys()
 
     def out_degree(self, v: Vertex) -> int:
         """Number of out-going edges of ``v``."""
@@ -230,8 +239,8 @@ class DynamicDiGraph:
     def copy(self) -> "DynamicDiGraph":
         """An independent deep copy of the adjacency structure."""
         g = DynamicDiGraph()
-        g._out = {v: set(succ) for v, succ in self._out.items()}
-        g._in = {v: set(pred) for v, pred in self._in.items()}
+        g._out = {v: dict(succ) for v, succ in self._out.items()}
+        g._in = {v: dict(pred) for v, pred in self._in.items()}
         g._num_edges = self._num_edges
         return g
 

@@ -117,19 +117,27 @@ def replay_window(
     last_arrival = {}
     expiry_queue: List[Tuple[float, Vertex, Vertex]] = []
 
-    def expire_until(now: float) -> Iterator[Tuple[float, EdgeUpdate]]:
+    def expire_until(
+        now: float,
+        arriving: Optional[Tuple[Vertex, Vertex]] = None,
+    ) -> Iterator[Tuple[float, EdgeUpdate]]:
         while expiry_queue and expiry_queue[0][0] <= now:
             expires_at, u, v = expiry_queue.pop(0)
             last = last_arrival.get((u, v))
             if last is None or last + window > expires_at:
                 continue  # a later arrival extended this edge: stale entry
+            if (u, v) == arriving and last + window == now:
+                # Re-arrival at exactly the expiry instant: last activity
+                # wins — refresh instead of delete + re-insert churn
+                # (mirrors SlidingWindowMonitor._advance).
+                continue
             if (u, v) in present:
                 del present[(u, v)]
                 del last_arrival[(u, v)]
                 yield (expires_at, EdgeUpdate(u, v, False))
 
     for edge in stream:
-        yield from expire_until(edge.timestamp)
+        yield from expire_until(edge.timestamp, arriving=(edge.u, edge.v))
         key = (edge.u, edge.v)
         if key not in present:
             present[key] = edge.timestamp

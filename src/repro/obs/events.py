@@ -44,8 +44,14 @@ UPDATE_APPLIED = "update.applied"
 CACHE_HIT = "cache.hit"
 CACHE_MISS = "cache.miss"
 CACHE_EVICT = "cache.evict"
+CACHE_INVALIDATE = "cache.invalidate"
+CACHE_CLEAR = "cache.clear"
 DEADLINE_EXCEEDED = "deadline.exceeded"
 REQUEST_REJECTED = "request.rejected"
+SHARD_STARTED = "shard.started"
+SHARD_STOPPED = "shard.stopped"
+SHARD_WATCH = "shard.watch"
+SHARD_FANOUT = "shard.fanout"
 
 #: Every kind the service layer emits (the schema table's source of truth).
 EVENT_KINDS = (
@@ -56,8 +62,14 @@ EVENT_KINDS = (
     CACHE_HIT,
     CACHE_MISS,
     CACHE_EVICT,
+    CACHE_INVALIDATE,
+    CACHE_CLEAR,
     DEADLINE_EXCEEDED,
     REQUEST_REJECTED,
+    SHARD_STARTED,
+    SHARD_STOPPED,
+    SHARD_WATCH,
+    SHARD_FANOUT,
 )
 
 
@@ -246,8 +258,14 @@ __all__ = [
     "CACHE_HIT",
     "CACHE_MISS",
     "CACHE_EVICT",
+    "CACHE_INVALIDATE",
+    "CACHE_CLEAR",
     "DEADLINE_EXCEEDED",
     "REQUEST_REJECTED",
+    "SHARD_STARTED",
+    "SHARD_STOPPED",
+    "SHARD_WATCH",
+    "SHARD_FANOUT",
     "Event",
     "EventLog",
     "correlation_id",

@@ -1,0 +1,37 @@
+"""Multi-process sharded execution for the monitoring workload.
+
+The paper's continuous-monitoring deployment — many suspect ``(s, t)``
+pairs over one shared dynamic graph — is embarrassingly partitionable by
+pair: every edge update must repair every pair's index, but the repairs
+are independent.  This package partitions watched pairs across worker
+processes so a multi-core host repairs shards concurrently instead of
+leaving all but one core idle:
+
+- :mod:`repro.parallel.messages` — the typed request/response protocol
+  (frozen dataclasses over pipes);
+- :mod:`repro.parallel.worker` — the spawn-safe worker entry point: a
+  private graph replica seeded from a
+  :func:`~repro.core.serialize.graph_snapshot` plus a command loop;
+- :mod:`repro.parallel.pool` — :class:`WorkerPool`, process/pipe
+  lifecycle with pipelined broadcast and clean shutdown;
+- :mod:`repro.parallel.sharded` — :class:`ShardedMonitor`, the
+  :class:`~repro.core.monitor.MultiPairMonitor`-shaped facade that
+  places pairs, fans updates out, and merges per-pair results.
+
+Service integration: ``repro serve --workers N`` routes watched-pair
+traffic through a :class:`ShardedMonitor` while ad-hoc queries keep the
+in-process :class:`~repro.service.cache.IndexCache` path.  See
+docs/PARALLEL.md for the architecture and when sharding pays off.
+"""
+
+from repro.parallel.messages import ShardInit
+from repro.parallel.pool import WorkerCrashedError, WorkerError, WorkerPool
+from repro.parallel.sharded import ShardedMonitor
+
+__all__ = [
+    "ShardInit",
+    "WorkerPool",
+    "WorkerError",
+    "WorkerCrashedError",
+    "ShardedMonitor",
+]

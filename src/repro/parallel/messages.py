@@ -1,0 +1,191 @@
+"""The typed request/response protocol between parent and shard workers.
+
+Every message is a small frozen dataclass shipped over a
+:class:`multiprocessing.connection.Connection` pipe (pickled by the
+stdlib).  Commands flow parent → worker, replies flow back; each command
+produces exactly one reply, so both ends always agree on whose turn it
+is.  Worker-side exceptions travel as :class:`ErrorReply` rather than
+killing the pipe — the pool re-raises them in the parent (see
+:mod:`repro.parallel.pool`).
+
+``UpdateResult`` payloads returned by workers are *wire-slimmed*: the
+``record`` field (the maintenance layer's :class:`UpdateRecord`, full of
+index-internal path buckets) is dropped before pickling, since the
+parent only needs the per-pair path delta, the changed flag and the
+timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.core.enumerator import UpdateResult
+from repro.core.monitor import PairKey
+from repro.core.paths import Path
+from repro.graph.digraph import EdgeUpdate, Vertex
+
+
+@dataclass(frozen=True)
+class ShardInit:
+    """Everything a worker needs to boot: its id, graph seed, default k.
+
+    ``graph_state`` is a :func:`repro.core.serialize.graph_snapshot`
+    dict — the worker rebuilds a private replica from it and afterwards
+    stays in sync purely by replaying the fanned-out update stream.
+    """
+
+    shard: int
+    graph_state: Dict[str, Any]
+    default_k: int
+
+
+# ---------------------------------------------------------------------------
+# Commands (parent → worker)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WatchCmd:
+    """Register one pair on the worker's monitor."""
+
+    s: Vertex
+    t: Vertex
+    k: int
+
+
+@dataclass(frozen=True)
+class UnwatchCmd:
+    """Drop one pair from the worker's monitor."""
+
+    s: Vertex
+    t: Vertex
+
+
+@dataclass(frozen=True)
+class ApplyCmd:
+    """Apply one edge update to the replica and repair every index."""
+
+    update: EdgeUpdate
+
+
+@dataclass(frozen=True)
+class ResultsCmd:
+    """Fetch current result sets — all pairs, or just ``pairs``."""
+
+    pairs: Optional[Tuple[PairKey, ...]] = None
+
+
+@dataclass(frozen=True)
+class StopCmd:
+    """Clean shutdown: the worker exits its loop after acknowledging."""
+
+
+Command = Union[WatchCmd, UnwatchCmd, ApplyCmd, ResultsCmd, StopCmd]
+
+
+# ---------------------------------------------------------------------------
+# Replies (worker → parent)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReadyReply:
+    """Boot handshake: the replica is live and matches the snapshot."""
+
+    shard: int
+    vertices: int
+    edges: int
+    startup_seconds: float
+
+
+@dataclass(frozen=True)
+class WatchReply:
+    """Initial result set of a freshly watched pair."""
+
+    paths: Tuple[Path, ...]
+    build_seconds: float
+
+
+@dataclass(frozen=True)
+class UnwatchReply:
+    """Whether the pair was actually watched on this shard."""
+
+    removed: bool
+
+
+@dataclass(frozen=True)
+class ApplyReply:
+    """Per-pair repair outcomes for one fanned-out update."""
+
+    results: Dict[PairKey, UpdateResult] = field(default_factory=dict)
+    repair_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ResultsReply:
+    """Current full result sets of the requested pairs."""
+
+    results: Dict[PairKey, Tuple[Path, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StoppedReply:
+    """Acknowledges :class:`StopCmd`; the worker exits right after."""
+
+    shard: int
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """A worker-side exception, shipped instead of a normal reply.
+
+    ``kind`` is the exception class name; the pool maps well-known
+    kinds (``ValueError``, ``KeyError``) back onto the same exception
+    type in the parent and wraps everything else in ``WorkerError``.
+    """
+
+    kind: str
+    message: str
+
+
+Reply = Union[
+    ReadyReply,
+    WatchReply,
+    UnwatchReply,
+    ApplyReply,
+    ResultsReply,
+    StoppedReply,
+    ErrorReply,
+]
+
+
+def slim_result(result: UpdateResult) -> UpdateResult:
+    """A copy of ``result`` without the index-internal ``record``."""
+    return UpdateResult(
+        update=result.update,
+        changed=result.changed,
+        paths=list(result.paths),
+        maintain_seconds=result.maintain_seconds,
+        enumerate_seconds=result.enumerate_seconds,
+    )
+
+
+__all__ = [
+    "ShardInit",
+    "WatchCmd",
+    "UnwatchCmd",
+    "ApplyCmd",
+    "ResultsCmd",
+    "StopCmd",
+    "Command",
+    "ReadyReply",
+    "WatchReply",
+    "UnwatchReply",
+    "ApplyReply",
+    "ResultsReply",
+    "StoppedReply",
+    "ErrorReply",
+    "Reply",
+    "slim_result",
+]

@@ -1,0 +1,206 @@
+"""A spawn-safe pool of shard worker processes with pipe RPC.
+
+:class:`WorkerPool` owns the worker processes and one duplex pipe per
+worker.  The protocol is strictly one-reply-per-command, so the pool can
+pipeline: :meth:`send` to several shards first, then :meth:`recv` each
+reply — that is what lets a fan-out run all shards concurrently instead
+of round-tripping one at a time (:meth:`broadcast` does exactly this).
+
+``spawn`` is the default start method: it is the only one available
+everywhere, it never inherits locks or an inconsistent heap from a
+threaded parent, and it forces the replica-seeding discipline (workers
+receive state explicitly via :class:`ShardInit`, never by accident
+through fork).
+
+Failure semantics: a worker-side exception arrives as
+:class:`ErrorReply` and is re-raised in the parent — ``ValueError`` and
+``KeyError`` as themselves (they are API-level errors the caller may
+handle), everything else wrapped in :class:`WorkerError`.  A dead pipe
+raises :class:`WorkerCrashedError`.  :meth:`close` is idempotent: stop
+commands, a bounded join, then termination of stragglers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+from types import TracebackType
+from typing import List, NoReturn, Optional, Sequence, Type
+
+from repro.parallel.messages import (
+    Command,
+    ErrorReply,
+    ReadyReply,
+    Reply,
+    ShardInit,
+    StopCmd,
+)
+from repro.parallel.worker import shard_main
+
+
+class WorkerError(RuntimeError):
+    """A shard worker raised an exception executing a command."""
+
+
+class WorkerCrashedError(WorkerError):
+    """A shard worker died (pipe EOF) instead of replying."""
+
+
+#: Exception kinds re-raised as their original type in the parent.
+_PASSTHROUGH = {"ValueError": ValueError, "KeyError": KeyError}
+
+
+def _raise_from_error(shard: int, error: ErrorReply) -> NoReturn:
+    exc_type = _PASSTHROUGH.get(error.kind)
+    if exc_type is not None:
+        raise exc_type(error.message)
+    raise WorkerError(f"shard {shard}: {error.kind}: {error.message}")
+
+
+class WorkerPool:
+    """Boot and drive one process per :class:`ShardInit`.
+
+    The constructor blocks until every worker has rebuilt its replica
+    and sent its :class:`ReadyReply` (available as :attr:`ready`), so a
+    successfully constructed pool is immediately serviceable.  On any
+    boot failure the already-started workers are torn down before the
+    exception propagates.
+    """
+
+    def __init__(
+        self,
+        inits: Sequence[ShardInit],
+        start_method: str = "spawn",
+    ) -> None:
+        if not inits:
+            raise ValueError("need at least one shard")
+        context = multiprocessing.get_context(start_method)
+        self._processes: List[BaseProcess] = []
+        self._connections: List[Connection] = []
+        self._closed = False
+        self.ready: List[ReadyReply] = []
+        try:
+            for init in inits:
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=shard_main,
+                    args=(child_end, init),
+                    name=f"repro-shard-{init.shard}",
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._processes.append(process)
+                self._connections.append(parent_end)
+            for shard in range(len(self._connections)):
+                reply = self.recv(shard)
+                if not isinstance(reply, ReadyReply):
+                    raise WorkerError(
+                        f"shard {shard}: expected ReadyReply, "
+                        f"got {type(reply).__name__}"
+                    )
+                self.ready.append(reply)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def send(self, shard: int, command: Command) -> None:
+        """Ship one command to a shard (reply owed; see :meth:`recv`)."""
+        if self._closed:
+            raise WorkerError("pool is closed")
+        try:
+            self._connections[shard].send(command)
+        except (OSError, ValueError) as exc:
+            raise WorkerCrashedError(
+                f"shard {shard}: pipe broken on send: {exc}"
+            ) from exc
+
+    def recv(self, shard: int) -> Reply:
+        """Collect one reply from a shard, re-raising shipped errors."""
+        try:
+            reply: Reply = self._connections[shard].recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrashedError(
+                f"shard {shard}: worker died before replying"
+            ) from exc
+        if isinstance(reply, ErrorReply):
+            _raise_from_error(shard, reply)
+        return reply
+
+    def request(self, shard: int, command: Command) -> Reply:
+        """One full round trip to one shard."""
+        self.send(shard, command)
+        return self.recv(shard)
+
+    def broadcast(self, command: Command) -> List[Reply]:
+        """Send to every shard, then collect every reply (concurrent).
+
+        All shards compute at once; replies come back in shard order.
+        If any shard errored, the remaining replies are still drained
+        (keeping every pipe in the one-reply-per-command rhythm) before
+        the first error is re-raised.
+        """
+        for shard in range(len(self._connections)):
+            self.send(shard, command)
+        replies: List[Reply] = []
+        first_error: Optional[BaseException] = None
+        for shard in range(len(self._connections)):
+            try:
+                replies.append(self.recv(shard))
+            except Exception as exc:  # noqa: BLE001 - re-raised after drain
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return replies
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker: polite stop, bounded join, then terminate."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._connections:
+            try:
+                connection.send(StopCmd())
+            except (OSError, ValueError):
+                pass  # already dead: join/terminate below handles it
+        for process in self._processes:
+            process.join(timeout)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+__all__ = [
+    "WorkerError",
+    "WorkerCrashedError",
+    "WorkerPool",
+]

@@ -1,0 +1,336 @@
+"""Pair-sharded monitoring across worker processes.
+
+:class:`ShardedMonitor` mirrors the
+:class:`~repro.core.monitor.MultiPairMonitor` API — ``watch`` /
+``unwatch`` / ``apply`` / ``results`` plus ``watch_many`` for parallel
+startup — but partitions the watched pairs across a
+:class:`~repro.parallel.pool.WorkerPool`.  The monitoring workload of
+the paper (many suspect pairs, one shared graph) is embarrassingly
+partitionable by pair: every update must repair every pair's index, but
+the repairs are independent, so pair-sharding divides the per-update
+work by the worker count.
+
+Topology:
+
+- the parent keeps the *authoritative* graph (the one handed in, shared
+  with the service engine) and applies every update to it first — which
+  also detects no-ops, short-circuiting the fan-out entirely;
+- each worker holds a private replica seeded from a
+  :func:`~repro.core.serialize.graph_snapshot` at construction time and
+  kept in sync by replaying the same effective update stream;
+- each watched pair lives on exactly one shard (least-loaded at watch
+  time, ties to the lowest shard id — deterministic, so a fixed
+  watch sequence always produces the same placement);
+- :meth:`apply` fans the update out to **all** shards concurrently
+  (every replica must stay in sync even when a shard currently watches
+  nothing) and merges the per-pair results.
+
+Observability: fan-outs run under the ``parallel.fanout`` span, with
+per-shard repair time and parent-side fan-out wait recorded as
+histograms, shard/pair gauges kept current, and ``shard.*`` events
+narrating startup, placement, fan-out, and shutdown.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from types import TracebackType
+from typing import Dict, Iterable, List, Optional, Tuple, Type, cast
+
+from repro import obs
+from repro.core.enumerator import UpdateResult
+from repro.core.monitor import PairKey
+from repro.core.paths import Path
+from repro.core.serialize import graph_snapshot
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
+from repro.obs import events
+from repro.parallel.messages import (
+    ApplyCmd,
+    ApplyReply,
+    ResultsCmd,
+    ResultsReply,
+    ShardInit,
+    UnwatchCmd,
+    UnwatchReply,
+    WatchCmd,
+    WatchReply,
+)
+from repro.parallel.pool import WorkerPool
+
+
+class ShardedMonitor:
+    """Monitor many (s, t) pairs with the work sharded across processes.
+
+    Parameters
+    ----------
+    graph:
+        The authoritative graph.  The monitor applies updates to it
+        (like ``MultiPairMonitor`` it owns the update path); replicas
+        are seeded from its snapshot at construction.
+    k:
+        Default hop constraint for pairs watched without an explicit k.
+    workers:
+        Number of shard processes.  ``1`` is valid (and useful as the
+        degenerate case in equivalence tests); the sweet spot is the
+        machine's core count when enough pairs are watched.
+    start_method:
+        ``multiprocessing`` start method; ``spawn`` (default) works on
+        every platform and never inherits parent state by accident.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        k: int,
+        workers: int = 2,
+        start_method: str = "spawn",
+    ) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.graph = graph
+        self.k = k
+        self._assignment: Dict[PairKey, int] = {}
+        self._pair_k: Dict[PairKey, int] = {}
+        self._loads: List[int] = [0] * workers
+        self._closed = False
+        state = graph_snapshot(graph)
+        inits = [ShardInit(shard, state, k) for shard in range(workers)]
+        with obs.span("parallel.startup"):
+            self._pool = WorkerPool(inits, start_method=start_method)
+        obs.set_gauge("parallel.shards", workers)
+        obs.set_gauge("parallel.pairs", 0)
+        for ready in self._pool.ready:
+            events.emit(
+                events.SHARD_STARTED,
+                shard=ready.shard,
+                vertices=ready.vertices,
+                edges=ready.edges,
+                startup_seconds=round(ready.startup_seconds, 6),
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Number of shard processes."""
+        return len(self._loads)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def pairs(self) -> List[PairKey]:
+        """The currently watched pairs."""
+        return list(self._assignment)
+
+    def shard_of(self, s: Vertex, t: Vertex) -> Optional[int]:
+        """Which shard a pair lives on (``None`` if unwatched)."""
+        return self._assignment.get((s, t))
+
+    def pairs_per_shard(self) -> List[int]:
+        """Watched-pair count per shard (index = shard id)."""
+        return list(self._loads)
+
+    def watched_k(self, s: Vertex, t: Vertex) -> Optional[int]:
+        """The hop constraint a pair is watched at, or None."""
+        return self._pair_k.get((s, t))
+
+    def _pick_shard(self) -> int:
+        return min(range(len(self._loads)), key=lambda i: (self._loads[i], i))
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedMonitor is closed")
+
+    # ------------------------------------------------------------------
+    def watch(
+        self, s: Vertex, t: Vertex, k: Optional[int] = None
+    ) -> List[Path]:
+        """Register a pair on the least-loaded shard; initial results."""
+        self._check_open()
+        key = (s, t)
+        if key in self._assignment:
+            raise ValueError(f"pair {key} is already watched")
+        shard = self._pick_shard()
+        effective_k = self.k if k is None else k
+        reply = cast(
+            WatchReply, self._pool.request(shard, WatchCmd(s, t, effective_k))
+        )
+        self._register(key, shard, effective_k, reply.build_seconds)
+        return list(reply.paths)
+
+    def watch_many(
+        self,
+        pairs: Iterable[PairKey],
+        k: Optional[int] = None,
+    ) -> Dict[PairKey, List[Path]]:
+        """Register several pairs, building their indexes concurrently.
+
+        Placement is decided up front (deterministically, as if each
+        pair had been watched one at a time), then every shard builds
+        its share in parallel — the startup path for a long watchlist.
+        """
+        self._check_open()
+        effective_k = self.k if k is None else k
+        ordered: List[PairKey] = []
+        for s, t in pairs:
+            key = (s, t)
+            if key in self._assignment or key in ordered:
+                raise ValueError(f"pair {key} is already watched")
+            ordered.append(key)
+        loads = list(self._loads)
+        plan: List[Tuple[PairKey, int]] = []
+        for key in ordered:
+            shard = min(range(len(loads)), key=lambda i: (loads[i], i))
+            loads[shard] += 1
+            plan.append((key, shard))
+        out: Dict[PairKey, List[Path]] = {}
+        with obs.span("parallel.watch_many"):
+            for (s, t), shard in plan:
+                self._pool.send(shard, WatchCmd(s, t, effective_k))
+            first_error: Optional[BaseException] = None
+            for key, shard in plan:
+                try:
+                    reply = cast(WatchReply, self._pool.recv(shard))
+                except Exception as exc:  # noqa: BLE001 - after drain
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                self._register(key, shard, effective_k, reply.build_seconds)
+                out[key] = list(reply.paths)
+            if first_error is not None:
+                raise first_error
+        return out
+
+    def _register(
+        self, key: PairKey, shard: int, k: int, build_seconds: float
+    ) -> None:
+        self._assignment[key] = shard
+        self._pair_k[key] = k
+        self._loads[shard] += 1
+        obs.set_gauge("parallel.pairs", len(self._assignment))
+        events.emit(
+            events.SHARD_WATCH,
+            shard=shard,
+            s=key[0],
+            t=key[1],
+            k=k,
+            build_seconds=round(build_seconds, 6),
+        )
+
+    def unwatch(self, s: Vertex, t: Vertex) -> bool:
+        """Stop monitoring a pair; True if it was watched."""
+        self._check_open()
+        key = (s, t)
+        shard = self._assignment.pop(key, None)
+        if shard is None:
+            return False
+        self._pair_k.pop(key, None)
+        self._loads[shard] -= 1
+        obs.set_gauge("parallel.pairs", len(self._assignment))
+        reply = cast(UnwatchReply, self._pool.request(shard, UnwatchCmd(s, t)))
+        return reply.removed
+
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> Dict[PairKey, UpdateResult]:
+        """Insert an edge; per-pair results with exactly the new paths."""
+        return self.apply(EdgeUpdate(u, v, True))
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> Dict[PairKey, UpdateResult]:
+        """Delete an edge; per-pair results with exactly the deleted paths."""
+        return self.apply(EdgeUpdate(u, v, False))
+
+    def apply(self, update: EdgeUpdate) -> Dict[PairKey, UpdateResult]:
+        """Apply one update to the graph and fan it out to every shard."""
+        self._check_open()
+        changed = self.graph.apply_update(update)
+        if not changed:
+            # No-op against the authoritative graph: the replicas need
+            # not hear about it, and per-pair results mirror
+            # MultiPairMonitor's unchanged shape.
+            return {
+                key: UpdateResult(update, changed=False)
+                for key in self._assignment
+            }
+        return self.observe(update)
+
+    def observe(self, update: EdgeUpdate) -> Dict[PairKey, UpdateResult]:
+        """Fan out an update already applied to the authoritative graph."""
+        self._check_open()
+        started = perf_counter()
+        with obs.span("parallel.fanout"):
+            replies = [
+                cast(ApplyReply, reply)
+                for reply in self._pool.broadcast(ApplyCmd(update))
+            ]
+        if obs.enabled():
+            roundtrip = perf_counter() - started
+            slowest = 0.0
+            for reply in replies:
+                obs.observe("parallel.shard.repair.seconds",
+                            reply.repair_seconds)
+                slowest = max(slowest, reply.repair_seconds)
+            # Parent-side overhead of the fan-out beyond the busiest
+            # shard's real repair work: serialization + queue wait.
+            obs.observe("parallel.fanout.wait.seconds",
+                        max(0.0, roundtrip - slowest))
+            obs.incr("parallel.updates")
+        events.emit(
+            events.SHARD_FANOUT,
+            u=update.u,
+            v=update.v,
+            insert=update.insert,
+            shards=len(replies),
+            pairs=len(self._assignment),
+        )
+        merged: Dict[PairKey, UpdateResult] = {}
+        for reply in replies:
+            merged.update(reply.results)
+        return merged
+
+    # ------------------------------------------------------------------
+    def results(self) -> Dict[PairKey, List[Path]]:
+        """The current full result set of every pair."""
+        self._check_open()
+        merged: Dict[PairKey, List[Path]] = {}
+        for reply in self._pool.broadcast(ResultsCmd()):
+            for pair, paths in cast(ResultsReply, reply).results.items():
+                merged[pair] = list(paths)
+        return merged
+
+    def results_for(self, s: Vertex, t: Vertex) -> List[Path]:
+        """The current full result set of one pair (raises KeyError)."""
+        self._check_open()
+        key = (s, t)
+        shard = self._assignment[key]
+        reply = cast(
+            ResultsReply, self._pool.request(shard, ResultsCmd(pairs=(key,)))
+        )
+        return list(reply.results[key])
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut every shard down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+        for shard in range(len(self._loads)):
+            events.emit(events.SHARD_STOPPED, shard=shard)
+        obs.set_gauge("parallel.shards", 0)
+
+    def __enter__(self) -> "ShardedMonitor":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+__all__ = [
+    "ShardedMonitor",
+]

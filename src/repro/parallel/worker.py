@@ -1,0 +1,107 @@
+"""The shard worker process: a private replica plus a command loop.
+
+:func:`shard_main` is the (module-level, hence spawn-picklable) entry
+point of one worker.  It rebuilds its graph replica from the shipped
+:func:`~repro.core.serialize.graph_snapshot`, wraps it in a
+:class:`~repro.core.monitor.MultiPairMonitor` holding only this shard's
+pairs, and then serves commands until :class:`StopCmd` or pipe EOF.
+
+Error discipline: a failing command never kills the worker — the
+exception is shipped back as :class:`ErrorReply` and the loop continues,
+so one bad ``watch`` (say, ``s == t``) does not take down the shard's
+other pairs.  Only a broken pipe (parent died) or an explicit stop ends
+the process.
+"""
+
+from __future__ import annotations
+
+import signal
+from multiprocessing.connection import Connection
+from time import perf_counter
+
+from repro.core.monitor import MultiPairMonitor
+from repro.core.serialize import restore_graph
+from repro.parallel.messages import (
+    ApplyCmd,
+    ApplyReply,
+    Command,
+    ErrorReply,
+    ReadyReply,
+    Reply,
+    ResultsCmd,
+    ResultsReply,
+    ShardInit,
+    StopCmd,
+    StoppedReply,
+    UnwatchCmd,
+    UnwatchReply,
+    WatchCmd,
+    WatchReply,
+    slim_result,
+)
+
+
+def dispatch(monitor: MultiPairMonitor, command: Command) -> Reply:
+    """Execute one command against the shard's monitor."""
+    if isinstance(command, WatchCmd):
+        started = perf_counter()
+        paths = monitor.watch(command.s, command.t, command.k)
+        return WatchReply(tuple(paths), perf_counter() - started)
+    if isinstance(command, UnwatchCmd):
+        return UnwatchReply(monitor.unwatch(command.s, command.t))
+    if isinstance(command, ApplyCmd):
+        started = perf_counter()
+        results = monitor.apply(command.update)
+        slim = {pair: slim_result(result) for pair, result in results.items()}
+        return ApplyReply(slim, perf_counter() - started)
+    if isinstance(command, ResultsCmd):
+        if command.pairs is None:
+            return ResultsReply({
+                pair: tuple(paths)
+                for pair, paths in monitor.results().items()
+            })
+        return ResultsReply({
+            pair: tuple(monitor.results_for(*pair)) for pair in command.pairs
+        })
+    raise TypeError(f"unknown command {type(command).__name__}")
+
+
+def shard_main(conn: Connection, init: ShardInit) -> None:
+    """Run one shard worker until stopped (the process entry point)."""
+    # Shutdown is parent-coordinated (StopCmd / terminate); a terminal
+    # Ctrl-C also signals this foreground process group, and reacting
+    # to it here would dump KeyboardInterrupt tracebacks over the
+    # parent's clean shutdown message.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    started = perf_counter()
+    graph = restore_graph(init.graph_state)
+    monitor = MultiPairMonitor(graph, init.default_k)
+    conn.send(ReadyReply(
+        shard=init.shard,
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+        startup_seconds=perf_counter() - started,
+    ))
+    try:
+        while True:
+            try:
+                command: Command = conn.recv()
+            except EOFError:
+                break  # parent went away: nothing left to serve
+            if isinstance(command, StopCmd):
+                conn.send(StoppedReply(init.shard))
+                break
+            try:
+                reply = dispatch(monitor, command)
+            except Exception as exc:  # noqa: BLE001 - shipped to the parent
+                conn.send(ErrorReply(type(exc).__name__, str(exc)))
+                continue
+            conn.send(reply)
+    finally:
+        conn.close()
+
+
+__all__ = [
+    "dispatch",
+    "shard_main",
+]

@@ -145,14 +145,24 @@ class IndexCache:
         if key not in self._entries:
             return False
         del self._entries[key]
-        self._current_bytes -= self._sizes.pop(key)
+        freed = self._sizes.pop(key)
+        self._current_bytes -= freed
+        self._note_bytes()
+        events.emit(
+            events.CACHE_INVALIDATE,
+            s=key[0], t=key[1], k=key[2], freed_bytes=freed,
+        )
         return True
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
+        dropped = len(self._entries)
+        freed = self._current_bytes
         self._entries.clear()
         self._sizes.clear()
         self._current_bytes = 0
+        self._note_bytes()
+        events.emit(events.CACHE_CLEAR, entries=dropped, freed_bytes=freed)
 
     # ------------------------------------------------------------------
     def observe_all(self, update: EdgeUpdate) -> Dict[CacheKey, UpdateResult]:
@@ -189,6 +199,11 @@ class IndexCache:
             )
             obs.set_gauge("service.cache.bytes", self._current_bytes)
 
+    def _note_bytes(self) -> None:
+        """Refresh the occupancy gauge after any byte-count mutation."""
+        if obs.enabled():
+            obs.set_gauge("service.cache.bytes", self._current_bytes)
+
     def _shrink_to_budget(self) -> None:
         while self._current_bytes > self.budget_bytes and self._entries:
             key, _ = self._entries.popitem(last=False)
@@ -200,6 +215,7 @@ class IndexCache:
                 events.CACHE_EVICT,
                 s=key[0], t=key[1], k=key[2], freed_bytes=freed,
             )
+        self._note_bytes()
 
     # ------------------------------------------------------------------
     def stats(self) -> CacheStats:

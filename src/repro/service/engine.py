@@ -29,16 +29,16 @@ requests — the server layer only ever encodes.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro import obs
 from repro.obs import events
 from repro.obs.explain import explain_query
 from repro.core.batch import compress_stream
-from repro.core.enumerator import CpeEnumerator
 from repro.core.monitor import MultiPairMonitor, PairKey
 from repro.core.paths import Path
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
+from repro.parallel import ShardedMonitor
 from repro.service.cache import IndexCache
 from repro.service.protocol import (
     AlreadyWatchedError,
@@ -63,6 +63,12 @@ class PathQueryEngine:
     cache_budget_bytes:
         Memory budget of the warm-index cache (see
         :class:`~repro.service.cache.IndexCache`).
+    workers:
+        With ``workers > 1`` watched-pair traffic is sharded across
+        that many worker processes via
+        :class:`~repro.parallel.sharded.ShardedMonitor`; ad-hoc queries
+        keep the in-process cache path either way.  Call :meth:`close`
+        when done to stop the shard processes.
     """
 
     def __init__(
@@ -70,10 +76,18 @@ class PathQueryEngine:
         graph: DynamicDiGraph,
         default_k: int = 6,
         cache_budget_bytes: int = 4 << 20,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         self.graph = graph
         self.default_k = default_k
-        self.monitor = MultiPairMonitor(graph, default_k)
+        self.workers = workers
+        self.monitor: Union[MultiPairMonitor, ShardedMonitor]
+        if workers > 1:
+            self.monitor = ShardedMonitor(graph, default_k, workers=workers)
+        else:
+            self.monitor = MultiPairMonitor(graph, default_k)
         self.cache = IndexCache(graph, budget_bytes=cache_budget_bytes)
         self._served: Dict[str, int] = {}
         self._updates_applied = 0
@@ -134,9 +148,8 @@ class PathQueryEngine:
     def _query_paths(
         self, s: Vertex, t: Vertex, k: int
     ) -> Tuple[List[Path], str]:
-        watched = self._watched_enumerator(s, t)
-        if watched is not None and watched.k == k:
-            return watched.startup(), "watched"
+        if self.monitor.watched_k(s, t) == k:
+            return self.monitor.results_for(s, t), "watched"
         key = (s, t, k)
         warm = key in self.cache
         try:
@@ -150,14 +163,6 @@ class PathQueryEngine:
         else:
             source = "bypass"
         return enumerator.startup(), source
-
-    def _watched_enumerator(
-        self, s: Vertex, t: Vertex
-    ) -> Optional[CpeEnumerator]:
-        try:
-            return self.monitor.enumerator_for(s, t)
-        except KeyError:
-            return None
 
     # ------------------------------------------------------------------
     # Watches
@@ -282,8 +287,8 @@ class PathQueryEngine:
             insert=update.insert,
         )
         deltas = {
-            pair: self.monitor.enumerator_for(*pair).observe(update).paths
-            for pair in self.monitor.pairs()
+            pair: list(result.paths)
+            for pair, result in self.monitor.observe(update).items()
         }
         self.cache.observe_all(update)
         return deltas
@@ -346,6 +351,9 @@ class PathQueryEngine:
 
     def op_stats(self) -> Dict[str, Any]:
         """Engine-side counters (the server merges admission stats in)."""
+        parallel: Dict[str, Any] = {"workers": self.workers}
+        if isinstance(self.monitor, ShardedMonitor):
+            parallel["pairs_per_shard"] = self.monitor.pairs_per_shard()
         return {
             "graph": {
                 "vertices": self.graph.num_vertices,
@@ -360,7 +368,17 @@ class PathQueryEngine:
                 "noop": self._updates_noop,
             },
             "cache": self.cache.stats().as_dict(),
+            "parallel": parallel,
         }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine resources (shard worker processes, if any).
+
+        Idempotent; a single-process engine has nothing to release.
+        """
+        if isinstance(self.monitor, ShardedMonitor):
+            self.monitor.close()
 
 
 __all__ = [

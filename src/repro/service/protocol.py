@@ -29,6 +29,8 @@ batch_update ``updates`` (list of ``[u, v, insert]``)    ``received``,
                                                          ``cancelled``,
                                                          ``pairs``
 stats       —                                            server/engine counters
+                                                         (incl. ``parallel``
+                                                         shard info)
 metrics     optional ``format``                          ``format``,
             (``"json"``/``"prometheus"``)                ``enabled``,
                                                          ``metrics``/``text``

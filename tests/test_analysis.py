@@ -234,6 +234,14 @@ def test_r007_flags_logging_import_in_core_layer(tmp_path):
     assert report.for_rule("R007")
 
 
+def test_r007_flags_print_in_parallel_layer(tmp_path):
+    target = _scoped_module(tmp_path, "repro/parallel", "worker.py", _R007_BAD)
+    report = run_lint([str(target)], select=["R007"])
+    hits = report.for_rule("R007")
+    assert hits and hits[0].line == 2
+    assert "repro.obs.events" in hits[0].message
+
+
 def test_r007_ignores_modules_outside_the_scoped_layers(tmp_path):
     for dotted in ("repro/cli_helpers", "repro/experiments", "other"):
         target = _scoped_module(tmp_path, dotted, "mod.py", _R007_BAD)

@@ -77,6 +77,33 @@ class TestCompressStream:
             EdgeUpdate(6, 7, True),
         ]
 
+    def test_trailing_noop_reinsert_does_not_reorder_survivors(self):
+        """Ineffective occurrences must not bump survivor order.
+
+        Regression: a trailing re-insert of an already-final-present
+        edge used to bump its ``last seen`` position, moving it after
+        later survivors even though the documented order is "last
+        *effective* occurrence in the stream".
+        """
+        g = DynamicDiGraph()
+        stream = [
+            EdgeUpdate(0, 1, True),   # effective at position 0
+            EdgeUpdate(2, 3, True),   # effective at position 1
+            EdgeUpdate(0, 1, True),   # no-op: (0, 1) is already present
+        ]
+        survivors = compress_stream(g, stream)
+        assert survivors == [EdgeUpdate(0, 1, True), EdgeUpdate(2, 3, True)]
+
+    def test_noop_delete_of_absent_edge_does_not_reorder_survivors(self):
+        g = DynamicDiGraph([(0, 1)])
+        stream = [
+            EdgeUpdate(0, 1, False),  # effective at position 0
+            EdgeUpdate(2, 3, True),   # effective at position 1
+            EdgeUpdate(0, 1, False),  # no-op: (0, 1) is already deleted
+        ]
+        survivors = compress_stream(g, stream)
+        assert survivors == [EdgeUpdate(0, 1, False), EdgeUpdate(2, 3, True)]
+
     def test_compressed_replay_equals_full_replay(self):
         rng = random.Random(12)
         for _ in range(30):

@@ -115,7 +115,8 @@ def test_analysis_md_examples_reflect_the_rules():
 def test_api_md_names_exist():
     """Spot-check that classes named in docs/API.md are importable."""
     import repro
-    from repro import apps, baselines, core, related, service, workloads
+    from repro import apps, baselines, core, parallel, related, service
+    from repro import workloads
 
     text = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
     for name, owner in (
@@ -130,6 +131,8 @@ def test_api_md_names_exist():
         ("k_shortest_simple_paths", related),
         ("run_dynamic", workloads),
         ("service_traffic", workloads),
+        ("ShardedMonitor", parallel),
+        ("WorkerPool", parallel),
         ("PathQueryEngine", service),
         ("PathQueryServer", service),
         ("ServiceClient", service),

@@ -127,6 +127,49 @@ class TestSlidingWindowMonitor:
         assert not g.has_edge(0, 1)
         assert len(event.expirations) == 1
 
+    def test_reoffer_at_exact_expiry_extends_without_churn(self):
+        """Offer at exactly ``latest + window``: last activity wins.
+
+        Regression: the boundary used to expire + re-insert the edge,
+        emitting spurious deleted/new path churn for a refresh.
+        """
+        g, mon, win = self.make(window=5.0)
+        win.offer(0, 1, 0.0)
+        event = win.offer(0, 1, 5.0)  # exactly latest + window
+        assert event.expirations == []
+        assert event.arrivals == {}  # refresh, not a re-insert
+        assert g.has_edge(0, 1)
+        assert win.live_edges() == 1
+        # the refresh moved the expiry to 10.0
+        event = win.advance(10.0)
+        assert len(event.expirations) == 1
+        assert not g.has_edge(0, 1)
+
+    def test_reoffer_just_before_expiry_refreshes(self):
+        g, mon, win = self.make(window=5.0)
+        win.offer(0, 1, 0.0)
+        event = win.offer(0, 1, 5.0 - 1e-9)
+        assert event.expirations == []
+        assert event.arrivals == {}
+        assert g.has_edge(0, 1)
+
+    def test_reoffer_just_after_expiry_churns(self):
+        g, mon, win = self.make(window=5.0)
+        win.offer(0, 1, 0.0)
+        event = win.offer(0, 1, 5.0 + 1e-9)
+        # the edge genuinely expired before the re-offer: delete + insert
+        assert len(event.expirations) == 1
+        assert event.arrivals != {}
+        assert g.has_edge(0, 1)
+        assert win.live_edges() == 1
+
+    def test_pure_advance_at_exact_expiry_still_expires(self):
+        g, mon, win = self.make(window=5.0)
+        win.offer(0, 1, 0.0)
+        event = win.advance(5.0)  # no offer: the boundary is inclusive
+        assert len(event.expirations) == 1
+        assert not g.has_edge(0, 1)
+
     def test_timestamps_must_be_monotone(self):
         _, _, win = self.make()
         win.offer(0, 1, 5.0)

@@ -1,0 +1,356 @@
+"""Tests for :mod:`repro.parallel` — sharded multi-process monitoring.
+
+The centrepiece is the fixed-seed equivalence gate: a generated graph
+plus update stream (with forced no-op updates and watch/unwatch churn
+mid-stream) must produce **byte-identical** transcripts — initial
+results, per-update deltas, and final result sets — from a
+:class:`ShardedMonitor` at 1, 2 and 4 workers and from a single-process
+:class:`MultiPairMonitor`.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.monitor import MultiPairMonitor
+from repro.core.serialize import graph_snapshot
+from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+from repro.parallel import ShardedMonitor, WorkerPool
+from repro.parallel.messages import ResultsCmd, ShardInit, WatchCmd
+from repro.service.engine import PathQueryEngine
+
+N_VERTICES = 12
+K = 4
+
+
+def canon(obj):
+    """Canonical bytes: the 'byte-identical' comparison currency."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+def pair_name(pair):
+    return f"{pair[0]}->{pair[1]}"
+
+
+def build_ops(seed, updates=40):
+    """A deterministic op script: watches, churn, and mixed updates.
+
+    Roughly 30% of the generated updates are forced no-ops (re-insert
+    of a present edge / delete of an absent one); two extra pairs are
+    watched mid-stream and one original pair is unwatched.
+    """
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < 30:
+        u, v = rng.sample(range(N_VERTICES), 2)
+        edges.add((u, v))
+    edges = sorted(edges)
+
+    pairs = []
+    while len(pairs) < 5:
+        s, t = rng.sample(range(N_VERTICES), 2)
+        if (s, t) not in pairs:
+            pairs.append((s, t))
+    extra = []
+    while len(extra) < 2:
+        s, t = rng.sample(range(N_VERTICES), 2)
+        if (s, t) not in pairs and (s, t) not in extra:
+            extra.append((s, t))
+
+    ops = [("watch", s, t) for s, t in pairs]
+    state = set(edges)
+    for i in range(updates):
+        if i == 12:
+            ops.append(("watch", *extra[0]))
+        if i == 20:
+            ops.append(("unwatch", *pairs[1]))
+        if i == 26:
+            ops.append(("watch", *extra[1]))
+        roll = rng.random()
+        if roll < 0.30:
+            # forced no-op against the current edge state
+            if state and rng.random() < 0.5:
+                u, v = rng.choice(sorted(state))
+                ops.append(("apply", EdgeUpdate(u, v, True)))
+            else:
+                while True:
+                    u, v = rng.sample(range(N_VERTICES), 2)
+                    if (u, v) not in state:
+                        break
+                ops.append(("apply", EdgeUpdate(u, v, False)))
+        elif roll < 0.65 or not state:
+            while True:
+                u, v = rng.sample(range(N_VERTICES), 2)
+                if (u, v) not in state:
+                    break
+            state.add((u, v))
+            ops.append(("apply", EdgeUpdate(u, v, True)))
+        else:
+            u, v = rng.choice(sorted(state))
+            state.discard((u, v))
+            ops.append(("apply", EdgeUpdate(u, v, False)))
+    return edges, ops
+
+
+def run_script(edges, ops, factory):
+    """Run the op script against a monitor; canonical transcript bytes."""
+    graph = DynamicDiGraph(edges, vertices=range(N_VERTICES))
+    monitor = factory(graph)
+    transcript = []
+    try:
+        for op in ops:
+            if op[0] == "watch":
+                paths = monitor.watch(op[1], op[2], K)
+                transcript.append([
+                    "watch",
+                    pair_name((op[1], op[2])),
+                    [list(p) for p in paths],
+                ])
+            elif op[0] == "unwatch":
+                transcript.append([
+                    "unwatch",
+                    pair_name((op[1], op[2])),
+                    monitor.unwatch(op[1], op[2]),
+                ])
+            else:
+                results = monitor.apply(op[1])
+                transcript.append([
+                    "apply",
+                    [op[1].u, op[1].v, op[1].insert],
+                    {
+                        pair_name(pair): {
+                            "changed": result.changed,
+                            "paths": [list(p) for p in result.paths],
+                        }
+                        for pair, result in sorted(results.items())
+                    },
+                ])
+        transcript.append([
+            "final",
+            {
+                pair_name(pair): [list(p) for p in paths]
+                for pair, paths in sorted(monitor.results().items())
+            },
+        ])
+    finally:
+        close = getattr(monitor, "close", None)
+        if close is not None:
+            close()
+    return canon(transcript)
+
+
+# ---------------------------------------------------------------------------
+# The equivalence gate
+# ---------------------------------------------------------------------------
+
+
+class TestEquivalence:
+    SEED = 97
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        edges, ops = build_ops(self.SEED)
+        return run_script(edges, ops, lambda g: MultiPairMonitor(g, K))
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_sharded_matches_single_process(self, reference, workers):
+        edges, ops = build_ops(self.SEED)
+        sharded = run_script(
+            edges, ops, lambda g: ShardedMonitor(g, K, workers=workers)
+        )
+        assert sharded == reference
+
+
+# ---------------------------------------------------------------------------
+# ShardedMonitor API
+# ---------------------------------------------------------------------------
+
+
+def small_graph():
+    return DynamicDiGraph([(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)])
+
+
+class TestShardedMonitor:
+    def test_watch_placement_is_least_loaded_deterministic(self):
+        with ShardedMonitor(small_graph(), 3, workers=2) as monitor:
+            monitor.watch(0, 3)
+            monitor.watch(0, 2)
+            monitor.watch(1, 3)
+            assert monitor.pairs_per_shard() == [2, 1]
+            assert monitor.shard_of(0, 3) == 0
+            assert monitor.shard_of(0, 2) == 1
+            assert monitor.shard_of(1, 3) == 0
+            assert monitor.shard_of(9, 9) is None
+            assert len(monitor) == 3
+            assert monitor.watched_k(0, 3) == 3
+            assert monitor.watched_k(9, 9) is None
+
+    def test_watch_many_matches_individual_watches(self):
+        pairs = [(0, 3), (0, 2), (1, 3), (2, 3)]
+        with ShardedMonitor(small_graph(), 3, workers=2) as bulk:
+            bulk_results = bulk.watch_many(pairs)
+            bulk_loads = bulk.pairs_per_shard()
+        with ShardedMonitor(small_graph(), 3, workers=2) as single:
+            single_results = {
+                (s, t): single.watch(s, t) for s, t in pairs
+            }
+            single_loads = single.pairs_per_shard()
+        assert bulk_results == single_results
+        assert bulk_loads == single_loads
+
+    def test_duplicate_watch_rejected(self):
+        with ShardedMonitor(small_graph(), 3, workers=2) as monitor:
+            monitor.watch(0, 3)
+            with pytest.raises(ValueError):
+                monitor.watch(0, 3)
+            with pytest.raises(ValueError):
+                monitor.watch_many([(1, 3), (0, 3)])
+            # the failed bulk call must not have half-registered (1, 3)
+            assert set(monitor.pairs()) == {(0, 3)}
+
+    def test_worker_side_value_error_propagates_and_shard_survives(self):
+        with ShardedMonitor(small_graph(), 3, workers=1) as monitor:
+            with pytest.raises(ValueError):
+                monitor.watch(2, 2)  # s == t rejected inside the worker
+            assert monitor.pairs() == []
+            assert monitor.watch(0, 3)  # the shard still serves
+
+    def test_noop_update_skips_fanout_and_reports_unchanged(self):
+        with ShardedMonitor(small_graph(), 3, workers=2) as monitor:
+            monitor.watch(0, 3)
+            monitor.watch(1, 3)
+            results = monitor.apply(EdgeUpdate(0, 1, True))  # already present
+            assert set(results) == {(0, 3), (1, 3)}
+            assert all(not r.changed for r in results.values())
+            assert all(r.paths == [] for r in results.values())
+
+    def test_results_for_unwatched_raises_key_error(self):
+        with ShardedMonitor(small_graph(), 3, workers=2) as monitor:
+            with pytest.raises(KeyError):
+                monitor.results_for(0, 3)
+
+    def test_insert_and_delete_edge_helpers(self):
+        with ShardedMonitor(small_graph(), 3, workers=2) as monitor:
+            monitor.watch(0, 3)
+            inserted = monitor.insert_edge(0, 3)
+            assert (0, 3) in inserted and (0, 3) in inserted[(0, 3)].paths
+            deleted = monitor.delete_edge(0, 3)
+            assert (0, 3) in deleted[(0, 3)].paths
+
+    def test_close_is_idempotent_and_operations_fail_after(self):
+        monitor = ShardedMonitor(small_graph(), 3, workers=2)
+        monitor.watch(0, 3)
+        monitor.close()
+        monitor.close()
+        with pytest.raises(RuntimeError):
+            monitor.apply(EdgeUpdate(3, 0, True))
+        with pytest.raises(RuntimeError):
+            monitor.watch(1, 3)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ShardedMonitor(small_graph(), -1, workers=2)
+        with pytest.raises(ValueError):
+            ShardedMonitor(small_graph(), 3, workers=0)
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_pool_survives_command_errors(self):
+        state = graph_snapshot(small_graph())
+        with WorkerPool([ShardInit(0, state, 3)]) as pool:
+            with pytest.raises(ValueError):
+                pool.request(0, WatchCmd(5, 5, 3))  # s == t
+            with pytest.raises(KeyError):
+                pool.request(0, ResultsCmd(pairs=((0, 3),)))  # unwatched
+            reply = pool.request(0, WatchCmd(0, 3, 3))
+            assert len(reply.paths) > 0
+
+    def test_ready_handshake_reports_replica_shape(self):
+        graph = small_graph()
+        state = graph_snapshot(graph)
+        with WorkerPool([ShardInit(0, state, 3), ShardInit(1, state, 3)]) as pool:
+            assert len(pool) == 2
+            assert [r.shard for r in pool.ready] == [0, 1]
+            for ready in pool.ready:
+                assert ready.vertices == graph.num_vertices
+                assert ready.edges == graph.num_edges
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool([])
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool([ShardInit(0, graph_snapshot(small_graph()), 3)])
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+
+# ---------------------------------------------------------------------------
+# Engine integration
+# ---------------------------------------------------------------------------
+
+
+class TestEngineWithWorkers:
+    def test_engine_responses_match_single_process(self):
+        script = [
+            ("watch", {"s": 0, "t": 3}),
+            ("watch", {"s": 1, "t": 3}),
+            ("query", {"s": 0, "t": 3, "k": 3}),
+            ("update", {"u": 0, "v": 3, "insert": True}),
+            ("update", {"u": 0, "v": 3, "insert": True}),  # no-op
+            ("query", {"s": 0, "t": 2, "k": 2}),  # ad-hoc, cache path
+            ("update", {"u": 0, "v": 3, "insert": False}),
+            ("unwatch", {"s": 1, "t": 3}),
+            ("batch_update", {"updates": [[3, 0, True], [3, 0, False],
+                                          [0, 3, True]]}),
+        ]
+
+        def run(workers):
+            engine = PathQueryEngine(small_graph(), default_k=3,
+                                     workers=workers)
+            try:
+                return [engine.handle(op, dict(args)) for op, args in script]
+            finally:
+                engine.close()
+
+        assert run(2) == run(1)
+
+    def test_stats_reports_shard_layout(self):
+        engine = PathQueryEngine(small_graph(), default_k=3, workers=2)
+        try:
+            engine.op_watch(0, 3)
+            engine.op_watch(1, 3)
+            engine.op_watch(0, 2)
+            stats = engine.op_stats()
+            assert stats["parallel"]["workers"] == 2
+            assert stats["parallel"]["pairs_per_shard"] == [2, 1]
+            assert stats["watched_pairs"] == 3
+        finally:
+            engine.close()
+
+    def test_single_process_stats_have_no_shard_list(self):
+        engine = PathQueryEngine(small_graph(), default_k=3)
+        stats = engine.op_stats()
+        assert stats["parallel"] == {"workers": 1}
+        engine.close()  # no-op, must not raise
+
+    def test_watched_query_is_served_from_the_shard(self):
+        engine = PathQueryEngine(small_graph(), default_k=3, workers=2)
+        try:
+            engine.op_watch(0, 3)
+            result = engine.op_query(0, 3, 3)
+            assert result["source"] == "watched"
+            assert len(engine.cache) == 0  # never touched the cache
+        finally:
+            engine.close()
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            PathQueryEngine(small_graph(), workers=0)

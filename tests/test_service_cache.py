@@ -4,9 +4,11 @@ import random
 
 import pytest
 
+from repro import obs
 from repro.baselines.bruteforce import path_set
 from repro.core.serialize import snapshot_size_bytes
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
+from repro.obs import events
 from repro.service.cache import IndexCache
 from tests.conftest import make_random_graph, random_query
 
@@ -84,6 +86,64 @@ class TestEvictionAndBudget:
     def test_rejects_non_positive_budget(self):
         with pytest.raises(ValueError):
             IndexCache(chain_graph(), budget_bytes=0)
+
+
+class TestExplicitDropAccounting:
+    """``invalidate``/``clear`` must keep the gauge and event log honest.
+
+    Regression: both paths used to mutate ``_current_bytes`` without
+    refreshing the ``service.cache.bytes`` gauge or emitting an event,
+    so ``repro top`` and the ``metrics`` op reported stale occupancy
+    until the next lookup.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _instrumented(self):
+        prev_obs = obs.set_enabled(True)
+        prev_events = events.set_enabled(True)
+        obs.reset()
+        events.reset()
+        yield
+        obs.set_enabled(prev_obs)
+        events.set_enabled(prev_events)
+        obs.reset()
+        events.reset()
+
+    @staticmethod
+    def _bytes_gauge():
+        return obs.snapshot()["gauges"].get("service.cache.bytes")
+
+    def test_invalidate_refreshes_gauge_and_emits_event(self):
+        cache = IndexCache(chain_graph())
+        cache.get_or_build(0, 4, 4)
+        cache.get_or_build(1, 5, 4)
+        assert cache.invalidate((0, 4, 4))
+        assert self._bytes_gauge() == cache.stats().current_bytes
+        assert cache.stats().current_bytes > 0
+        kinds = [event["kind"] for event in events.tail(50)]
+        assert events.CACHE_INVALIDATE in kinds
+
+    def test_invalidate_miss_emits_nothing(self):
+        cache = IndexCache(chain_graph())
+        cache.get_or_build(0, 4, 4)
+        events.reset()
+        assert not cache.invalidate((9, 9, 9))
+        assert events.tail(50) == []
+
+    def test_clear_zeroes_gauge_and_emits_event(self):
+        cache = IndexCache(chain_graph())
+        cache.get_or_build(0, 4, 4)
+        cache.get_or_build(1, 5, 4)
+        freed = cache.stats().current_bytes
+        cache.clear()
+        assert self._bytes_gauge() == 0
+        clears = [
+            event for event in events.tail(50)
+            if event["kind"] == events.CACHE_CLEAR
+        ]
+        assert len(clears) == 1
+        assert clears[0]["entries"] == 2
+        assert clears[0]["freed_bytes"] == freed
 
 
 class TestObserveAll:
