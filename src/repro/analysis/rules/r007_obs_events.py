@@ -3,8 +3,8 @@
 The serving layers have a structured observability channel
 (:mod:`repro.obs.events`): typed, correlation-stamped, bounded, and
 pollable over the wire.  A stray ``print(...)`` or ``logging`` call in
-``repro.core``, ``repro.service``, or ``repro.parallel`` bypasses all of
-that — it interleaves with protocol output on stdout in embedded runs
+``repro.core``, ``repro.service``, ``repro.parallel``, or
+``repro.batching`` bypasses all of that — it interleaves with protocol output on stdout in embedded runs
 (and, for worker processes, scrambles the parent's terminal), is
 invisible to ``repro top`` and the ``events`` op, and carries no
 correlation id.
@@ -27,6 +27,7 @@ SCOPED_PREFIXES: Tuple[str, ...] = (
     "repro.core",
     "repro.service",
     "repro.parallel",
+    "repro.batching",
 )
 
 
@@ -76,8 +77,9 @@ class ObsEventsRule(Rule):
     code = "R007"
     name = "obs-events"
     description = (
-        "repro.core, repro.service, and repro.parallel must not print or "
-        "use stdlib logging; diagnostics go through repro.obs.events"
+        "repro.core, repro.service, repro.parallel, and repro.batching "
+        "must not print or use stdlib logging; diagnostics go through "
+        "repro.obs.events"
     )
 
     def check(

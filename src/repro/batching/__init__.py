@@ -1,0 +1,56 @@
+"""Batch query execution with shared index construction.
+
+Concurrent ``(s, t, k)`` queries over one graph overlap: queries from
+the same hot source share the forward BFS behind ``Dist_s``, queries to
+the same hot target share the reverse BFS behind ``Dist_t``, and exact
+duplicates share the whole enumeration.  The sequential service path
+pays that construction per request; this package pays it per *cluster*:
+
+- :mod:`repro.batching.grouping` — the query-group detector: a
+  union–find over a batch's triples clustering members that share a
+  hub (an endpoint at the same hop horizon), with a JSON-able
+  :meth:`~repro.batching.grouping.GroupingPlan.describe` of the
+  decisions;
+- :mod:`repro.batching.shared` — the shared-construction engine: one
+  BFS per shared hub (consumers get
+  :meth:`~repro.core.distance.DistanceMap.clone` copies injected into
+  :func:`~repro.core.construction.build_index`), one enumeration per
+  distinct triple, members executed in arrival order so answers and
+  cache state stay byte-identical to sequential execution;
+- :mod:`repro.batching.window` — the deadline-aware gather window the
+  server uses to form batches from independent ``query`` requests
+  (``repro serve --batch-window MS``).
+
+Service integration: the ``batch_query`` wire op carries many triples
+in one request, and ``repro bench-serve --batch-size N`` drives it.
+See docs/BATCHING.md for the algorithm and the equivalence contract.
+"""
+
+from repro.batching.grouping import (
+    GroupingPlan,
+    HubKey,
+    QueryGroup,
+    QueryTriple,
+    detect_groups,
+)
+from repro.batching.shared import (
+    BatchAnswer,
+    BatchResult,
+    BatchStats,
+    SharedConstructionEngine,
+)
+from repro.batching.window import GatherWindow, PendingMember
+
+__all__ = [
+    "QueryTriple",
+    "HubKey",
+    "QueryGroup",
+    "GroupingPlan",
+    "detect_groups",
+    "BatchAnswer",
+    "BatchStats",
+    "BatchResult",
+    "SharedConstructionEngine",
+    "GatherWindow",
+    "PendingMember",
+]

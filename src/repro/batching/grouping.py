@@ -1,0 +1,222 @@
+"""Query-group detection: cluster overlapping ``(s, t, k)`` triples.
+
+The batch query engine (see :mod:`repro.batching.shared`) answers a
+whole group of concurrent queries from one construction pass.  What
+makes two queries *overlap* is sharing a **hub**: an endpoint whose
+hop-capped BFS — ``Dist_s`` for a shared source, ``Dist_t`` for a
+shared target — is identical for both queries.  A hub is therefore a
+``(vertex, k)`` pair: the BFS horizon is part of the identity, because a
+``Dist`` map built for horizon 4 cannot seed a ``k = 6`` index.
+
+:func:`detect_groups` clusters a batch with a union–find over members:
+two members join the same group when they share a source hub or a
+target hub (exact-duplicate triples trivially share both).  The
+transitive closure is intentional — ``(a, b)`` and ``(b, c)`` overlap
+through hub ``b``, sitting source-side for one and target-side for the
+other, so proximity chains cluster together.  Everything is
+deterministic: groups are ordered by their first member's arrival
+position and members keep arrival order inside each group, which is
+what the byte-identical equivalence gate relies on.
+
+The detector is pure bookkeeping — no graph access — so planning a
+batch costs O(members · α) and can run inside the admission path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.graph.digraph import Vertex
+
+QueryTriple = Tuple[Vertex, Vertex, int]
+"""One batch member: ``(s, t, k)``."""
+
+HubKey = Tuple[Vertex, int]
+"""A shareable BFS identity: ``(endpoint, k)``."""
+
+
+@dataclass(frozen=True)
+class QueryGroup:
+    """One cluster of overlapping batch members.
+
+    ``members`` are arrival positions into the batch (ascending);
+    ``triples`` is the matching ``(s, t, k)`` per member.  ``distinct``
+    holds each unique triple once, in first-seen order — duplicates are
+    answered from the first member's enumeration.  ``shared_source_hubs``
+    / ``shared_target_hubs`` are the hubs used by at least two distinct
+    triples: exactly the BFS runs worth building once and cloning.
+    """
+
+    members: Tuple[int, ...]
+    triples: Tuple[QueryTriple, ...]
+    distinct: Tuple[QueryTriple, ...]
+    shared_source_hubs: Tuple[HubKey, ...]
+    shared_target_hubs: Tuple[HubKey, ...]
+
+    @property
+    def is_singleton(self) -> bool:
+        """Whether the group holds a single member (no sharing)."""
+        return len(self.members) == 1
+
+    @property
+    def bfs_builds(self) -> int:
+        """Distance-map BFS runs this group needs with sharing."""
+        sources = {(s, k) for s, _, k in self.distinct}
+        targets = {(t, k) for _, t, k in self.distinct}
+        return len(sources) + len(targets)
+
+    @property
+    def bfs_naive(self) -> int:
+        """BFS runs the same distinct triples cost built one by one."""
+        return 2 * len(self.distinct)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready grouping decision (for EXPLAIN-style output)."""
+        return {
+            "members": list(self.members),
+            "size": len(self.members),
+            "distinct": len(self.distinct),
+            "source_hubs": [list(hub) for hub in self.shared_source_hubs],
+            "target_hubs": [list(hub) for hub in self.shared_target_hubs],
+            "bfs_builds": self.bfs_builds,
+            "bfs_saved": self.bfs_naive - self.bfs_builds,
+        }
+
+
+@dataclass(frozen=True)
+class GroupingPlan:
+    """The full clustering of one batch."""
+
+    triples: Tuple[QueryTriple, ...]
+    groups: Tuple[QueryGroup, ...]
+
+    @property
+    def members(self) -> int:
+        """Total batch members across all groups."""
+        return len(self.triples)
+
+    @property
+    def singleton_groups(self) -> int:
+        """Groups with exactly one member (per-query fallback path)."""
+        return sum(1 for group in self.groups if group.is_singleton)
+
+    @property
+    def grouped_members(self) -> int:
+        """Members that landed in a group of size at least two."""
+        return sum(
+            len(group.members)
+            for group in self.groups
+            if not group.is_singleton
+        )
+
+    @property
+    def distinct_triples(self) -> int:
+        """Unique ``(s, t, k)`` triples across the batch."""
+        return sum(len(group.distinct) for group in self.groups)
+
+    @property
+    def bfs_builds(self) -> int:
+        """BFS runs the batch needs with hub sharing."""
+        return sum(group.bfs_builds for group in self.groups)
+
+    @property
+    def bfs_saved(self) -> int:
+        """BFS runs saved versus building every distinct triple alone."""
+        return sum(
+            group.bfs_naive - group.bfs_builds for group in self.groups
+        )
+
+    def group_of(self, member: int) -> QueryGroup:
+        """The group containing arrival position ``member``."""
+        for group in self.groups:
+            if member in group.members:
+                return group
+        raise IndexError(f"no group holds member {member}")
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready grouping decisions for the whole batch."""
+        return {
+            "members": self.members,
+            "groups": [group.describe() for group in self.groups],
+            "singleton_groups": self.singleton_groups,
+            "grouped_members": self.grouped_members,
+            "distinct_triples": self.distinct_triples,
+            "bfs_builds": self.bfs_builds,
+            "bfs_saved": self.bfs_saved,
+        }
+
+
+def detect_groups(triples: Sequence[QueryTriple]) -> GroupingPlan:
+    """Cluster a batch of ``(s, t, k)`` triples by shared hubs.
+
+    Union–find over member positions: the first member seen with a given
+    source hub ``(s, k)`` or target hub ``(t, k)`` anchors it; every
+    later member with the same hub unions into that anchor's group.
+    """
+    parent = list(range(len(triples)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            # Anchor on the smaller root so group identity follows the
+            # earliest arrival — keeps the output order deterministic.
+            if rj < ri:
+                ri, rj = rj, ri
+            parent[rj] = ri
+
+    anchor_by_hub: Dict[Tuple[str, Vertex, int], int] = {}
+    for i, (s, t, k) in enumerate(triples):
+        for hub in (("s", s, k), ("t", t, k)):
+            seen = anchor_by_hub.get(hub)
+            if seen is None:
+                anchor_by_hub[hub] = i
+            else:
+                union(i, seen)
+
+    by_root: Dict[int, List[int]] = {}
+    for i in range(len(triples)):
+        by_root.setdefault(find(i), []).append(i)
+
+    groups: List[QueryGroup] = []
+    for root in sorted(by_root, key=lambda r: by_root[r][0]):
+        members = tuple(by_root[root])
+        group_triples = tuple(triples[i] for i in members)
+        distinct: List[QueryTriple] = []
+        for triple in group_triples:
+            if triple not in distinct:
+                distinct.append(triple)
+        source_counts: Dict[HubKey, int] = {}
+        target_counts: Dict[HubKey, int] = {}
+        for s, t, k in distinct:
+            source_counts[(s, k)] = source_counts.get((s, k), 0) + 1
+            target_counts[(t, k)] = target_counts.get((t, k), 0) + 1
+        groups.append(
+            QueryGroup(
+                members=members,
+                triples=group_triples,
+                distinct=tuple(distinct),
+                shared_source_hubs=tuple(
+                    hub for hub, n in source_counts.items() if n >= 2
+                ),
+                shared_target_hubs=tuple(
+                    hub for hub, n in target_counts.items() if n >= 2
+                ),
+            )
+        )
+    return GroupingPlan(triples=tuple(triples), groups=tuple(groups))
+
+
+__all__ = [
+    "QueryTriple",
+    "HubKey",
+    "QueryGroup",
+    "GroupingPlan",
+    "detect_groups",
+]

@@ -1,0 +1,308 @@
+"""Shared-construction execution of one query batch.
+
+:class:`SharedConstructionEngine` answers every member of a batch from
+as few construction passes as the grouping plan allows:
+
+- each **shared hub** — an endpoint used by two or more distinct triples
+  at the same horizon — gets its hop-capped BFS (``Dist_s`` forward,
+  ``Dist_t`` over the reverse view) built exactly once per batch; every
+  consumer receives a :meth:`~repro.core.distance.DistanceMap.clone` and
+  injects it into :func:`~repro.core.construction.build_index`, skipping
+  that side of the preprocessing step;
+- exact **duplicate triples** are enumerated once; later members reuse
+  the first member's path list (``memo_answers``);
+- **singleton** members take the existing per-query path untouched — no
+  shared state, no injected maps.
+
+Equivalence with sequential execution is load-bearing: members are
+executed in **arrival order**, not group order, and every non-watched
+member goes through ``cache.get_or_build`` exactly as ``op_query``
+does.  Groups only decide which shared distance maps exist; they never
+reorder cache touches, so LRU recency, eviction, hit/miss counters and
+the per-answer ``source`` field are byte-identical to issuing the same
+queries one by one.  (The graph cannot change mid-batch — the engine in
+front of us is single-threaded under the admission lock.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+from repro import obs
+from repro.obs import events
+from repro.batching.grouping import (
+    GroupingPlan,
+    QueryGroup,
+    QueryTriple,
+    detect_groups,
+)
+from repro.core.construction import build_index
+from repro.core.distance import DistanceMap
+from repro.core.enumerator import CpeEnumerator
+from repro.core.paths import Path
+from repro.graph.digraph import DynamicDiGraph, Vertex
+
+
+class WatchRegistry(Protocol):
+    """The slice of a monitor the batch engine needs."""
+
+    def watched_k(self, s: Vertex, t: Vertex) -> Optional[int]:
+        """The registered ``k`` for a watched pair, or None."""
+
+    def results_for(self, s: Vertex, t: Vertex) -> List[Path]:
+        """The maintained result set of a watched pair."""
+
+
+class EnumeratorCache(Protocol):
+    """The slice of :class:`repro.service.cache.IndexCache` used here."""
+
+    def __contains__(self, key: Tuple[Vertex, Vertex, int]) -> bool:
+        """Whether ``(s, t, k)`` is currently cached."""
+
+    def get_or_build(
+        self,
+        s: Vertex,
+        t: Vertex,
+        k: int,
+        build: Optional[Callable[[], CpeEnumerator]] = None,
+    ) -> CpeEnumerator:
+        """The warm enumerator, built via ``build`` on a miss."""
+
+
+@dataclass
+class BatchAnswer:
+    """One member's answer: the paths plus where they came from.
+
+    ``source`` carries the same values as the sequential ``query`` op
+    (``watched`` / ``hit`` / ``miss`` / ``bypass``) — duplicates answered
+    from the batch memo still report their own cache outcome.
+    """
+
+    paths: List[Path]
+    source: str
+
+
+@dataclass
+class BatchStats:
+    """Counters for one executed batch."""
+
+    members: int = 0
+    groups: int = 0
+    singletons: int = 0
+    grouped_members: int = 0
+    distinct_triples: int = 0
+    bfs_builds: int = 0
+    bfs_saved: int = 0
+    shared_bfs_built: int = 0
+    memo_answers: int = 0
+    watched_answers: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-friendly view (merged into the ``stats`` op)."""
+        return {
+            "members": self.members,
+            "groups": self.groups,
+            "singletons": self.singletons,
+            "grouped_members": self.grouped_members,
+            "distinct_triples": self.distinct_triples,
+            "bfs_builds": self.bfs_builds,
+            "bfs_saved": self.bfs_saved,
+            "shared_bfs_built": self.shared_bfs_built,
+            "memo_answers": self.memo_answers,
+            "watched_answers": self.watched_answers,
+        }
+
+
+@dataclass
+class BatchResult:
+    """Everything one :meth:`SharedConstructionEngine.run` produces."""
+
+    answers: List[BatchAnswer]
+    plan: GroupingPlan
+    stats: BatchStats
+
+
+class SharedConstructionEngine:
+    """Answer a batch of ``(s, t, k)`` queries with shared construction.
+
+    Parameters
+    ----------
+    graph:
+        The served graph (shared with the cache and monitor).
+    cache:
+        The warm-index cache; every non-watched member is routed through
+        it so cache state and counters match sequential execution.
+    monitor:
+        Optional watched-pair registry; members matching a watched pair
+        at its registered ``k`` are answered from the maintained result
+        set, exactly like the sequential path.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        cache: EnumeratorCache,
+        monitor: Optional[WatchRegistry] = None,
+    ) -> None:
+        self.graph = graph
+        self.cache = cache
+        self.monitor = monitor
+        self._batches = 0
+        self._totals = BatchStats()
+
+    # ------------------------------------------------------------------
+    def run(self, triples: Sequence[QueryTriple]) -> BatchResult:
+        """Plan and execute one batch, one answer per member in order."""
+        for idx, (s, t, k) in enumerate(triples):
+            if s == t:
+                raise ValueError(f"query {idx}: s and t must differ")
+            if k < 0:
+                raise ValueError(f"query {idx}: k must be non-negative")
+
+        with obs.span("batch.plan"):
+            plan = detect_groups(triples)
+        stats = BatchStats(
+            members=plan.members,
+            groups=len(plan.groups),
+            singletons=plan.singleton_groups,
+            grouped_members=plan.grouped_members,
+            distinct_triples=plan.distinct_triples,
+            bfs_builds=plan.bfs_builds,
+            bfs_saved=plan.bfs_saved,
+        )
+        events.emit(
+            events.BATCH_FORMED,
+            members=plan.members,
+            groups=len(plan.groups),
+            singletons=plan.singleton_groups,
+            grouped_members=plan.grouped_members,
+            bfs_saved=plan.bfs_saved,
+        )
+
+        group_by_member: Dict[int, QueryGroup] = {}
+        for group in plan.groups:
+            for member in group.members:
+                group_by_member[member] = group
+
+        # Master distance maps are per-batch: the graph is frozen for the
+        # duration of one batch but not between batches.
+        masters: Dict[Tuple[str, Vertex, int], DistanceMap] = {}
+
+        def master(side: str, vertex: Vertex, k: int) -> DistanceMap:
+            key = (side, vertex, k)
+            built = masters.get(key)
+            if built is None:
+                with obs.span("batch.shared_bfs"):
+                    view: Any = (
+                        self.graph if side == "s" else self.graph.reverse_view()
+                    )
+                    built = DistanceMap(view, vertex, horizon=k)
+                masters[key] = built
+                stats.shared_bfs_built += 1
+            return built
+
+        memo: Dict[QueryTriple, List[Path]] = {}
+        answers: List[BatchAnswer] = []
+        for idx, triple in enumerate(triples):
+            s, t, k = triple
+            if self.monitor is not None and self.monitor.watched_k(s, t) == k:
+                answers.append(
+                    BatchAnswer(self.monitor.results_for(s, t), "watched")
+                )
+                stats.watched_answers += 1
+                continue
+            group = group_by_member[idx]
+            use_s = (s, k) in group.shared_source_hubs
+            use_t = (t, k) in group.shared_target_hubs
+            builder: Optional[Callable[[], CpeEnumerator]] = None
+            if use_s or use_t:
+
+                def build() -> CpeEnumerator:
+                    # Invoked synchronously (inside get_or_build below),
+                    # so the loop variables it closes over are current.
+                    dist_s = master("s", s, k).clone() if use_s else None
+                    dist_t = master("t", t, k).clone() if use_t else None
+                    result = build_index(
+                        self.graph, s, t, k, dist_s=dist_s, dist_t=dist_t
+                    )
+                    return CpeEnumerator.from_build(self.graph, result)
+
+                builder = build
+            key = (s, t, k)
+            warm = key in self.cache
+            enumerator = self.cache.get_or_build(s, t, k, build=builder)
+            if warm:
+                source = "hit"
+            elif key in self.cache:
+                source = "miss"
+            else:
+                source = "bypass"
+            paths = memo.get(triple)
+            if paths is None:
+                paths = enumerator.startup()
+                memo[triple] = paths
+            else:
+                stats.memo_answers += 1
+            answers.append(BatchAnswer(paths, source))
+
+        self._note_batch(stats, plan)
+        return BatchResult(answers=answers, plan=plan, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _note_batch(self, stats: BatchStats, plan: GroupingPlan) -> None:
+        """Accumulate totals and mirror them into obs/events."""
+        self._batches += 1
+        totals = self._totals
+        totals.members += stats.members
+        totals.groups += stats.groups
+        totals.singletons += stats.singletons
+        totals.grouped_members += stats.grouped_members
+        totals.distinct_triples += stats.distinct_triples
+        totals.bfs_builds += stats.bfs_builds
+        totals.bfs_saved += stats.bfs_saved
+        totals.shared_bfs_built += stats.shared_bfs_built
+        totals.memo_answers += stats.memo_answers
+        totals.watched_answers += stats.watched_answers
+        if obs.enabled():
+            obs.incr("batch.batches")
+            obs.incr("batch.members", stats.members)
+            obs.incr("batch.groups", stats.groups)
+            obs.incr("batch.singletons", stats.singletons)
+            obs.incr("batch.bfs_saved", stats.bfs_saved)
+            obs.incr("batch.memo_answers", stats.memo_answers)
+            for group in plan.groups:
+                obs.observe("batch.group_size", len(group.members))
+        events.emit(
+            events.BATCH_EXECUTED,
+            members=stats.members,
+            shared_bfs_built=stats.shared_bfs_built,
+            bfs_saved=stats.bfs_saved,
+            memo_answers=stats.memo_answers,
+            watched_answers=stats.watched_answers,
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters across every batch executed so far."""
+        merged = dict(self._totals.as_dict())
+        merged["batches"] = self._batches
+        return merged
+
+
+__all__ = [
+    "WatchRegistry",
+    "EnumeratorCache",
+    "BatchAnswer",
+    "BatchStats",
+    "BatchResult",
+    "SharedConstructionEngine",
+]

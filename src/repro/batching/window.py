@@ -1,0 +1,141 @@
+"""A deadline-aware gather window for queue-side batch formation.
+
+:class:`GatherWindow` is the piece that turns independent ``query``
+requests into batches without the client's cooperation: the first
+submission opens a timer of ``window_seconds``; everything submitted
+before it fires joins the same batch; when it fires, the whole batch is
+handed to one ``flush`` coroutine and each submitter's future is
+resolved by it.  The window never *adds* more than ``window_seconds``
+of latency to any request, and a member whose own deadline is tighter
+than the window is the flush callback's job to expire — the window
+records each member's deadline but deliberately does not interpret it
+(policy lives with the flusher, next to admission control).
+
+The class is generic over the payload: it knows nothing about requests
+or responses, only futures.  All methods must be called from one event
+loop (the server's), like the admission controller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Set
+
+
+@dataclass
+class PendingMember:
+    """One submitted query waiting in the window.
+
+    ``enqueued_at`` and ``deadline`` are absolute :func:`time.monotonic`
+    instants (``deadline`` may be None); ``future`` is resolved by the
+    flush callback with whatever the submitter awaits.
+    """
+
+    payload: Any
+    enqueued_at: float
+    deadline: Optional[float]
+    future: "asyncio.Future[Any]"
+
+
+FlushFn = Callable[[List[PendingMember]], Awaitable[None]]
+
+
+class GatherWindow:
+    """Collect submissions for ``window_seconds``, then flush them.
+
+    Parameters
+    ----------
+    window_seconds:
+        How long the first member of a batch waits for company.
+    flush:
+        Coroutine invoked with each gathered batch; it must resolve (or
+        fail) every member's future.  Flushes for successive batches may
+        overlap — serialization, if needed, is the flusher's concern.
+    """
+
+    def __init__(self, window_seconds: float, flush: FlushFn) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        self._flush = flush
+        self._pending: List[PendingMember] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._tasks: Set["asyncio.Task[None]"] = set()
+        self._closed = False
+        self._flushed_batches = 0
+        self._flushed_members = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def pending(self) -> int:
+        """Members currently gathered and not yet flushed."""
+        return len(self._pending)
+
+    def submit(
+        self, payload: Any, deadline: Optional[float] = None
+    ) -> "asyncio.Future[Any]":
+        """Add one member to the current batch; await the returned future.
+
+        After :meth:`close` the window no longer delays anything:
+        late submissions are flushed on the next loop iteration (they
+        typically meet a draining admission controller there).
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+        self._pending.append(
+            PendingMember(payload, time.monotonic(), deadline, future)
+        )
+        if self._closed:
+            loop.call_soon(self._fire)
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window_seconds, self._fire)
+        return future
+
+    def _fire(self) -> None:
+        self._timer = None
+        if not self._pending:
+            return
+        batch = self._pending
+        self._pending = []
+        self._flushed_batches += 1
+        self._flushed_members += len(batch)
+        task = asyncio.ensure_future(self._flush(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def close(self) -> None:
+        """Flush anything gathered and wait for in-flight flushes.
+
+        Idempotent.  Call before shutting admission down so windowed
+        members are answered rather than caught by the drain gate.
+        """
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._fire()
+        while self._tasks:
+            await asyncio.gather(*tuple(self._tasks), return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Window counters (for the ``stats`` op's server section)."""
+        return {
+            "flushed_batches": self._flushed_batches,
+            "flushed_members": self._flushed_members,
+            "pending": len(self._pending),
+        }
+
+
+__all__ = [
+    "PendingMember",
+    "FlushFn",
+    "GatherWindow",
+]

@@ -173,6 +173,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pre-register a watched pair, repeatable (e.g. --watch 3:42)",
     )
     sv.add_argument(
+        "--batch-window", type=float, default=None, metavar="MS",
+        help="gather concurrent query requests for up to MS milliseconds "
+             "and execute each batch through the shared-construction "
+             "engine (repro.batching); off by default",
+    )
+    sv.add_argument(
         "--metrics", action="store_true",
         help="enable repro.obs instrumentation; clients can poll the "
              "'metrics' op for JSON or Prometheus dumps",
@@ -200,6 +206,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--cache-budget", type=int, default=4 << 20)
     bs.add_argument("--deadline-ms", type=float, default=None,
                     help="per-request deadline passed with every request")
+    bs.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="send up to N consecutive queries as one batch_query "
+             "request (shared construction); off by default",
+    )
+    bs.add_argument(
+        "--zipf", type=float, default=None, metavar="A",
+        help="zipf-skew query-pair popularity with exponent A "
+             "(hot-pair traffic); default: uniform",
+    )
     bs.add_argument("--seed", type=int, default=7)
     bs.add_argument("--save", metavar="FILE", default=None,
                     help="also write the JSON summary to FILE")
@@ -372,13 +388,23 @@ def _cmd_serve(args) -> int:
     if args.workers > 1:
         print(f"parallel: watched pairs sharded across "
               f"{args.workers} worker processes")
+    if args.batch_window is not None and args.batch_window <= 0:
+        print("error: --batch-window must be positive", file=sys.stderr)
+        return 2
+    if args.batch_window is not None:
+        print(f"batching: query requests gathered for up to "
+              f"{args.batch_window:g} ms per batch")
     for s, t in pairs:
         initial = engine.op_watch(s, t)
         print(f"watch ({s}, {t}): {initial['count']} initial paths")
 
     async def main() -> None:
         server = PathQueryServer(
-            engine, host=args.host, port=args.port, capacity=args.capacity
+            engine,
+            host=args.host,
+            port=args.port,
+            capacity=args.capacity,
+            batch_window_ms=args.batch_window,
         )
         await server.start()
         print(f"serving {args.dataset} (scale {args.scale}) on "
@@ -408,6 +434,9 @@ def _cmd_bench_serve(args) -> int:
     from repro.service.server import serve_in_thread
     from repro.workloads.traffic import service_traffic
 
+    if args.batch_size is not None and args.batch_size < 1:
+        print("error: --batch-size must be at least 1", file=sys.stderr)
+        return 2
     graph = datasets.load(args.dataset, args.scale)
     ops = service_traffic(
         graph,
@@ -415,6 +444,7 @@ def _cmd_bench_serve(args) -> int:
         args.k,
         update_fraction=args.update_fraction,
         distinct_pairs=args.pairs,
+        zipf_a=args.zipf,
         seed=args.seed,
     )
     engine = PathQueryEngine(
@@ -430,15 +460,30 @@ def _cmd_bench_serve(args) -> int:
     handle = serve_in_thread(engine, capacity=args.capacity)
     try:
         report = run_load(
-            handle.host, handle.port, ops, deadline_ms=args.deadline_ms
+            handle.host,
+            handle.port,
+            ops,
+            deadline_ms=args.deadline_ms,
+            batch_size=args.batch_size,
         )
     finally:
         handle.stop()
+    mode = ""
+    if args.batch_size is not None:
+        mode = f", batch size {args.batch_size}"
+    if args.zipf is not None:
+        mode += f", zipf {args.zipf:g}"
     print(f"bench-serve {args.dataset} scale {args.scale}: "
           f"{len(ops)} requests "
           f"({sum(1 for op in ops if op[0] == 'update')} updates, "
-          f"{watched} watched pairs)")
+          f"{watched} watched pairs{mode})")
     print(report.format())
+    if args.batch_size is not None:
+        batching = engine.batcher.stats()
+        print(f"batching    {batching['batches']} batches · "
+              f"{batching['grouped_members']} grouped members · "
+              f"{batching['bfs_saved']} BFS saved · "
+              f"{batching['memo_answers']} memo answers")
     if args.save:
         import json
 
@@ -674,6 +719,21 @@ def _render_top_frame(address, iteration, interval, stats, snapshot,
         lines.append(
             f"  parallel {parallel['workers']} workers   "
             f"pairs per shard {spread}"
+        )
+    batching = stats.get("batching", {})
+    if batching.get("batches", 0):
+        window = stats.get("server", {}).get("batch_window", {})
+        window_text = ""
+        if window:
+            window_text = (f"   window {window.get('window_ms', '?')} ms "
+                           f"({window.get('flushed_batches', 0)} flushes)")
+        members = batching.get("members", 0)
+        batches = batching.get("batches", 1) or 1
+        lines.append(
+            f"  batching {batches} batches   "
+            f"avg size {members / batches:.1f}   "
+            f"BFS saved {batching.get('bfs_saved', 0)}   "
+            f"memo {batching.get('memo_answers', 0)}{window_text}"
         )
     if event_payload.get("enabled"):
         tail = event_payload.get("events", [])[-max_events:]

@@ -73,6 +73,8 @@ def build_index(
     t: Vertex,
     k: int,
     forced_plan: Optional[JoinPlan] = None,
+    dist_s: Optional[DistanceMap] = None,
+    dist_t: Optional[DistanceMap] = None,
 ) -> BuildResult:
     """Construct the partial path index for ``q(s, t, k)``.
 
@@ -80,6 +82,16 @@ def build_index(
     given plan instead — used by tests to compare a maintained index
     against a fresh build with identical ``(l, r)``, and by ablations to
     measure the dynamic cut's benefit against the fixed ``⌈k/2⌉`` cut.
+
+    ``dist_s`` / ``dist_t`` inject pre-built distance maps and skip the
+    corresponding BFS of the preprocessing step — the shared-construction
+    hook used by :mod:`repro.batching` when several queries in a batch
+    share an endpoint hub.  An injected map must have been built for the
+    matching endpoint and ``horizon=k`` over the current graph state
+    (this is validated for source/horizon; content freshness is the
+    caller's contract), and is owned by the returned index's maintainer
+    from here on: pass a :meth:`~repro.core.distance.DistanceMap.clone`
+    when the master copy is reused.
     """
     if s == t:
         raise ValueError("s and t must differ")
@@ -87,12 +99,24 @@ def build_index(
         raise ValueError("k must be non-negative")
     if forced_plan is not None and forced_plan.k != k:
         raise ValueError(f"forced plan is for k={forced_plan.k}, not {k}")
+    if dist_s is not None and (dist_s.source != s or dist_s.horizon != k):
+        raise ValueError(
+            f"injected dist_s is for ({dist_s.source!r}, horizon "
+            f"{dist_s.horizon}), not ({s!r}, {k})"
+        )
+    if dist_t is not None and (dist_t.source != t or dist_t.horizon != k):
+        raise ValueError(
+            f"injected dist_t is for ({dist_t.source!r}, horizon "
+            f"{dist_t.horizon}), not ({t!r}, {k})"
+        )
 
     stats = ConstructionStats()
     started = time.perf_counter()
     with obs.span("construction.prep"):
-        dist_s = DistanceMap(graph, s, horizon=k)
-        dist_t = DistanceMap(graph.reverse_view(), t, horizon=k)
+        if dist_s is None:
+            dist_s = DistanceMap(graph, s, horizon=k)
+        if dist_t is None:
+            dist_t = DistanceMap(graph.reverse_view(), t, horizon=k)
     stats.prep_seconds = time.perf_counter() - started
     stats.induced_size = len(induced_vertices(dist_s, dist_t, k))
 

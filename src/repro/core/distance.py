@@ -92,6 +92,23 @@ class DistanceMap:
         """All ``(vertex, distance)`` pairs within the horizon."""
         return iter(self._dist.items())
 
+    def clone(self) -> "DistanceMap":
+        """An independent copy sharing the graph view but not the state.
+
+        The copy's distance dict preserves BFS insertion order, so a
+        clone is indistinguishable from a freshly built map over the
+        same view — which is what lets one BFS pass seed many query
+        indexes (:mod:`repro.batching`): each consumer's maintainer
+        mutates its own clone, never the shared master.
+        """
+        twin = object.__new__(DistanceMap)
+        twin._view = self._view
+        twin.source = self.source
+        twin.horizon = self.horizon
+        twin.far = self.far
+        twin._dist = dict(self._dist)
+        return twin
+
     def __len__(self) -> int:
         return len(self._dist)
 

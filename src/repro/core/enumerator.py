@@ -106,6 +106,22 @@ class CpeEnumerator:
     # Alternate constructors
     # ------------------------------------------------------------------
     @classmethod
+    def from_build(
+        cls, graph: DynamicDiGraph, build: BuildResult
+    ) -> "CpeEnumerator":
+        """Wrap an already-run :func:`build_index` result.
+
+        Unlike :meth:`from_parts` the construction statistics are kept,
+        so an enumerator assembled from an external build (e.g. the
+        shared-construction pass in :mod:`repro.batching`, which injects
+        pre-built distance maps) is indistinguishable from one built by
+        ``__init__``.
+        """
+        self = cls.from_parts(graph, build.index, build.dist_s, build.dist_t)
+        self._construction_stats = build.stats
+        return self
+
+    @classmethod
     def from_parts(
         cls,
         graph: DynamicDiGraph,

@@ -52,6 +52,9 @@ SHARD_STARTED = "shard.started"
 SHARD_STOPPED = "shard.stopped"
 SHARD_WATCH = "shard.watch"
 SHARD_FANOUT = "shard.fanout"
+BATCH_FORMED = "batch.formed"
+BATCH_EXECUTED = "batch.executed"
+BATCH_MEMBER_EXPIRED = "batch.member_expired"
 
 #: Every kind the service layer emits (the schema table's source of truth).
 EVENT_KINDS = (
@@ -70,6 +73,9 @@ EVENT_KINDS = (
     SHARD_STOPPED,
     SHARD_WATCH,
     SHARD_FANOUT,
+    BATCH_FORMED,
+    BATCH_EXECUTED,
+    BATCH_MEMBER_EXPIRED,
 )
 
 
@@ -266,6 +272,9 @@ __all__ = [
     "SHARD_STOPPED",
     "SHARD_WATCH",
     "SHARD_FANOUT",
+    "BATCH_FORMED",
+    "BATCH_EXECUTED",
+    "BATCH_MEMBER_EXPIRED",
     "Event",
     "EventLog",
     "correlation_id",

@@ -6,17 +6,21 @@ over one graph while edge updates stream in.  This package is the
 request/response layer over the building blocks in :mod:`repro.core`:
 
 - :mod:`repro.service.protocol` — the newline-delimited JSON wire
-  protocol (``query`` / ``watch`` / ``unwatch`` / ``update`` /
-  ``batch_update`` / ``stats``) with structured errors and deadlines;
+  protocol (``query`` / ``batch_query`` / ``watch`` / ``unwatch`` /
+  ``update`` / ``batch_update`` / ``stats``) with structured errors and
+  deadlines;
 - :mod:`repro.service.engine` — the serving core
   (:class:`PathQueryEngine`): monitor-backed watches, cache-backed
-  ad-hoc queries, batched update ingestion;
+  ad-hoc queries, batched update ingestion, and shared-construction
+  batch queries via :mod:`repro.batching`;
 - :mod:`repro.service.cache` — the warm-index LRU
   (:class:`IndexCache`) under a serialized-size memory budget;
 - :mod:`repro.service.admission` — bounded queueing, deadlines and
   graceful drain (:class:`AdmissionController`);
 - :mod:`repro.service.server` / :mod:`repro.service.client` — the
-  asyncio TCP server and a small blocking client.
+  asyncio TCP server and a small blocking client; ``repro serve
+  --batch-window MS`` turns on queue-side batch formation, gathering
+  concurrent ``query`` requests into shared-construction batches.
 
 CLI entry points: ``repro serve`` and ``repro bench-serve``.
 """

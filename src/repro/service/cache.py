@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro import obs
 from repro.obs import events
@@ -106,13 +106,26 @@ class IndexCache:
         return self._entries.get(key)
 
     # ------------------------------------------------------------------
-    def get_or_build(self, s: Vertex, t: Vertex, k: int) -> CpeEnumerator:
+    def get_or_build(
+        self,
+        s: Vertex,
+        t: Vertex,
+        k: int,
+        build: Optional[Callable[[], CpeEnumerator]] = None,
+    ) -> CpeEnumerator:
         """The warm enumerator for ``(s, t, k)``, building it on a miss.
 
         A hit refreshes recency; a miss constructs the index
         (``CPE_startup``'s build phase), measures it, and either caches
         it (evicting LRU entries past the budget) or bypasses the cache
         when the entry alone is larger than the whole budget.
+
+        ``build`` substitutes the miss-path construction — the hook
+        :mod:`repro.batching` uses to inject shared distance maps.  It
+        must return an enumerator for exactly ``(s, t, k)`` over this
+        cache's graph; hit/miss/bypass accounting, sizing and eviction
+        are identical either way, which is what keeps batched and
+        sequential execution byte-for-byte equivalent.
         """
         key = (s, t, k)
         entry = self._entries.get(key)
@@ -128,7 +141,9 @@ class IndexCache:
         events.emit(events.CACHE_MISS, s=s, t=t, k=k)
         self._note_lookup()
         with obs.span("service.cache.build"):
-            entry = CpeEnumerator(self.graph, s, t, k)
+            entry = (
+                CpeEnumerator(self.graph, s, t, k) if build is None else build()
+            )
         size = snapshot_size_bytes(entry, include_graph=False)
         if size > self.budget_bytes:
             self._bypasses += 1

@@ -113,6 +113,25 @@ class ServiceClient:
         result = self.call("query", deadline_ms=deadline_ms, s=s, t=t, k=k)
         return decode_paths(result["paths"])
 
+    def batch_query(
+        self,
+        queries: Iterable,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Many ``(s, t, k)`` queries in one request, batch-executed.
+
+        Returns the raw result with each member's ``paths`` decoded to
+        tuples: ``results`` holds one ``query``-shaped object per triple
+        (same order), ``batch`` the grouping statistics and plan.
+        """
+        triples = [[s, t, k] for s, t, k in queries]
+        result = self.call(
+            "batch_query", deadline_ms=deadline_ms, queries=triples
+        )
+        for member in result.get("results", []):
+            member["paths"] = decode_paths(member["paths"])
+        return result
+
     def watch(
         self,
         s: Vertex,

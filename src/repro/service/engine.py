@@ -1,7 +1,7 @@
 """The serving core: one graph, many queries, one update path.
 
 :class:`PathQueryEngine` owns a single :class:`DynamicDiGraph` and
-serves the six protocol operations over it:
+serves the protocol operations over it:
 
 - **watched pairs** are long-lived registrations routed through a
   :class:`~repro.core.monitor.MultiPairMonitor`-style registry: every
@@ -9,7 +9,9 @@ serves the six protocol operations over it:
   paths (the paper's continuous-monitoring deployment);
 - **ad-hoc queries** run through :class:`CpeEnumerator`, kept warm in an
   LRU :class:`~repro.service.cache.IndexCache` so repeated queries skip
-  the ``CPE_startup`` construction;
+  the ``CPE_startup`` construction; ``batch_query`` routes many triples
+  through :class:`~repro.batching.shared.SharedConstructionEngine` so
+  overlapping members share the construction itself;
 - **updates** mutate the graph exactly once and are observed by every
   live index (watched and cached); ``batch_update`` first coalesces the
   batch through :func:`~repro.core.batch.compress_stream` so churny
@@ -34,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro import obs
 from repro.obs import events
 from repro.obs.explain import explain_query
+from repro.batching.shared import SharedConstructionEngine
 from repro.core.batch import compress_stream
 from repro.core.monitor import MultiPairMonitor, PairKey
 from repro.core.paths import Path
@@ -89,6 +92,9 @@ class PathQueryEngine:
         else:
             self.monitor = MultiPairMonitor(graph, default_k)
         self.cache = IndexCache(graph, budget_bytes=cache_budget_bytes)
+        self.batcher = SharedConstructionEngine(
+            graph, self.cache, monitor=self.monitor
+        )
         self._served: Dict[str, int] = {}
         self._updates_applied = 0
         self._updates_cancelled = 0
@@ -163,6 +169,38 @@ class PathQueryEngine:
         else:
             source = "bypass"
         return enumerator.startup(), source
+
+    def op_batch_query(
+        self, queries: Sequence[Sequence[Any]]
+    ) -> Dict[str, Any]:
+        """Answer many ``(s, t, k)`` queries from one construction pass.
+
+        Members sharing an endpoint hub reuse one BFS; duplicates reuse
+        one enumeration (see :mod:`repro.batching`).  Every member is
+        still accounted as one ``query``: the ``served`` totals, the
+        cache hit/miss counters and each member's ``source`` field are
+        exactly what sequential execution of the same triples in the
+        same order would have produced.
+        """
+        triples = [(s, t, k) for s, t, k in queries]
+        self._served["query"] = self._served.get("query", 0) + len(triples)
+        if obs.enabled():
+            obs.incr("service.requests.query", len(triples))
+        try:
+            outcome = self.batcher.run(triples)
+        except ValueError as exc:  # s == t, k < 0
+            raise BadRequestError(str(exc)) from exc
+        results = [
+            {
+                "paths": encode_paths(answer.paths),
+                "count": len(answer.paths),
+                "source": answer.source,
+            }
+            for answer in outcome.answers
+        ]
+        batch = dict(outcome.stats.as_dict())
+        batch["plan"] = outcome.plan.describe()
+        return {"results": results, "batch": batch}
 
     # ------------------------------------------------------------------
     # Watches
@@ -369,6 +407,7 @@ class PathQueryEngine:
             },
             "cache": self.cache.stats().as_dict(),
             "parallel": parallel,
+            "batching": self.batcher.stats(),
         }
 
     # ------------------------------------------------------------------

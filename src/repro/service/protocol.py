@@ -21,6 +21,12 @@ op          request fields                               result fields
 ========== ============================================= ====================
 query       ``s``, ``t``, ``k``                          ``paths``, ``count``,
                                                          ``source``
+batch_query ``queries`` (list of ``[s, t, k]``)          ``results`` (one
+                                                         ``query``-shaped
+                                                         object per member,
+                                                         in order), ``batch``
+                                                         (grouping stats +
+                                                         ``plan``)
 watch       ``s``, ``t``, optional ``k``                 ``paths``, ``count``
 unwatch     ``s``, ``t``                                 ``removed``
 update      ``u``, ``v``, ``insert``                     ``changed``, ``pairs``
@@ -44,7 +50,11 @@ events      optional ``limit``                           ``enabled``, ``count``,
 
 Every request may carry ``deadline_ms``, a per-request latency budget
 relative to server receipt; a request still queued when its budget runs
-out fails with ``deadline_exceeded``.  Every request may also carry
+out fails with ``deadline_exceeded``.  A ``batch_query``'s budget covers
+the whole batch — for per-member deadlines, send individual ``query``
+requests to a server running with a gather window (``repro serve
+--batch-window``), which batches them while honouring each one's
+deadline.  Every request may also carry
 ``corr_id`` (a string): the correlation ID stamped onto every
 :mod:`repro.obs.events` event the request causes.  When absent, the
 server mints one per request while the event log is enabled.  Vertices
@@ -89,6 +99,7 @@ ERROR_CODES = frozenset({
 
 OPS = (
     "query",
+    "batch_query",
     "watch",
     "unwatch",
     "update",
@@ -101,6 +112,7 @@ OPS = (
 
 _REQUIRED_FIELDS = {
     "query": ("s", "t", "k"),
+    "batch_query": ("queries",),
     "watch": ("s", "t"),
     "unwatch": ("s", "t"),
     "update": ("u", "v", "insert"),
@@ -245,6 +257,30 @@ def _check_updates(raw: Any) -> List[Tuple[Any, Any, bool]]:
     return updates
 
 
+def _check_queries(raw: Any) -> List[Tuple[Any, Any, int]]:
+    if not isinstance(raw, list) or not raw:
+        raise BadRequestError(
+            "field 'queries' must be a non-empty list of [s, t, k]"
+        )
+    queries = []
+    for i, item in enumerate(raw):
+        if not (isinstance(item, (list, tuple)) and len(item) == 3):
+            raise BadRequestError(
+                f"queries[{i}] must be an [s, t, k] triple, got {item!r}"
+            )
+        s, t, k = item
+        if isinstance(k, bool) or not isinstance(k, int) or k < 0:
+            raise BadRequestError(
+                f"queries[{i}][2] must be a non-negative integer k"
+            )
+        queries.append(
+            (_check_vertex(s, f"queries[{i}][0]"),
+             _check_vertex(t, f"queries[{i}][1]"),
+             k)
+        )
+    return queries
+
+
 def decode_request(line: Wire) -> Request:
     """Parse and validate one request line.
 
@@ -300,6 +336,8 @@ def decode_request(line: Wire) -> Request:
         args["insert"] = payload["insert"]
     if op == "batch_update":
         args["updates"] = _check_updates(payload["updates"])
+    if op == "batch_query":
+        args["queries"] = _check_queries(payload["queries"])
     if op == "metrics" and "format" in payload:
         fmt = payload["format"]
         if fmt not in ("json", "prometheus"):

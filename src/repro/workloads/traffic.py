@@ -38,6 +38,7 @@ def service_traffic(
     update_fraction: float = 0.2,
     distinct_pairs: int = 8,
     hot_fraction: Optional[float] = None,
+    zipf_a: Optional[float] = None,
     seed: Optional[int] = None,
 ) -> List[TrafficOp]:
     """``count`` interleaved service operations for ``graph``.
@@ -58,6 +59,13 @@ def service_traffic(
     hot_fraction:
         When set (e.g. ``0.10``), draw the pairs from the top degree
         percentile instead of uniformly.
+    zipf_a:
+        When set (> 0), query popularity over the pair pool follows a
+        zipf law: the ``i``-th generated pair (0-based) is drawn with
+        weight ``(i + 1) ** -zipf_a``, so a handful of hot pairs
+        dominate — the shape batch formation and warm caches feed on.
+        ``None`` keeps the uniform draw.  Deterministic under ``seed``
+        either way.
     seed:
         Seeds pair choice, update generation and interleaving.
     """
@@ -65,6 +73,8 @@ def service_traffic(
         raise ValueError("count must be non-negative")
     if not 0.0 <= update_fraction <= 1.0:
         raise ValueError("update_fraction must be within [0, 1]")
+    if zipf_a is not None and zipf_a <= 0:
+        raise ValueError("zipf_a must be positive")
     rng = random.Random(seed)
     if hot_fraction is not None:
         pairs = hot_queries(
@@ -89,6 +99,10 @@ def service_traffic(
     num_updates = len(updates)
     num_queries = count - num_updates
 
+    weights: Optional[List[float]] = None
+    if zipf_a is not None:
+        weights = [(i + 1) ** -zipf_a for i in range(len(pairs))]
+
     ops: List[TrafficOp] = []
     update_iter = iter(updates)
     queries_left, updates_left = num_queries, num_updates
@@ -102,7 +116,10 @@ def service_traffic(
             ops.append(("update", upd.u, upd.v, upd.insert))
             updates_left -= 1
         else:
-            query = pairs[rng.randrange(len(pairs))]
+            if weights is None:
+                query = pairs[rng.randrange(len(pairs))]
+            else:
+                query = rng.choices(pairs, weights=weights)[0]
             ops.append(("query", query.s, query.t, query.k))
             queries_left -= 1
     return ops

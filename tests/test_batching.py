@@ -1,0 +1,251 @@
+"""Unit tests for :mod:`repro.batching`: grouping, shared construction,
+and the gather window.
+
+The load-bearing property throughout is *equivalence*: whatever the
+grouping decides, a batch's answers must be exactly what sequential
+per-query execution would produce (the server-level byte-identity gate
+is in ``tests/test_service_batch.py``).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.batching import (
+    GatherWindow,
+    GroupingPlan,
+    SharedConstructionEngine,
+    detect_groups,
+)
+from repro.core.construction import build_index
+from repro.core.distance import DistanceMap
+from repro.core.enumerator import CpeEnumerator
+from repro.core.monitor import MultiPairMonitor
+from repro.graph.digraph import DynamicDiGraph
+from repro.service.cache import IndexCache
+from tests.conftest import make_random_graph
+
+
+class TestDetectGroups:
+    def test_singletons_when_nothing_overlaps(self):
+        plan = detect_groups([(0, 1, 3), (2, 3, 3), (4, 5, 4)])
+        assert len(plan.groups) == 3
+        assert all(g.is_singleton for g in plan.groups)
+        assert plan.bfs_saved == 0
+        assert plan.grouped_members == 0
+
+    def test_shared_source_hub_groups_members(self):
+        plan = detect_groups([(0, 1, 3), (0, 2, 3), (5, 6, 3)])
+        assert len(plan.groups) == 2
+        group = plan.group_of(0)
+        assert group.members == (0, 1)
+        assert (0, 3) in group.shared_source_hubs
+        assert not group.shared_target_hubs
+        # two members share one forward BFS: 3 builds instead of 4
+        assert group.bfs_builds == 3
+        assert plan.bfs_saved == 1
+
+    def test_same_vertex_different_k_is_not_a_shared_hub(self):
+        plan = detect_groups([(0, 1, 3), (0, 2, 4)])
+        assert len(plan.groups) == 2
+        assert all(g.is_singleton for g in plan.groups)
+
+    def test_transitive_closure_over_mixed_hubs(self):
+        # A and B share source 0; B and C share target 9 — one group.
+        plan = detect_groups([(0, 1, 3), (0, 9, 3), (7, 9, 3)])
+        assert len(plan.groups) == 1
+        group = plan.groups[0]
+        assert group.members == (0, 1, 2)
+        assert (0, 3) in group.shared_source_hubs
+        assert (9, 3) in group.shared_target_hubs
+
+    def test_duplicates_share_both_hubs_but_count_distinct_once(self):
+        plan = detect_groups([(0, 1, 3), (0, 1, 3), (0, 1, 3)])
+        assert len(plan.groups) == 1
+        group = plan.groups[0]
+        assert group.distinct == ((0, 1, 3),)
+        # one distinct triple: its hubs are not shared with any *other*
+        # distinct triple, so no master BFS is worth building
+        assert not group.shared_source_hubs
+        assert not group.shared_target_hubs
+        assert plan.distinct_triples == 1
+
+    def test_deterministic_and_order_preserving(self):
+        rng = random.Random(11)
+        triples = [
+            (rng.randrange(6), 10 + rng.randrange(6), rng.randrange(2, 5))
+            for _ in range(40)
+        ]
+        plans = [detect_groups(triples) for _ in range(2)]
+        assert plans[0].describe() == plans[1].describe()
+        assert [g.members for g in plans[0].groups] == [
+            g.members for g in plans[1].groups
+        ]
+        # every member lands in exactly one group, in arrival order
+        seen = [m for g in plans[0].groups for m in g.members]
+        assert sorted(seen) == list(range(len(triples)))
+        assert isinstance(plans[0], GroupingPlan)
+
+    def test_bfs_accounting_adds_up(self):
+        triples = [(0, 1, 3), (0, 2, 3), (4, 2, 3), (8, 9, 2)]
+        plan = detect_groups(triples)
+        assert plan.bfs_builds + plan.bfs_saved == 2 * plan.distinct_triples
+
+
+class TestSharedMasterInjection:
+    """`build_index` fed cloned masters equals the self-built index."""
+
+    def test_injected_clones_reproduce_paths(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            graph = make_random_graph(rng, n_lo=6, n_hi=9, max_edges=20)
+            vertices = list(graph.vertices())
+            s, t = rng.sample(vertices, 2)
+            k = rng.randint(2, 5)
+            baseline = CpeEnumerator(graph, s, t, k).startup()
+            dist_s = DistanceMap(graph, s, horizon=k)
+            dist_t = DistanceMap(graph.reverse_view(), t, horizon=k)
+            build = build_index(
+                graph, s, t, k,
+                dist_s=dist_s.clone(), dist_t=dist_t.clone(),
+            )
+            injected = CpeEnumerator.from_build(graph, build).startup()
+            assert injected == baseline
+
+    def test_clone_is_independent_of_the_master(self):
+        graph = DynamicDiGraph([(0, 1), (1, 2), (2, 3)])
+        master = DistanceMap(graph, 0, horizon=3)
+        clone = master.clone()
+        graph.add_edge(0, 2)
+        master.relax_insert(0, 2)
+        assert master.get(2) == 1
+        assert clone.get(2) == 2  # untouched by the master's repair
+
+
+class TestSharedConstructionEngine:
+    def _graph(self):
+        return DynamicDiGraph(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4)]
+        )
+
+    def test_batch_answers_equal_direct_enumeration(self):
+        graph = self._graph()
+        engine = SharedConstructionEngine(graph, IndexCache(graph))
+        triples = [(0, 3, 3), (0, 4, 3), (0, 3, 3), (1, 4, 2)]
+        result = engine.run(triples)
+        assert len(result.answers) == len(triples)
+        for triple, answer in zip(triples, result.answers):
+            s, t, k = triple
+            assert answer.paths == CpeEnumerator(graph, s, t, k).startup()
+
+    def test_stats_reflect_sharing_and_memo(self):
+        graph = self._graph()
+        engine = SharedConstructionEngine(graph, IndexCache(graph))
+        result = engine.run([(0, 3, 3), (0, 4, 3), (0, 3, 3)])
+        stats = result.stats
+        assert stats.members == 3
+        assert stats.distinct_triples == 2
+        assert stats.memo_answers == 1  # the duplicate (0, 3, 3)
+        assert stats.shared_bfs_built >= 1  # the shared (0, 3) source hub
+        totals = engine.stats()
+        assert totals["batches"] == 1
+        assert totals["members"] == 3
+
+    def test_watched_members_answer_from_the_monitor(self):
+        graph = self._graph()
+        monitor = MultiPairMonitor(graph, k=3)
+        monitor.watch(0, 3)
+        engine = SharedConstructionEngine(
+            graph, IndexCache(graph), monitor=monitor
+        )
+        result = engine.run([(0, 3, 3), (0, 4, 3)])
+        assert result.answers[0].source == "watched"
+        assert set(result.answers[0].paths) == set(
+            CpeEnumerator(graph, 0, 3, 3).startup()
+        )
+        assert result.answers[1].source != "watched"
+        assert result.stats.watched_answers == 1
+
+    @pytest.mark.parametrize("bad", [(1, 1, 3), (0, 1, -1)])
+    def test_invalid_members_raise_value_error(self, bad):
+        graph = self._graph()
+        engine = SharedConstructionEngine(graph, IndexCache(graph))
+        with pytest.raises(ValueError):
+            engine.run([(0, 3, 3), bad])
+
+
+class TestGatherWindow:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_one_flush_collects_concurrent_submits(self):
+        batches = []
+
+        async def scenario():
+            async def flush(batch):
+                batches.append(batch)
+                for member in batch:
+                    member.future.set_result(member.payload * 10)
+
+            window = GatherWindow(0.02, flush)
+            results = await asyncio.gather(
+                *(window.submit(i, None) for i in range(4))
+            )
+            await window.close()
+            return results
+
+        results = self._run(scenario())
+        assert results == [0, 10, 20, 30]
+        assert len(batches) == 1
+        assert [m.payload for m in batches[0]] == [0, 1, 2, 3]
+        assert all(m.deadline is None for m in batches[0])
+
+    def test_close_flushes_pending_and_later_submits_fire_immediately(self):
+        sizes = []
+
+        async def scenario():
+            async def flush(batch):
+                sizes.append(len(batch))
+                for member in batch:
+                    member.future.set_result(None)
+
+            window = GatherWindow(30.0, flush)  # would never fire on its own
+            pending = asyncio.ensure_future(window.submit("early", None))
+            await asyncio.sleep(0)
+            await window.close()
+            await pending
+            assert window.closed
+            await window.submit("late", None)  # still answered, just unbatched
+            stats = window.stats()
+            assert stats["pending"] == 0
+            return stats
+
+        stats = self._run(scenario())
+        assert sizes == [1, 1]
+        assert stats["flushed_batches"] == 2
+        assert stats["flushed_members"] == 2
+
+    def test_flush_exception_does_not_wedge_the_window(self):
+        async def scenario():
+            calls = []
+
+            async def flush(batch):
+                calls.append(len(batch))
+                if len(calls) == 1:
+                    for member in batch:
+                        member.future.set_exception(RuntimeError("boom"))
+                    raise RuntimeError("boom")
+                for member in batch:
+                    member.future.set_result("ok")
+
+            window = GatherWindow(0.01, flush)
+            with pytest.raises(RuntimeError):
+                await window.submit(1, None)
+            second = await window.submit(2, None)
+            await window.close()
+            return calls, second
+
+        calls, second = self._run(scenario())
+        assert calls == [1, 1]
+        assert second == "ok"

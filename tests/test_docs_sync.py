@@ -115,8 +115,8 @@ def test_analysis_md_examples_reflect_the_rules():
 def test_api_md_names_exist():
     """Spot-check that classes named in docs/API.md are importable."""
     import repro
-    from repro import apps, baselines, core, parallel, related, service
-    from repro import workloads
+    from repro import apps, baselines, batching, core, parallel, related
+    from repro import service, workloads
 
     text = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
     for name, owner in (
@@ -133,6 +133,9 @@ def test_api_md_names_exist():
         ("service_traffic", workloads),
         ("ShardedMonitor", parallel),
         ("WorkerPool", parallel),
+        ("detect_groups", batching),
+        ("SharedConstructionEngine", batching),
+        ("GatherWindow", batching),
         ("PathQueryEngine", service),
         ("PathQueryServer", service),
         ("ServiceClient", service),

@@ -1,0 +1,363 @@
+"""Service-level batch query tests: wire validation, the byte-identity
+equivalence gate, cache accounting, and the server's gather window.
+
+The contract under test (docs/BATCHING.md): a ``batch_query`` answers
+every member exactly as sequential ``query`` execution in arrival order
+would — same bytes, same cache counters, same ``source`` labels — no
+matter how the members group.
+"""
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.baselines.bruteforce import path_set
+from repro.graph.digraph import DynamicDiGraph
+from repro.service.client import ServiceClient
+from repro.service.engine import PathQueryEngine
+from repro.service.loadgen import run_load
+from repro.service.protocol import (
+    BadRequestError,
+    DeadlineExceededError,
+    decode_request,
+)
+from repro.service.server import serve_in_thread
+from tests.conftest import make_random_graph
+
+
+def _diamond():
+    return DynamicDiGraph(
+        [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4)]
+    )
+
+
+def _request(op, **fields):
+    payload = {"id": 1, "op": op}
+    payload.update(fields)
+    return decode_request(json.dumps(payload))
+
+
+class TestProtocolValidation:
+    def test_batch_query_decodes_triples(self):
+        request = _request("batch_query", queries=[[0, 1, 3], ["a", "b", 2]])
+        assert request.op == "batch_query"
+        assert request.args["queries"] == [(0, 1, 3), ("a", "b", 2)]
+
+    @pytest.mark.parametrize(
+        "queries",
+        [
+            [],              # empty batch
+            "nope",          # not a list
+            [[0, 1]],        # wrong arity
+            [[0, 1, 3, 9]],  # wrong arity
+            [[0, 1, -1]],    # negative k
+            [[0, 1, True]],  # bool is not a hop count
+            [[0, 1, "3"]],   # non-int k
+            [None],          # not a triple at all
+        ],
+    )
+    def test_bad_queries_rejected(self, queries):
+        with pytest.raises(BadRequestError):
+            _request("batch_query", queries=queries)
+
+    def test_missing_queries_field_rejected(self):
+        with pytest.raises(BadRequestError):
+            _request("batch_query")
+
+
+class TestEquivalenceGate:
+    """Fixed-seed byte-identity: batch == sequential, to the last byte."""
+
+    def _twin_engines(self, rng, cache_budget_bytes):
+        graph = make_random_graph(rng, n_lo=7, n_hi=9, max_edges=22)
+        sequential = PathQueryEngine(
+            graph.copy(), cache_budget_bytes=cache_budget_bytes
+        )
+        batched = PathQueryEngine(
+            graph.copy(), cache_budget_bytes=cache_budget_bytes
+        )
+        return graph, sequential, batched
+
+    def _assert_equivalent(self, sequential, batched, triples):
+        expected = [
+            sequential.handle("query", {"s": s, "t": t, "k": k})
+            for s, t, k in triples
+        ]
+        out = batched.handle(
+            "batch_query", {"queries": [list(t) for t in triples]}
+        )
+        assert len(out["results"]) == len(expected)
+        for i, (want, got) in enumerate(zip(expected, out["results"])):
+            assert json.dumps(want, sort_keys=True) == json.dumps(
+                got, sort_keys=True
+            ), f"member {i} diverged from sequential execution"
+        seq_stats = sequential.handle("stats", {})
+        bat_stats = batched.handle("stats", {})
+        assert seq_stats["cache"] == bat_stats["cache"]
+        # the batch envelope is tallied separately; member credit matches
+        assert (
+            seq_stats["served"]["query"] == bat_stats["served"]["query"]
+        )
+        return out
+
+    def test_random_batches_byte_identical(self):
+        rng = random.Random(1234)
+        for round_no in range(8):
+            budget = rng.choice([1, 4 << 10, 4 << 20])
+            graph, sequential, batched = self._twin_engines(rng, budget)
+            vertices = list(graph.vertices())
+            triples = []
+            while len(triples) < 12:
+                s, t = rng.sample(vertices, 2)
+                triples.append((s, t, rng.randint(1, 4)))
+                if triples and rng.random() < 0.3:
+                    triples.append(rng.choice(triples))  # force duplicates
+            self._assert_equivalent(sequential, batched, triples[:12])
+
+    def test_singleton_batch_matches_plain_query(self):
+        rng = random.Random(7)
+        _, sequential, batched = self._twin_engines(rng, 4 << 20)
+        out = self._assert_equivalent(sequential, batched, [(0, 1, 3)])
+        assert out["batch"]["singletons"] == 1
+        assert out["batch"]["bfs_saved"] == 0
+
+    def test_watched_members_byte_identical(self):
+        graph = _diamond()
+        sequential = PathQueryEngine(graph.copy(), default_k=3)
+        batched = PathQueryEngine(graph.copy(), default_k=3)
+        for engine in (sequential, batched):
+            engine.handle("watch", {"s": 0, "t": 3, "k": 3})
+        triples = [(0, 3, 3), (0, 4, 3), (0, 3, 3), (0, 3, 2)]
+        out = self._assert_equivalent(sequential, batched, triples)
+        sources = [member["source"] for member in out["results"]]
+        assert sources[0] == "watched"
+        assert sources[3] != "watched"  # same pair, different k
+
+    def test_updates_between_batches_stay_equivalent(self):
+        rng = random.Random(42)
+        graph, sequential, batched = self._twin_engines(rng, 4 << 20)
+        vertices = list(graph.vertices())
+        for _ in range(5):
+            u, v = rng.sample(vertices, 2)
+            insert = not sequential.graph.has_edge(u, v)
+            for engine in (sequential, batched):
+                engine.handle("update", {"u": u, "v": v, "insert": insert})
+            triples = [
+                (*rng.sample(vertices, 2), rng.randint(1, 4))
+                for _ in range(6)
+            ]
+            self._assert_equivalent(sequential, batched, triples)
+
+    def test_invalid_member_is_a_bad_request(self):
+        engine = PathQueryEngine(_diamond())
+        with pytest.raises(BadRequestError):
+            engine.handle("batch_query", {"queries": [(0, 3, 3), (1, 1, 2)]})
+
+
+class TestCacheAccounting:
+    """Satellite check: batching must not skew per-query cache counters.
+
+    A "clever" batch executor that answers duplicate members from its
+    memo *without* touching the cache would return the right paths but
+    under-count hits and corrupt LRU recency — this test is the tripwire
+    (it fails against such an implementation).
+    """
+
+    def test_duplicate_members_still_hit_the_cache(self):
+        engine = PathQueryEngine(_diamond(), cache_budget_bytes=4 << 20)
+        out = engine.handle(
+            "batch_query",
+            {"queries": [(0, 3, 3), (0, 3, 3), (0, 3, 3)]},
+        )
+        stats = engine.handle("stats", {})["cache"]
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2  # the memo does NOT bypass the cache
+        assert [m["source"] for m in out["results"]] == [
+            "miss", "hit", "hit"
+        ]
+        assert out["batch"]["memo_answers"] == 2
+
+    def test_lru_recency_matches_sequential_under_eviction(self):
+        # A budget sized for ~2 entries: recency decides who is evicted,
+        # so any reordering or skipped touch diverges the counters.
+        graph = _diamond()
+        probe = PathQueryEngine(graph.copy())
+        probe.handle("query", {"s": 0, "t": 3, "k": 3})
+        one_entry = probe.handle("stats", {})["cache"]["current_bytes"]
+        budget = int(one_entry * 2.5)
+
+        triples = [
+            (0, 3, 3), (0, 4, 3), (1, 4, 2),  # fills + evicts
+            (0, 3, 3),                        # hit or miss: recency decides
+            (0, 4, 3), (0, 3, 3), (1, 4, 2),
+        ]
+        sequential = PathQueryEngine(graph.copy(), cache_budget_bytes=budget)
+        batched = PathQueryEngine(graph.copy(), cache_budget_bytes=budget)
+        for s, t, k in triples:
+            sequential.handle("query", {"s": s, "t": t, "k": k})
+        batched.handle("batch_query", {"queries": [list(t) for t in triples]})
+        seq_cache = sequential.handle("stats", {})["cache"]
+        bat_cache = batched.handle("stats", {})["cache"]
+        assert seq_cache == bat_cache
+        assert seq_cache["evictions"] > 0  # the scenario exercised eviction
+
+
+class TestGatherWindowOverTheWire:
+    def test_concurrent_queries_form_one_batch(self):
+        graph = _diamond()
+        engine = PathQueryEngine(graph, default_k=3)
+        handle = serve_in_thread(engine, batch_window_ms=80)
+        try:
+            results = {}
+            barrier = threading.Barrier(4)
+
+            def worker(name, s, t, k):
+                with ServiceClient(handle.host, handle.port) as client:
+                    barrier.wait()
+                    results[name] = client.query(s, t, k)
+
+            specs = [(0, 3, 3), (0, 4, 3), (0, 3, 3), (1, 4, 2)]
+            threads = [
+                threading.Thread(target=worker, args=(i, *spec))
+                for i, spec in enumerate(specs)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for i, (s, t, k) in enumerate(specs):
+                assert set(results[i]) == path_set(graph, s, t, k)
+
+            with ServiceClient(handle.host, handle.port) as client:
+                stats = client.stats()
+            assert stats["batching"]["members"] == 4
+            window = stats["server"]["batch_window"]
+            assert window["window_ms"] == 80
+            assert window["flushed_members"] == 4
+            assert 1 <= window["flushed_batches"] <= 2
+        finally:
+            handle.stop()
+
+    def test_expired_member_rejected_others_answered(self):
+        graph = _diamond()
+        engine = PathQueryEngine(graph, default_k=3)
+        handle = serve_in_thread(engine, batch_window_ms=120)
+        try:
+            outcome = {}
+
+            def doomed():
+                with ServiceClient(handle.host, handle.port) as client:
+                    try:
+                        client.query(0, 3, 3, deadline_ms=1)
+                    except DeadlineExceededError as exc:
+                        outcome["error"] = exc
+
+            def survivor():
+                with ServiceClient(handle.host, handle.port) as client:
+                    outcome["paths"] = client.query(0, 4, 3)
+
+            threads = [
+                threading.Thread(target=doomed),
+                threading.Thread(target=survivor),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert isinstance(outcome["error"], DeadlineExceededError)
+            assert set(outcome["paths"]) == path_set(graph, 0, 4, 3)
+        finally:
+            handle.stop()
+
+    def test_update_landing_mid_window_is_visible_to_the_batch(self):
+        graph = DynamicDiGraph([(0, 1), (1, 3)])
+        engine = PathQueryEngine(graph, default_k=2)
+        handle = serve_in_thread(engine, batch_window_ms=400)
+        try:
+            answer = {}
+
+            def querier():
+                with ServiceClient(handle.host, handle.port) as client:
+                    answer["paths"] = client.query(0, 3, 2)
+
+            thread = threading.Thread(target=querier)
+            thread.start()
+            time.sleep(0.1)  # inside the window
+            with ServiceClient(handle.host, handle.port) as client:
+                client.insert_edge(0, 3)  # updates are never windowed
+            thread.join()
+            # the batch ran after the update, exactly like a sequential
+            # query that queued behind it
+            assert set(answer["paths"]) == {(0, 3), (0, 1, 3)}
+        finally:
+            handle.stop()
+
+    def test_shutdown_flushes_the_window(self):
+        graph = _diamond()
+        engine = PathQueryEngine(graph, default_k=3)
+        handle = serve_in_thread(engine, batch_window_ms=10_000)
+        try:
+            answer = {}
+
+            def querier():
+                with ServiceClient(handle.host, handle.port) as client:
+                    answer["paths"] = client.query(0, 3, 3)
+
+            thread = threading.Thread(target=querier)
+            thread.start()
+            time.sleep(0.15)  # let the query reach the (long) window
+        finally:
+            handle.stop()  # must flush, not strand the member
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert set(answer["paths"]) == path_set(graph, 0, 3, 3)
+
+
+class TestClientAndLoadgen:
+    def test_explicit_batch_query_round_trip(self):
+        graph = _diamond()
+        engine = PathQueryEngine(graph, default_k=3)
+        handle = serve_in_thread(engine)
+        try:
+            with ServiceClient(handle.host, handle.port) as client:
+                out = client.batch_query([(0, 3, 3), (0, 4, 3), (0, 3, 3)])
+            assert [set(m["paths"]) for m in out["results"]] == [
+                path_set(graph, 0, 3, 3),
+                path_set(graph, 0, 4, 3),
+                path_set(graph, 0, 3, 3),
+            ]
+            assert out["batch"]["members"] == 3
+            assert out["batch"]["memo_answers"] == 1
+        finally:
+            handle.stop()
+
+    def test_run_load_batch_mode_counts_members(self):
+        graph = _diamond()
+        engine = PathQueryEngine(graph, default_k=3)
+        handle = serve_in_thread(engine)
+        try:
+            ops = [
+                ("query", 0, 3, 3),
+                ("query", 0, 4, 3),
+                ("query", 1, 4, 2),
+                ("update", 2, 4, True),
+                ("query", 0, 3, 3),
+            ]
+            report = run_load(handle.host, handle.port, ops, batch_size=2)
+            assert report.requests == 5
+            assert report.ok == 5
+            assert not report.errors
+            assert len(report.latencies) == 5
+            # update flushed the open chunk first, so ordering held and
+            # the final query saw the inserted edge's graph
+            stats = engine.handle("stats", {})
+            assert stats["batching"]["members"] == 4
+        finally:
+            handle.stop()
+
+    def test_run_load_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            run_load("127.0.0.1", 1, [], batch_size=0)

@@ -6,6 +6,7 @@ from repro.core.distance import DistanceMap
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.generators import gnm_random_graph, preferential_attachment_graph
 from repro.workloads.queries import Query, hot_queries, random_queries
+from repro.workloads.traffic import service_traffic
 from repro.workloads.updates import relevant_update_stream
 
 
@@ -100,3 +101,51 @@ class TestUpdateStream:
         a = relevant_update_stream(g, 0, 1, 6, 5, 5, seed=16)
         b = relevant_update_stream(g, 0, 1, 6, 5, 5, seed=16)
         assert a == b
+
+
+class TestServiceTrafficZipf:
+    def make_graph(self):
+        return gnm_random_graph(60, 240, seed=20)
+
+    def test_zipf_deterministic_under_seed(self):
+        g = self.make_graph()
+        a = service_traffic(g, 80, 4, zipf_a=1.2, seed=21)
+        b = service_traffic(g, 80, 4, zipf_a=1.2, seed=21)
+        assert a == b
+
+    def test_zipf_skews_query_popularity(self):
+        g = self.make_graph()
+        uniform = service_traffic(
+            g, 400, 4, update_fraction=0.0, distinct_pairs=8, seed=22
+        )
+        skewed = service_traffic(
+            g, 400, 4, update_fraction=0.0, distinct_pairs=8,
+            zipf_a=2.0, seed=22,
+        )
+
+        def top_share(ops):
+            counts: dict = {}
+            for op in ops:
+                counts[op[1:]] = counts.get(op[1:], 0) + 1
+            return max(counts.values()) / len(ops)
+
+        # with a = 2 the hottest pair dominates; uniform stays near 1/8
+        assert top_share(skewed) > top_share(uniform) + 0.2
+
+    def test_zipf_only_reweights_the_same_pair_pool(self):
+        g = self.make_graph()
+        uniform = service_traffic(
+            g, 200, 4, update_fraction=0.0, distinct_pairs=6, seed=23
+        )
+        skewed = service_traffic(
+            g, 200, 4, update_fraction=0.0, distinct_pairs=6,
+            zipf_a=1.5, seed=23,
+        )
+        assert {op[1:] for op in skewed} <= {op[1:] for op in uniform}
+
+    def test_zipf_validation(self):
+        g = self.make_graph()
+        with pytest.raises(ValueError):
+            service_traffic(g, 10, 4, zipf_a=0.0, seed=24)
+        with pytest.raises(ValueError):
+            service_traffic(g, 10, 4, zipf_a=-1.0, seed=24)
