@@ -1,4 +1,4 @@
-"""The lint driver: collect sources, run rules, honor suppressions.
+"""The two-phase lint driver: facts first, rules second.
 
 :func:`run_lint` is the library entry point behind ``repro lint``::
 
@@ -7,23 +7,35 @@
     report = run_lint(["src"])
     assert report.ok, report.findings
 
+Phase 1 parses every source file and — when any selected rule declares
+``phase = "program"`` — builds the whole-program facts
+(:mod:`repro.analysis.program`): import alias maps, the call graph,
+function/class mutation summaries, and the wire-protocol registries.
+Phase 2 runs the per-module rules over each file and the program rules
+once over the shared facts.
+
 Findings on a line carrying ``# repro: noqa[RULE]`` (or a bare
-``# repro: noqa``) are dropped; unparsable files surface as ``E001``
-findings so a broken tree cannot silently pass.
+``# repro: noqa``) are dropped; the engine keeps account of which
+suppressions actually fired so W001 can flag the stale ones.
+Unparsable files surface as ``E001`` findings so a broken tree cannot
+silently pass.
 """
 
 from __future__ import annotations
 
+import re
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.findings import Finding
 from repro.analysis.registry import LintContext, Rule, rules_for
-from repro.analysis.sources import load_modules
+from repro.analysis.sources import SUPPRESS_ALL, SourceModule, load_modules
 
 PathInput = Union[str, Path]
+
+_NOQA_COL_RE = re.compile(r"#\s*repro:\s*noqa")
 
 
 @dataclass(frozen=True)
@@ -45,6 +57,56 @@ class LintReport:
         return [finding for finding in self.findings if finding.rule == code]
 
 
+def _unused_noqa_findings(
+    modules: Sequence[SourceModule],
+    ran_codes: Set[str],
+    used: Set[Tuple[str, int, str]],
+    known_codes: Set[str],
+    full_run: bool,
+) -> List[Finding]:
+    """W001: bracketed suppressions whose rule fired nothing on the line."""
+    findings: List[Finding] = []
+    for module in modules:
+        lines = module.text.splitlines()
+        for lineno in sorted(module.noqa):
+            codes = module.noqa[lineno] - {SUPPRESS_ALL}
+            col = 0
+            if 0 < lineno <= len(lines):
+                match = _NOQA_COL_RE.search(lines[lineno - 1])
+                if match is not None:
+                    col = match.start()
+            for code in sorted(codes):
+                if code == "W001":
+                    continue
+                if code not in known_codes:
+                    if full_run:
+                        findings.append(
+                            Finding(
+                                str(module.path),
+                                lineno,
+                                col,
+                                "W001",
+                                f"noqa names unknown rule {code!r}; "
+                                "it can never suppress anything",
+                            )
+                        )
+                    continue
+                if code not in ran_codes:
+                    continue
+                if (str(module.path), lineno, code) not in used:
+                    findings.append(
+                        Finding(
+                            str(module.path),
+                            lineno,
+                            col,
+                            "W001",
+                            f"unused suppression: {code} produced no "
+                            "finding on this line; drop the noqa",
+                        )
+                    )
+    return findings
+
+
 def run_lint(
     paths: Sequence[PathInput],
     select: Optional[Iterable[str]] = None,
@@ -53,15 +115,59 @@ def run_lint(
     started = time.perf_counter()
     rules: List[Rule] = rules_for(select)
     modules, findings = load_modules(Path(p) for p in paths)
+
+    # ---- phase 1: whole-program facts (only when someone needs them)
+    program = None
+    if any(rule.phase == "program" for rule in rules):
+        from repro.analysis.program import build_program
+
+        program = build_program(modules)
     context = LintContext(
-        module_names=frozenset(module.name for module in modules)
+        module_names=frozenset(module.name for module in modules),
+        program=program,
     )
+
+    # ---- phase 2: rules
+    raw: List[Finding] = []
+    module_rules = [rule for rule in rules if rule.phase == "module"]
+    program_rules = [rule for rule in rules if rule.phase == "program"]
     for module in modules:
-        for rule in rules:
-            for finding in rule.check(module, context):
-                if module.suppressed(finding.line, finding.rule):
-                    continue
-                findings.append(finding)
+        for rule in module_rules:
+            raw.extend(rule.check(module, context))
+    if program is not None:
+        for rule in program_rules:
+            raw.extend(rule.check_program(program, context))
+
+    # ---- suppression accounting
+    by_path: Dict[str, SourceModule] = {
+        str(module.path): module for module in modules
+    }
+    used: Set[Tuple[str, int, str]] = set()
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.suppressed(
+            finding.line, finding.rule
+        ):
+            used.add((finding.path, finding.line, finding.rule))
+            continue
+        findings.append(finding)
+
+    # ---- post phase: W001 unused-suppression synthesis
+    ran_codes = {rule.code for rule in rules}
+    if "W001" in ran_codes:
+        from repro.analysis.registry import all_rules
+
+        known_codes = {rule.code for rule in all_rules()}
+        for finding in _unused_noqa_findings(
+            modules, ran_codes, used, known_codes, full_run=select is None
+        ):
+            module = by_path.get(finding.path)
+            if module is not None and module.suppressed(
+                finding.line, finding.rule
+            ):
+                continue
+            findings.append(finding)
+
     elapsed = time.perf_counter() - started
     return LintReport(
         findings=tuple(sorted(findings)),

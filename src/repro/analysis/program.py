@@ -1,0 +1,650 @@
+"""Phase 1 of the two-phase lint engine: whole-program facts.
+
+The per-module rules (R001–R007) see one file at a time; the bug
+classes that break the repo's equivalence gates — a shared
+``DistanceMap`` master escaping into a second index build, a metric
+name that drifted from its documented schema, a nondeterminism source
+three calls away from ``repro.core`` — span modules.  This module
+builds the shared facts those rules consume, once per lint run:
+
+- **alias maps** — per module, every local name an ``import`` binds,
+  resolved to its fully qualified target (``build_index`` →
+  ``repro.core.construction.build_index``);
+- **function summaries** — qualified name, asyncness, parameters, and
+  which parameters the body mutates;
+- **class summaries** — every ``self.<attr>`` write site with its
+  writing method, asyncness, and whether a ``with <lock>`` guards it;
+- **a call graph** — caller → resolved callee edges plus the reverse
+  index and the raw call sites (AST nodes kept for argument
+  inspection);
+- **registries** — the wire-protocol surfaces (``OPS`` declaration,
+  ``op_*`` dispatch methods, ``ServiceClient`` call strings) and every
+  string constant bound at a module's top level (the ``events.KIND``
+  resolution table).
+
+Everything here is best-effort static resolution: a name that cannot
+be resolved simply produces no facts, never a crash — rules built on
+top must treat absence as "unknown", not "safe".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.sources import SourceModule
+
+#: Method names treated as in-place mutations of their receiver.
+MUTATING_METHODS: FrozenSet[str] = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What the engine knows about one function or method."""
+
+    qualname: str
+    module_name: str
+    name: str
+    line: int
+    is_async: bool
+    params: Tuple[str, ...]
+    mutated_params: FrozenSet[str]
+    class_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AttrWrite:
+    """One ``self.<attr>`` write site inside a method body."""
+
+    attr: str
+    method: str
+    method_qualname: str
+    is_async: bool
+    line: int
+    col: int
+    locked: bool
+    in_init: bool
+
+
+@dataclass
+class ClassSummary:
+    """Attribute-write surface of one class."""
+
+    qualname: str
+    module_name: str
+    name: str
+    line: int
+    methods: Dict[str, FunctionSummary] = field(default_factory=dict)
+    attr_writes: List[AttrWrite] = field(default_factory=list)
+
+
+@dataclass
+class CallSite:
+    """One call expression, kept with enough context to re-inspect it."""
+
+    caller: str
+    module: SourceModule
+    node: ast.Call
+    callee: Optional[str]
+    enclosing: Optional[ast.AST]
+
+
+@dataclass
+class WireOp:
+    """One occurrence of a wire-protocol op name on some surface."""
+
+    op: str
+    line: int
+    col: int
+    module: SourceModule
+
+
+@dataclass
+class WireRegistry:
+    """The four wire-protocol surfaces R011 cross-checks."""
+
+    declared: List[WireOp] = field(default_factory=list)
+    handlers: List[WireOp] = field(default_factory=list)
+    client_calls: List[WireOp] = field(default_factory=list)
+
+    def declared_ops(self) -> List[str]:
+        return [op.op for op in self.declared]
+
+
+@dataclass
+class ProgramFacts:
+    """Cross-module facts shared by every program-phase rule."""
+
+    modules: Tuple[SourceModule, ...]
+    module_by_name: Dict[str, SourceModule]
+    aliases: Dict[str, Dict[str, str]]
+    functions: Dict[str, FunctionSummary]
+    classes: Dict[str, ClassSummary]
+    callees: Dict[str, Set[str]]
+    callers: Dict[str, Set[str]]
+    sites_by_callee: Dict[str, List[CallSite]]
+    sites_by_caller: Dict[str, List[CallSite]]
+    string_constants: Dict[str, Dict[str, str]]
+    wire: WireRegistry
+
+    # -- name resolution ------------------------------------------------
+    def resolve(self, module: SourceModule, dotted: str) -> Optional[str]:
+        """Fully qualify ``dotted`` as seen from ``module`` (or None)."""
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+        table = self.aliases.get(module.name, {})
+        target = table.get(head)
+        if target is not None:
+            return ".".join([target, *rest])
+        local = f"{module.name}.{head}"
+        if local in self.functions or local in self.classes:
+            return ".".join([local, *rest])
+        return None
+
+    def resolve_constant(
+        self, module: SourceModule, dotted: str
+    ) -> Optional[str]:
+        """The string value behind a qualified constant reference."""
+        qualified = self.resolve(module, dotted)
+        if qualified is None or "." not in qualified:
+            return None
+        owner, name = qualified.rsplit(".", 1)
+        return self.string_constants.get(owner, {}).get(name)
+
+    # -- call-graph queries ---------------------------------------------
+    def reachable_from(
+        self, roots: Iterable[str]
+    ) -> Dict[str, Optional[str]]:
+        """Every qualname reachable from ``roots``, with a predecessor.
+
+        The returned map includes the roots themselves (predecessor
+        ``None``); for every other entry the value names one caller on
+        a path back to a root — enough to explain *why* a function is
+        in scope.
+        """
+        from collections import deque
+
+        reached: Dict[str, Optional[str]] = {}
+        queue: Deque[str] = deque()
+        for root in roots:
+            if root not in reached:
+                reached[root] = None
+                queue.append(root)
+        while queue:
+            current = queue.popleft()
+            for callee in self.callees.get(current, ()):
+                if callee not in reached:
+                    reached[callee] = current
+                    queue.append(callee)
+        return reached
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+def _relative_base(module: SourceModule, level: int) -> Optional[str]:
+    """The package a level-``level`` relative import resolves against."""
+    parts = module.name.split(".")
+    if module.path.name != "__init__.py":
+        parts = parts[:-1]
+    drop = level - 1
+    if drop > len(parts):
+        return None
+    if drop:
+        parts = parts[: len(parts) - drop]
+    return ".".join(parts)
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """One pass over one module collecting local facts."""
+
+    def __init__(self, module: SourceModule, facts: "ProgramFacts") -> None:
+        self.module = module
+        self.facts = facts
+        self.aliases: Dict[str, str] = {}
+        self.constants: Dict[str, str] = {}
+        #: (qualname, class summary or None, is_async, node) scope stack;
+        #: the module itself is the outermost "function".
+        self._scope: List[Tuple[str, Optional[ClassSummary], bool,
+                                Optional[ast.AST]]] = [
+            (module.name, None, False, None)
+        ]
+        self._lock_depth = 0
+        self.calls: List[CallSite] = []
+        self._mutated_stack: List[Set[str]] = []
+
+    # -- helpers --------------------------------------------------------
+    @property
+    def _current_caller(self) -> str:
+        return self._scope[-1][0]
+
+    def _enclosing_class(self) -> Optional[ClassSummary]:
+        """The nearest enclosing class on the scope stack, if any."""
+        for _qualname, cls, _is_async, _node in reversed(self._scope):
+            if cls is not None:
+                return cls
+        return None
+
+    # -- imports --------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.aliases[alias.asname] = alias.name
+            else:
+                self.aliases[alias.name.split(".")[0]] = (
+                    alias.name.split(".")[0]
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            base = _relative_base(self.module, node.level)
+            if base is None:
+                return
+            source = f"{base}.{node.module}" if node.module else base
+        else:
+            source = node.module or ""
+        if source:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                self.aliases[bound] = f"{source}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- top-level constants -------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if (
+            len(self._scope) == 1
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.constants[target.id] = node.value.value
+        self._note_attr_write_targets(node.targets, node)
+        self._note_param_mutation_targets(node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_attr_write_targets([node.target], node)
+        self._note_param_mutation_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_attr_write_targets([node.target], node)
+            self._note_param_mutation_targets([node.target])
+        self.generic_visit(node)
+
+    # -- classes and functions -----------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualname = f"{self._current_caller}.{node.name}"
+        summary = ClassSummary(
+            qualname=qualname,
+            module_name=self.module.name,
+            name=node.name,
+            line=node.lineno,
+        )
+        self.facts.classes[qualname] = summary
+        self._scope.append((qualname, summary, False, None))
+        try:
+            self.generic_visit(node)
+        finally:
+            self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, is_async=True)
+
+    def _visit_function(self, node: ast.AST, is_async: bool) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        owner_qualname, owner_class, _a, _n = self._scope[-1]
+        qualname = f"{owner_qualname}.{node.name}"
+        params = tuple(
+            arg.arg
+            for arg in [
+                *node.args.posonlyargs,
+                *node.args.args,
+                *node.args.kwonlyargs,
+                *([node.args.vararg] if node.args.vararg else []),
+                *([node.args.kwarg] if node.args.kwarg else []),
+            ]
+        )
+        self._mutated_stack.append(set())
+        self._scope.append((qualname, None, is_async, node))
+        saved_lock = self._lock_depth
+        self._lock_depth = 0
+        try:
+            self.generic_visit(node)
+        finally:
+            self._lock_depth = saved_lock
+            self._scope.pop()
+            mutated = self._mutated_stack.pop()
+        summary = FunctionSummary(
+            qualname=qualname,
+            module_name=self.module.name,
+            name=node.name,
+            line=node.lineno,
+            is_async=is_async,
+            params=params,
+            mutated_params=frozenset(p for p in mutated if p in params),
+            class_name=owner_class.name if owner_class else None,
+        )
+        self.facts.functions[qualname] = summary
+        if owner_class is not None:
+            owner_class.methods[node.name] = summary
+
+    # -- lock tracking --------------------------------------------------
+    @staticmethod
+    def _looks_like_lock(expr: ast.expr) -> bool:
+        from repro.analysis.visitor import dotted_name
+
+        target = expr
+        if isinstance(target, ast.Call):
+            target = target.func
+        name = dotted_name(target)
+        return name is not None and "lock" in name.lower()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.With, ast.AsyncWith))
+        locked = any(
+            self._looks_like_lock(item.context_expr) for item in node.items
+        )
+        if locked:
+            self._lock_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            if locked:
+                self._lock_depth -= 1
+
+    # -- attribute writes and parameter mutations ----------------------
+    def _function_context(
+        self,
+    ) -> Optional[Tuple[str, str, bool, Optional[ClassSummary]]]:
+        """(qualname, bare name, is_async, owning class) of the scope."""
+        for index in range(len(self._scope) - 1, 0, -1):
+            qualname, cls, is_async, node = self._scope[index]
+            if node is not None:
+                owner = self._scope[index - 1][1]
+                return qualname, qualname.rsplit(".", 1)[-1], is_async, owner
+        return None
+
+    def _note_attr_write_targets(
+        self, targets: Sequence[ast.expr], stmt: ast.AST
+    ) -> None:
+        context = self._function_context()
+        if context is None:
+            return
+        qualname, method_name, is_async, owner = context
+        if owner is None:
+            return
+        for target in targets:
+            attr_node = target
+            if isinstance(attr_node, ast.Subscript):
+                attr_node = attr_node.value
+            if (
+                isinstance(attr_node, ast.Attribute)
+                and isinstance(attr_node.value, ast.Name)
+                and attr_node.value.id in ("self", "cls")
+            ):
+                owner.attr_writes.append(
+                    AttrWrite(
+                        attr=attr_node.attr,
+                        method=method_name,
+                        method_qualname=qualname,
+                        is_async=is_async,
+                        line=attr_node.lineno,
+                        col=attr_node.col_offset,
+                        locked=self._lock_depth > 0,
+                        in_init=method_name
+                        in ("__init__", "__post_init__", "__new__"),
+                    )
+                )
+
+    def _note_param_mutation_targets(
+        self, targets: Sequence[ast.expr]
+    ) -> None:
+        if not self._mutated_stack:
+            return
+        for target in targets:
+            node = target
+            if isinstance(node, (ast.Attribute, ast.Subscript)):
+                base = node.value
+                if isinstance(base, ast.Name):
+                    self._mutated_stack[-1].add(base.id)
+
+    # -- calls ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        from repro.analysis.visitor import dotted_name
+
+        func = node.func
+        name = dotted_name(func)
+        callee: Optional[str] = None
+        if name is not None:
+            callee = self._resolve_call_target(name)
+            # a mutating method call counts as mutation of its receiver
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+            ):
+                receiver = func.value
+                if isinstance(receiver, ast.Name) and self._mutated_stack:
+                    self._mutated_stack[-1].add(receiver.id)
+                if (
+                    isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id in ("self", "cls")
+                ):
+                    context = self._function_context()
+                    if context is not None:
+                        qualname, method_name, is_async, owner = context
+                        if owner is not None:
+                            owner.attr_writes.append(
+                                AttrWrite(
+                                    attr=receiver.attr,
+                                    method=method_name,
+                                    method_qualname=qualname,
+                                    is_async=is_async,
+                                    line=receiver.lineno,
+                                    col=receiver.col_offset,
+                                    locked=self._lock_depth > 0,
+                                    in_init=method_name
+                                    in (
+                                        "__init__",
+                                        "__post_init__",
+                                        "__new__",
+                                    ),
+                                )
+                            )
+        enclosing = None
+        context = self._function_context()
+        if context is not None:
+            for index in range(len(self._scope) - 1, 0, -1):
+                if self._scope[index][3] is not None:
+                    enclosing = self._scope[index][3]
+                    break
+        self.calls.append(
+            CallSite(
+                caller=self._current_caller,
+                module=self.module,
+                node=node,
+                callee=callee,
+                enclosing=enclosing,
+            )
+        )
+        self.generic_visit(node)
+
+    def _resolve_call_target(self, dotted: str) -> Optional[str]:
+        parts = dotted.split(".")
+        if parts[0] in ("self", "cls") and len(parts) == 2:
+            owner = self._enclosing_class()
+            if owner is not None:
+                return f"{owner.qualname}.{parts[1]}"
+            return None
+        head, rest = parts[0], parts[1:]
+        target = self.aliases.get(head)
+        if target is not None:
+            return ".".join([target, *rest])
+        local = f"{self.module.name}.{head}"
+        return ".".join([local, *rest])
+
+
+def _scan_wire(facts: ProgramFacts) -> None:
+    """Scrape the three in-code wire-protocol surfaces."""
+    protocol = facts.module_by_name.get("repro.service.protocol")
+    if protocol is not None:
+        for node in protocol.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "OPS"
+                for t in node.targets
+            ):
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        facts.wire.declared.append(
+                            WireOp(
+                                element.value,
+                                element.lineno,
+                                element.col_offset,
+                                protocol,
+                            )
+                        )
+    engine = facts.module_by_name.get("repro.service.engine")
+    if engine is not None:
+        for cls in facts.classes.values():
+            if cls.module_name != engine.name:
+                continue
+            for method in cls.methods.values():
+                if method.name.startswith("op_"):
+                    facts.wire.handlers.append(
+                        WireOp(
+                            method.name[len("op_"):],
+                            method.line,
+                            0,
+                            engine,
+                        )
+                    )
+    client = facts.module_by_name.get("repro.service.client")
+    if client is not None:
+        for sites in facts.sites_by_caller.values():
+            for site in sites:
+                if site.module is not client:
+                    continue
+                func = site.node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("call", "request")
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and site.node.args
+                    and isinstance(site.node.args[0], ast.Constant)
+                    and isinstance(site.node.args[0].value, str)
+                ):
+                    facts.wire.client_calls.append(
+                        WireOp(
+                            site.node.args[0].value,
+                            site.node.lineno,
+                            site.node.col_offset,
+                            client,
+                        )
+                    )
+
+
+def build_program(modules: Sequence[SourceModule]) -> ProgramFacts:
+    """Run phase 1: scan every module and assemble the shared facts."""
+    facts = ProgramFacts(
+        modules=tuple(modules),
+        module_by_name={},
+        aliases={},
+        functions={},
+        classes={},
+        callees={},
+        callers={},
+        sites_by_callee={},
+        sites_by_caller={},
+        string_constants={},
+        wire=WireRegistry(),
+    )
+    for module in modules:
+        # later duplicates (same dotted name from two roots) keep the
+        # first occurrence — deterministic because load order is sorted
+        facts.module_by_name.setdefault(module.name, module)
+    scanners: List[_ModuleScanner] = []
+    for module in modules:
+        scanner = _ModuleScanner(module, facts)
+        scanner.visit(module.tree)
+        facts.aliases[module.name] = scanner.aliases
+        facts.string_constants[module.name] = scanner.constants
+        scanners.append(scanner)
+    for scanner in scanners:
+        for site in scanner.calls:
+            facts.sites_by_caller.setdefault(site.caller, []).append(site)
+            if site.callee is None:
+                continue
+            facts.callees.setdefault(site.caller, set()).add(site.callee)
+            facts.callers.setdefault(site.callee, set()).add(site.caller)
+            facts.sites_by_callee.setdefault(site.callee, []).append(site)
+            # calling a method also "reaches" its function summary under
+            # the plain dotted spelling used at the definition site
+    _scan_wire(facts)
+    return facts
+
+
+__all__ = [
+    "MUTATING_METHODS",
+    "FunctionSummary",
+    "AttrWrite",
+    "ClassSummary",
+    "CallSite",
+    "WireOp",
+    "WireRegistry",
+    "ProgramFacts",
+    "build_program",
+]

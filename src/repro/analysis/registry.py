@@ -10,19 +10,40 @@ at a time plus a shared :class:`LintContext` carrying cross-module facts
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Type
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Type,
+)
 
 from repro.analysis.apidoc import ApiDoc, load_api_doc
 from repro.analysis.findings import Finding
 from repro.analysis.sources import SourceModule
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.program import ProgramFacts
+
 
 @dataclass
 class LintContext:
-    """Cross-module facts shared by every rule during one run."""
+    """Cross-module facts shared by every rule during one run.
+
+    ``program`` carries the phase-1 whole-program facts
+    (:class:`~repro.analysis.program.ProgramFacts`); it is ``None``
+    when no selected rule declares ``phase = "program"`` — the engine
+    skips the phase-1 scan entirely in that case.
+    """
 
     module_names: FrozenSet[str] = frozenset()
+    program: Optional["ProgramFacts"] = None
     _api_docs: Dict[str, Optional[ApiDoc]] = field(default_factory=dict)
+    _doc_texts: Dict[str, Optional[str]] = field(default_factory=dict)
 
     def api_doc_for(self, module: SourceModule) -> Optional[ApiDoc]:
         """The parsed ``docs/API.md`` of the module's repo root, if any."""
@@ -33,18 +54,47 @@ class LintContext:
             self._api_docs[key] = load_api_doc(module.root)
         return self._api_docs[key]
 
+    def doc_text_for(
+        self, module: SourceModule, relative: str
+    ) -> Optional[str]:
+        """The text of ``<repo root>/<relative>``, cached per root."""
+        if module.root is None:
+            return None
+        key = f"{module.root}::{relative}"
+        if key not in self._doc_texts:
+            path = Path(module.root) / relative
+            try:
+                self._doc_texts[key] = path.read_text(encoding="utf-8")
+            except OSError:
+                self._doc_texts[key] = None
+        return self._doc_texts[key]
+
 
 class Rule:
-    """Base class: subclass, set the class attributes, implement check."""
+    """Base class: subclass, set the class attributes, implement check.
+
+    ``phase`` selects how the engine drives the rule: ``"module"``
+    rules get one :meth:`check` call per scanned file; ``"program"``
+    rules get one :meth:`check_program` call per run, after phase 1
+    has built the cross-module facts; ``"post"`` rules (W001) are
+    synthesized by the engine itself from suppression accounting.
+    """
 
     code: str = ""
     name: str = ""
     description: str = ""
+    phase: str = "module"
 
     def check(
         self, module: SourceModule, context: LintContext
     ) -> Iterator[Finding]:
-        """Yield findings for one module."""
+        """Yield findings for one module (``phase = "module"`` rules)."""
+        raise NotImplementedError
+
+    def check_program(
+        self, program: "ProgramFacts", context: LintContext
+    ) -> Iterator[Finding]:
+        """Yield findings for the whole program (``phase = "program"``)."""
         raise NotImplementedError
 
     def finding(

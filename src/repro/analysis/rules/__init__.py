@@ -16,6 +16,22 @@ Each submodule defines and registers one rule:
   ``__all__`` consistent with ``docs/API.md``;
 - :mod:`~repro.analysis.rules.r007_obs_events` — no ``print``/``logging``
   in the engine/service layers (use :mod:`repro.obs.events`).
+
+The whole-program rules (``phase = "program"``) consume the phase-1
+facts from :mod:`repro.analysis.program`:
+
+- :mod:`~repro.analysis.rules.r008_nondeterminism` — no nondeterminism
+  sources reachable from equivalence-gated code;
+- :mod:`~repro.analysis.rules.r009_distmap_aliasing` — shared
+  ``DistanceMap`` masters are cloned before injection;
+- :mod:`~repro.analysis.rules.r010_async_races` — no unsynchronized
+  attribute writes across concurrent entry points;
+- :mod:`~repro.analysis.rules.r011_protocol_drift` — the four
+  wire-protocol surfaces agree on the op set;
+- :mod:`~repro.analysis.rules.r012_obs_names` — emitted metric/event
+  names match the ``docs/OBSERVABILITY.md`` schema;
+- :mod:`~repro.analysis.rules.w001_unused_noqa` — stale
+  ``# repro: noqa[RULE]`` suppressions are reported.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (registration imports)
@@ -26,6 +42,12 @@ from repro.analysis.rules import (  # noqa: F401  (registration imports)
     r005_mutable_defaults,
     r006_exports,
     r007_obs_events,
+    r008_nondeterminism,
+    r009_distmap_aliasing,
+    r010_async_races,
+    r011_protocol_drift,
+    r012_obs_names,
+    w001_unused_noqa,
 )
 
 __all__ = [
@@ -36,4 +58,10 @@ __all__ = [
     "r005_mutable_defaults",
     "r006_exports",
     "r007_obs_events",
+    "r008_nondeterminism",
+    "r009_distmap_aliasing",
+    "r010_async_races",
+    "r011_protocol_drift",
+    "r012_obs_names",
+    "w001_unused_noqa",
 ]

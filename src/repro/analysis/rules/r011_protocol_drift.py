@@ -1,0 +1,149 @@
+"""R011 — the four wire-protocol surfaces must agree on the op set.
+
+The op vocabulary lives in four places that drift independently:
+
+1. the ``OPS`` declaration in ``repro.service.protocol`` (what
+   :func:`validate_request` accepts),
+2. the ``op_*`` handler methods on the engine classes in
+   ``repro.service.engine`` (what dispatch can actually serve),
+3. the ``self.call("op")`` / ``self.request("op")`` strings in
+   ``repro.service.client`` (what the client SDK emits),
+4. the ``Ops:`` prose in ``docs/API.md`` (what users are told).
+
+An op present in one surface and absent in another is a live bug-in-
+waiting: declared-but-unhandled dies with ``internal`` at dispatch,
+handled-but-undeclared is unreachable dead code, a client string
+outside ``OPS`` fails validation server-side, and stale docs misroute
+users.  R011 cross-checks all four from the phase-1 wire registry and
+reports each drift at the surface that has (or is missing) the op.
+
+The rule is silent when a surface is absent from the scanned tree
+(e.g. linting a single file): absence of facts is "unknown", not a
+finding.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.program import ProgramFacts, WireOp
+from repro.analysis.registry import LintContext, Rule, register
+
+_BACKTICKED = re.compile(r"`([a-z_]+)`")
+
+
+def _strip_parens(text: str) -> str:
+    """Drop parenthesized spans (nesting-aware) from ``text``."""
+    out: List[str] = []
+    depth = 0
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            if depth:
+                depth -= 1
+        elif depth == 0:
+            out.append(char)
+    return "".join(out)
+
+
+def parse_doc_ops(text: str) -> Optional[Set[str]]:
+    """The op names promised by the ``Ops:`` prose in ``docs/API.md``.
+
+    Parenthesized field lists are stripped first (they contain periods
+    and backticked field names); the op set is every backticked
+    ``[a-z_]+`` token between the ``Ops:`` anchor and the first period
+    that survives the stripping.  Returns None when the anchor is
+    missing — the caller must treat that as "no doc surface", not as
+    an empty promise.
+    """
+    anchor = text.find("Ops:")
+    if anchor < 0:
+        return None
+    stripped = _strip_parens(text[anchor + len("Ops:"):])
+    stop = stripped.find(".")
+    if stop >= 0:
+        stripped = stripped[:stop]
+    return set(_BACKTICKED.findall(stripped))
+
+
+@register
+class ProtocolDriftRule(Rule):
+    """OPS, op_* handlers, client call strings, and API.md must agree."""
+
+    code = "R011"
+    name = "protocol-drift"
+    description = (
+        "every op must appear on all four wire surfaces: the protocol "
+        "OPS tuple, an engine op_* handler, any client call string "
+        "used, and the docs/API.md Ops: prose"
+    )
+    phase = "program"
+
+    def check_program(
+        self, program: ProgramFacts, context: LintContext
+    ) -> Iterator[Finding]:
+        wire = program.wire
+        declared = {op.op for op in wire.declared}
+        handled = {op.op for op in wire.handlers}
+
+        # 1 vs 2: declared ops must have a handler, and vice versa.
+        if wire.declared and wire.handlers:
+            for op in wire.declared:
+                if op.op not in handled:
+                    yield self._at(
+                        op,
+                        f"op {op.op!r} is declared in OPS but no engine "
+                        f"class defines op_{op.op}; dispatch will fail "
+                        "with 'internal'",
+                    )
+            for op in wire.handlers:
+                if op.op not in declared:
+                    yield self._at(
+                        op,
+                        f"handler op_{op.op} has no matching entry in "
+                        "protocol OPS; it is unreachable — requests "
+                        "die in validate_request first",
+                    )
+
+        # 3: every client call string must be a declared op.
+        if wire.declared:
+            for op in wire.client_calls:
+                if op.op not in declared:
+                    yield self._at(
+                        op,
+                        f"client sends op {op.op!r} which protocol OPS "
+                        "does not declare; the server rejects it as "
+                        "unknown_op",
+                    )
+
+        # 4: the documented op list must equal the declared one.
+        if wire.declared:
+            protocol = wire.declared[0].module
+            text = context.doc_text_for(protocol, "docs/API.md")
+            doc_ops = parse_doc_ops(text) if text is not None else None
+            if doc_ops is not None:
+                for op in wire.declared:
+                    if op.op not in doc_ops:
+                        yield self._at(
+                            op,
+                            f"op {op.op!r} is declared but missing from "
+                            "the docs/API.md 'Ops:' list; document it",
+                        )
+                for name in sorted(doc_ops - declared):
+                    anchor = wire.declared[0]
+                    yield self._at(
+                        anchor,
+                        f"docs/API.md promises op {name!r} which OPS "
+                        "does not declare; fix the docs or the protocol",
+                    )
+
+    def _at(self, op: WireOp, message: str) -> Finding:
+        return Finding(
+            str(op.module.path), op.line, op.col, self.code, message
+        )
+
+
+__all__ = ["parse_doc_ops", "ProtocolDriftRule"]

@@ -1,0 +1,246 @@
+"""R012 — every emitted metric/event name must exist in the docs schema.
+
+``docs/OBSERVABILITY.md`` is the contract for dashboards, scrape
+configs, and the ``repro top`` tooling: users grep the catalogue, not
+the source.  A metric emitted under a name the catalogue does not
+list — a typo, a rename that missed the docs, a new counter nobody
+documented — is invisible to every consumer built against the schema,
+and the drift is silent because nothing validates it.  R012 does.
+
+The rule cross-checks the phase-1 call graph's emit sites against the
+documented name set:
+
+- ``obs.incr`` / ``obs.set_gauge`` / ``obs.observe`` first arguments
+  (the metric name) and ``obs.span`` names (which record into
+  ``<name>.seconds`` histograms — both spellings are accepted);
+- ``events.emit`` first arguments, resolved through the
+  ``repro.obs.events`` constant table when spelled as
+  ``events.SOME_KIND``.
+
+The documented set is harvested from every backticked dotted name in
+``docs/OBSERVABILITY.md``, honouring the catalogue's shorthand:
+``<op>``-style placeholders become wildcards, ```a.b.long` /
+`short``` slash-alternatives expand with the first name's dotted
+prefix, and ```..._suffix``` elision rewrites the trailing
+underscore-parts of the previous name.  F-string emit names match if
+their static skeleton fits a documented pattern or literal.  Only
+``repro.*`` modules are checked — benchmarks and examples may mint
+ad-hoc names.  Dynamic names the scanner cannot resolve are skipped:
+unknown is not a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.program import CallSite, ProgramFacts
+from repro.analysis.registry import LintContext, Rule, register
+from repro.analysis.visitor import dotted_name
+
+#: Resolved callees whose first argument is a metric name.
+_METRIC_EMITTERS = (
+    "repro.obs.incr",
+    "repro.obs.set_gauge",
+    "repro.obs.observe",
+)
+_SPAN_EMITTER = "repro.obs.span"
+_EVENT_EMITTER = "repro.obs.events.emit"
+_EVENTS_MODULE = "repro.obs.events"
+
+#: Stands in for one dynamic f-string segment during matching.
+_DYNAMIC = "\x00"
+
+_BACKTICKED_RE = re.compile(r"`([^`]+)`")
+_PLACEHOLDER_RE = re.compile(r"<[^<>]+>")
+_NAME_PART = r"[A-Za-z0-9_]+"
+
+
+class DocSchema:
+    """The documented metric/event name set, with pattern matching."""
+
+    def __init__(self, names: Set[str]) -> None:
+        self.literals: Set[str] = set()
+        self.patterns: List[re.Pattern[str]] = []
+        for name in names:
+            if "<" in name:
+                self.patterns.append(_pattern_to_regex(name))
+            else:
+                self.literals.add(name)
+
+    def _matches_exact(self, name: str) -> bool:
+        if _DYNAMIC in name:
+            probe = name.replace(_DYNAMIC, "x1")
+            if probe in self.literals:
+                return True
+            if any(p.fullmatch(probe) for p in self.patterns):
+                return True
+            skeleton = _skeleton_regex(name)
+            return any(
+                skeleton.fullmatch(literal) for literal in self.literals
+            )
+        if name in self.literals:
+            return True
+        return any(p.fullmatch(name) for p in self.patterns)
+
+    def matches(self, name: str) -> bool:
+        """True when ``name`` (or its span spelling) is documented."""
+        if self._matches_exact(name):
+            return True
+        # span names record into <name>.seconds histograms; the docs
+        # list some spans bare and some with the suffix — accept both.
+        if self._matches_exact(name + ".seconds"):
+            return True
+        if name.endswith(".seconds"):
+            return self._matches_exact(name[: -len(".seconds")])
+        return False
+
+
+def _pattern_to_regex(name: str) -> "re.Pattern[str]":
+    out: List[str] = []
+    cursor = 0
+    for match in _PLACEHOLDER_RE.finditer(name):
+        out.append(re.escape(name[cursor:match.start()]))
+        out.append(_NAME_PART)
+        cursor = match.end()
+    out.append(re.escape(name[cursor:]))
+    return re.compile("".join(out))
+
+
+def _skeleton_regex(name: str) -> "re.Pattern[str]":
+    """A regex matching every concrete expansion of an f-string name."""
+    parts = name.split(_DYNAMIC)
+    return re.compile(r"[A-Za-z0-9_.]+".join(re.escape(p) for p in parts))
+
+
+def _elide(previous: str, shorthand: str) -> Optional[str]:
+    """Expand ``..._right_relaxed`` relative to the previous name."""
+    suffix = shorthand[len("..."):]
+    suffix_parts = [part for part in suffix.split("_") if part]
+    previous_parts = previous.split("_")
+    if not suffix_parts or len(previous_parts) <= len(suffix_parts):
+        return None
+    kept = previous_parts[: len(previous_parts) - len(suffix_parts)]
+    return "_".join(kept + suffix_parts)
+
+
+def parse_doc_names(text: str) -> Set[str]:
+    """Every documented metric/event/span name in OBSERVABILITY.md."""
+    names: Set[str] = set()
+    for line in text.splitlines():
+        previous: Optional[str] = None
+        cursor = 0
+        for match in _BACKTICKED_RE.finditer(line):
+            token = match.group(1).strip()
+            gap = line[cursor:match.start()]
+            cursor = match.end()
+            preceded_by_slash = (
+                "/" in gap or "\\|" in gap
+            ) and previous is not None
+            resolved: Optional[str] = None
+            if token.startswith("...") and preceded_by_slash and previous:
+                resolved = _elide(previous, token)
+            elif preceded_by_slash and previous and "." not in token:
+                prefix = previous.rsplit(".", 1)[0]
+                resolved = f"{prefix}.{token}"
+            elif "." in token and " " not in token:
+                resolved = token
+            if resolved is not None:
+                names.add(resolved)
+                previous = resolved
+            elif "." not in token:
+                # a non-dotted token breaks the alternation chain only
+                # when it was not itself an alternative (e.g. `format`)
+                if not preceded_by_slash:
+                    previous = None
+    return names
+
+
+def _static_name(node: ast.expr) -> Optional[str]:
+    """The emit name as a string, with f-string holes marked."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                parts.append(value.value)
+            else:
+                parts.append(_DYNAMIC)
+        return "".join(parts)
+    return None
+
+
+@register
+class ObsNameIntegrityRule(Rule):
+    """Emitted obs/event names must appear in docs/OBSERVABILITY.md."""
+
+    code = "R012"
+    name = "obs-name-integrity"
+    description = (
+        "metric names passed to obs.incr/set_gauge/observe/span and "
+        "event kinds passed to events.emit must match the "
+        "docs/OBSERVABILITY.md catalogue (placeholders honoured)"
+    )
+    phase = "program"
+
+    def check_program(
+        self, program: ProgramFacts, context: LintContext
+    ) -> Iterator[Finding]:
+        sites: List[Tuple[CallSite, str, bool]] = []
+        for callee in (*_METRIC_EMITTERS, _SPAN_EMITTER):
+            for site in program.sites_by_callee.get(callee, []):
+                sites.append((site, "metric", False))
+        for site in program.sites_by_callee.get(_EVENT_EMITTER, []):
+            sites.append((site, "event kind", True))
+        schema: Optional[DocSchema] = None
+        schema_loaded = False
+        for site, what, is_event in sites:
+            if not site.module.name.startswith("repro."):
+                continue
+            if not site.node.args:
+                continue
+            name = self._emit_name(program, site, is_event)
+            if name is None:
+                continue
+            if not schema_loaded:
+                schema_loaded = True
+                text = context.doc_text_for(
+                    site.module, "docs/OBSERVABILITY.md"
+                )
+                if text is not None:
+                    schema = DocSchema(parse_doc_names(text))
+            if schema is None:
+                return
+            if schema.matches(name):
+                continue
+            shown = name.replace(_DYNAMIC, "{...}")
+            yield Finding(
+                str(site.module.path),
+                site.node.lineno,
+                site.node.col_offset,
+                self.code,
+                f"{what} {shown!r} is not in the docs/OBSERVABILITY.md "
+                "schema; document it or fix the name",
+            )
+
+    @staticmethod
+    def _emit_name(
+        program: ProgramFacts, site: CallSite, is_event: bool
+    ) -> Optional[str]:
+        arg = site.node.args[0]
+        name = _static_name(arg)
+        if name is not None:
+            return name
+        if is_event:
+            dotted = dotted_name(arg)
+            if dotted is not None:
+                return program.resolve_constant(site.module, dotted)
+        return None
+
+
+__all__ = ["DocSchema", "parse_doc_names", "ObsNameIntegrityRule"]

@@ -1,0 +1,45 @@
+"""W001 — a suppression that suppresses nothing is itself a defect.
+
+``# repro: noqa[RULE]`` markers are deliberate, reviewable escape
+hatches; once the flagged code is fixed or moved, the stale marker
+keeps advertising an exemption that no longer exists — and silently
+swallows the *next* genuine finding on that line.  W001 reports every
+bracketed suppression whose named rule produced no finding on its line
+during the run (and, on full runs, suppressions naming rule codes that
+do not exist at all).
+
+The findings are synthesized by the engine's post phase from its
+suppression accounting — this module only registers the code so it
+appears in ``--list-rules``, ``--select``, and the docs-sync tests.
+Opt out per run with ``repro lint --no-unused-noqa``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, Rule, register
+from repro.analysis.sources import SourceModule
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    """Stale ``# repro: noqa[RULE]`` markers are reported, not ignored."""
+
+    code = "W001"
+    name = "unused-suppression"
+    description = (
+        "a # repro: noqa[RULE] comment whose rule produced no finding on "
+        "that line is stale and must be removed (engine post phase)"
+    )
+    phase = "post"
+
+    def check(
+        self, module: SourceModule, context: LintContext
+    ) -> Iterator[Finding]:
+        """Nothing: the engine synthesizes W001 after suppression."""
+        return iter(())
+
+
+__all__ = ["UnusedSuppressionRule"]

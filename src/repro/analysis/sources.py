@@ -80,10 +80,34 @@ def repo_root_for(path: Path) -> Optional[Path]:
     return None
 
 
+def _comment_lines(text: str) -> Optional[Dict[int, str]]:
+    """``{line: comment text}`` for every real comment token, or None.
+
+    Docstrings *mention* ``# repro: noqa[...]`` when documenting the
+    mechanism; only actual comment tokens may suppress findings, so the
+    scan tokenizes instead of pattern-matching raw lines.  Returns None
+    when tokenization fails (the caller falls back to the line scan).
+    """
+    import io
+    import tokenize
+
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    return comments
+
+
 def parse_noqa(text: str) -> Dict[int, FrozenSet[str]]:
     """Per-line suppressions: ``{line: codes}`` with ``{"*"}`` meaning all."""
+    comments = _comment_lines(text)
+    if comments is None:
+        comments = dict(enumerate(text.splitlines(), start=1))
     table: Dict[int, FrozenSet[str]] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    for lineno, line in comments.items():
         match = _NOQA_RE.search(line)
         if match is None:
             continue

@@ -284,14 +284,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     ln = sub.add_parser(
         "lint",
-        help="run the project-specific static analysis (rules R001-R007)",
+        help="run the project-specific static analysis "
+             "(rules R001-R012, W001)",
     )
     ln.add_argument(
         "paths", nargs="*",
         help="files or directories to lint (default: ./src)",
     )
     ln.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     ln.add_argument(
@@ -301,6 +302,24 @@ def _build_parser() -> argparse.ArgumentParser:
     ln.add_argument(
         "--list-rules", action="store_true",
         help="list the registered rules and exit",
+    )
+    ln.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="subtract the frozen findings in FILE "
+             "(repro-lint-baseline/1); only new findings fail",
+    )
+    ln.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from this run's findings "
+             "(default file: analysis-baseline.json)",
+    )
+    ln.add_argument(
+        "--timings", action="store_true",
+        help="show elapsed time even under REPRO_LINT_STABLE=1",
+    )
+    ln.add_argument(
+        "--no-unused-noqa", action="store_true",
+        help="skip W001 (stale # repro: noqa[RULE] detection)",
     )
     return parser
 
@@ -802,9 +821,19 @@ def _cmd_top(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import dataclasses
+    import os
     from pathlib import Path
 
     from repro.analysis import all_rules, render_json, render_text, run_lint
+    from repro.analysis.baseline import (
+        BaselineError,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.reporters import render_sarif
+    from repro.analysis.sources import repo_root_for
 
     if args.list_rules:
         for rule in all_rules():
@@ -821,14 +850,60 @@ def _cmd_lint(args) -> int:
     select = None
     if args.select is not None:
         select = [code for code in args.select.split(",") if code.strip()]
+    if args.no_unused_noqa:
+        if select is None:
+            select = [
+                rule.code for rule in all_rules() if rule.code != "W001"
+            ]
+        else:
+            select = [
+                code for code in select
+                if code.strip().upper() != "W001"
+            ]
     try:
         report = run_lint(paths, select=select)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    rendered = (
-        render_json(report) if args.format == "json" else render_text(report)
-    )
+
+    root = repo_root_for(Path.cwd())
+    if args.update_baseline:
+        target = Path(args.baseline or "analysis-baseline.json")
+        entries = write_baseline(target, report.findings, root)
+        print(
+            f"baseline {target} updated: {len(report.findings)} findings "
+            f"frozen under {entries} fingerprints"
+        )
+        return 0
+
+    frozen = ()
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = apply_baseline(report.findings, baseline, root)
+        frozen = result.frozen
+        report = dataclasses.replace(report, findings=result.new)
+        for stale in result.stale:
+            print(
+                f"note: stale baseline entry (no longer found): {stale}",
+                file=sys.stderr,
+            )
+
+    timings = args.timings or os.environ.get("REPRO_LINT_STABLE") != "1"
+    if args.format == "json":
+        rendered = render_json(report, timings=timings)
+    elif args.format == "sarif":
+        rendered = render_sarif(report, frozen=frozen, root=root)
+    else:
+        rendered = render_text(report, timings=timings)
+        if frozen:
+            rendered += (
+                f"\n{len(frozen)} pre-existing finding(s) frozen by "
+                "the baseline"
+            )
     print(rendered)
     return 0 if report.ok else 1
 
