@@ -148,6 +148,50 @@ def run_ci_bench(repeats: int = 3) -> dict:
     }
 
 
+def run_ci_answers() -> dict:
+    """The workload's *answers* (not timings) as a canonical payload.
+
+    Runs the same fixed-seed workload as :func:`run_ci_bench` and
+    returns every enumerated path: the startup answer per query, the
+    per-update applied count over the forward update stream, and the
+    post-stream answer for the maintained query.  Two builds that claim
+    to be equivalent (e.g. the numpy fast path vs the pure-array
+    fallback) must produce byte-identical ``--answers-out`` files —
+    paths, order and all.
+    """
+    graph = datasets.load(DATASET, SCALE)
+    queries = hot_queries(graph, NUM_QUERIES, K, 0.10, seed=SEED)
+    startup_answers = []
+    for query in queries:
+        enumerator = CpeEnumerator(graph, query.s, query.t, query.k)
+        startup_answers.append(
+            {
+                "query": {"s": query.s, "t": query.t, "k": query.k},
+                "paths": [list(p) for p in enumerator.startup()],
+            }
+        )
+    first = queries[0]
+    working = graph.copy()
+    enumerator = CpeEnumerator(working, first.s, first.t, first.k)
+    enumerator.startup()
+    stream = relevant_update_stream(
+        working, first.s, first.t, first.k,
+        NUM_INSERTIONS, NUM_DELETIONS, seed=SEED,
+    )
+    applied = 0
+    for update in stream:
+        if working.apply_update(update):
+            enumerator.observe(update)
+            applied += 1
+    return {
+        "schema": "repro-bench-answers/1",
+        "benchmark": "ci_bench",
+        "startup": startup_answers,
+        "updates_applied": applied,
+        "post_update_paths": [list(p) for p in enumerator.startup()],
+    }
+
+
 def _write(path: Path, payload: dict) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
@@ -168,7 +212,16 @@ def main(argv=None) -> int:
              "'none' to skip)",
     )
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--answers-out", default=None,
+        help="also write the workload's enumerated answers (canonical "
+             "JSON) for byte-identity comparisons across builds",
+    )
     args = parser.parse_args(argv)
+
+    if args.answers_out:
+        answers = run_ci_answers()
+        _write(Path(args.answers_out), answers)
 
     payload = run_ci_bench(repeats=args.repeats)
     for name, entry in sorted(payload["metrics"].items()):
@@ -189,5 +242,6 @@ if __name__ == "__main__":
 
 __all__ = [
     "run_ci_bench",
+    "run_ci_answers",
     "main",
 ]

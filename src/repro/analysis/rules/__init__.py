@@ -15,7 +15,9 @@ Each submodule defines and registers one rule:
 - :mod:`~repro.analysis.rules.r006_exports` — every public module has an
   ``__all__`` consistent with ``docs/API.md``;
 - :mod:`~repro.analysis.rules.r007_obs_events` — no ``print``/``logging``
-  in the engine/service layers (use :mod:`repro.obs.events`).
+  in the engine/service layers (use :mod:`repro.obs.events`);
+- :mod:`~repro.analysis.rules.r013_interned_arrays` — no writes to the
+  interned adjacency / packed join-level arrays outside their owners.
 
 The whole-program rules (``phase = "program"``) consume the phase-1
 facts from :mod:`repro.analysis.program`:
@@ -47,6 +49,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration imports)
     r010_async_races,
     r011_protocol_drift,
     r012_obs_names,
+    r013_interned_arrays,
     w001_unused_noqa,
 )
 
@@ -63,5 +66,6 @@ __all__ = [
     "r010_async_races",
     "r011_protocol_drift",
     "r012_obs_names",
+    "r013_interned_arrays",
     "w001_unused_noqa",
 ]

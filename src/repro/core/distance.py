@@ -59,6 +59,8 @@ class DistanceMap:
         self._build()
 
     def _build(self) -> None:
+        if self._build_from_arrays():
+            return
         self._dist = {self.source: 0}
         queue = deque([self.source])
         while queue:
@@ -70,6 +72,53 @@ class DistanceMap:
                 if v not in self._dist:
                     self._dist[v] = du + 1
                     queue.append(v)
+
+    #: Unvisited sentinel of the flat BFS distance array (one byte).
+    _UNSEEN = 255
+
+    def _build_from_arrays(self) -> bool:
+        """Flat-array BFS over the interned adjacency plane.
+
+        When the view exposes ``int_adjacency()`` (a
+        :class:`~repro.graph.digraph.DynamicDiGraph` or its reverse
+        view), the hop-capped BFS runs over dense int ids with a
+        ``bytearray`` distance table instead of hashing vertices, and
+        the result is translated into ``_dist`` once, in discovery
+        order — so the maintained dict is byte-identical (content *and*
+        insertion order) to what the generic build produces.  Returns
+        False when the view has no interned plane (frozen/temporal
+        wrappers) or the horizon does not fit the byte table.
+        """
+        int_adjacency = getattr(self._view, "int_adjacency", None)
+        if int_adjacency is None or self.horizon >= self._UNSEEN - 1:
+            return False
+        adjacency, interner = int_adjacency()
+        source_id = interner.get(self.source)
+        if source_id < 0 or source_id >= len(adjacency):
+            # Unregistered source: same result as the generic build over
+            # an empty neighbor view.
+            self._dist = {self.source: 0}
+            return True
+        unseen = self._UNSEEN
+        table = bytearray([unseen]) * len(adjacency)
+        table[source_id] = 0
+        order = [source_id]
+        head = 0
+        horizon = self.horizon
+        while head < len(order):
+            u = order[head]
+            head += 1
+            du = table[u]
+            if du >= horizon:
+                continue
+            dv = du + 1
+            for v in adjacency[u]:
+                if table[v] == unseen:
+                    table[v] = dv
+                    order.append(v)
+        vertex_of = interner.vertices()
+        self._dist = {vertex_of[i]: table[i] for i in order}
+        return True
 
     # ------------------------------------------------------------------
     # Queries

@@ -14,13 +14,21 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator, List
 
 from repro import obs
 from repro.obs.explain import ExplainRecord
 from repro.obs.explain import active as explain_active
-from repro.core.index import PartialPathIndex, PathBuckets
+from repro.core.index import PackedLevel, PartialPathIndex, PathBuckets
 from repro.core.paths import Path
+from repro.graph.npcompat import get_numpy
+
+#: Probe-count floor under which the blocked numpy probe is not worth
+#: its per-bucket call overhead (the scalar int-AND loop wins).
+_NP_PROBE_MIN = 4096
+
+#: Byte cap on one numpy AND block (left rows are chunked to stay under).
+_NP_BLOCK_BYTES = 1 << 24
 
 
 def enumerate_full(index: PartialPathIndex) -> Iterator[Path]:
@@ -29,9 +37,12 @@ def enumerate_full(index: PartialPathIndex) -> Iterator[Path]:
     With observability on (:func:`repro.obs.enabled`) the join loop also
     records per-``(i, j)`` pair output counts; with an EXPLAIN recorder
     installed (:func:`repro.obs.explain.active`) it additionally counts
-    cut vertices and per-pair probe/emit cardinalities.  The disabled
-    path below is untouched so the hot loop carries no instrumentation
-    cost beyond the two per-call checks.
+    cut vertices and per-pair probe/emit cardinalities.  The plain path
+    probes the packed levels (:meth:`PartialPathIndex.packed_left` /
+    ``packed_right``): one int AND against the cut-vertex bit replaces
+    the per-probe set build + ``isdisjoint`` + tail slice, and the
+    packed arrays mirror the live dict/set walk order exactly, so the
+    emitted sequence is unchanged.
     """
     recorder = explain_active()
     if recorder is not None:
@@ -42,25 +53,97 @@ def enumerate_full(index: PartialPathIndex) -> Iterator[Path]:
         return
     if index.direct_edge:
         yield (index.s, index.t)
-    left, right = index.left, index.right
-    for i, j in index.plan:
-        left_bucket = left.bucket(i)
-        right_bucket = right.bucket(j)
-        if not left_bucket or not right_bucket:
+    for _lpk, _rpk, probes, buckets in index.packed_program():
+        if probes is not None:
+            for lmask, lp, rmask, rtail, vcbit in probes:
+                if (lmask & rmask) == vcbit:
+                    yield lp + rtail
             continue
-        # Iterate middle vertices present on both sides, driving from the
-        # smaller map.
-        if len(left_bucket) <= len(right_bucket):
-            middles = (v for v in left_bucket if v in right_bucket)
-        else:
-            middles = (v for v in right_bucket if v in left_bucket)
-        for vc in middles:
-            right_paths = right_bucket[vc]
-            for lp in left_bucket[vc]:
-                lp_set = set(lp)
-                for rp in right_paths:
-                    if lp_set.isdisjoint(rp[1:]):
-                        yield lp + rp[1:]
+        for _ls, _le, vcbit, _rs, _re, lmasks, lpaths, rpairs in buckets:
+            for lmask, lp in zip(lmasks, lpaths):
+                for rmask, rtail in rpairs:
+                    if (lmask & rmask) == vcbit:
+                        yield lp + rtail
+
+
+def enumerate_full_list(index: PartialPathIndex) -> List[Path]:
+    """:func:`enumerate_full` materialized — the throughput fast path.
+
+    Semantically ``list(enumerate_full(index))`` (same paths, same
+    order), without the generator frame per path; on buckets whose
+    probe count reaches :data:`_NP_PROBE_MIN` and with numpy available,
+    the mask test runs as a blocked ``uint64`` matrix AND over the
+    packed level's word matrix instead of a scalar loop.
+    """
+    recorder = explain_active()
+    if recorder is not None:
+        return list(_enumerate_full_explained(index, recorder))
+    if obs.enabled():
+        return list(_enumerate_full_observed(index))
+    out: List[Path] = []
+    append = out.append
+    if index.direct_edge:
+        append((index.s, index.t))
+    # The numpy lookup re-reads the fallback env var, so defer it until
+    # a bucket is actually big enough to want the block probe.
+    np: Any = None
+    np_checked = False
+    for lpk, rpk, probes, buckets in index.packed_program():
+        if probes is not None:
+            out += [
+                lp + rtail
+                for lmask, lp, rmask, rtail, vcbit in probes
+                if (lmask & rmask) == vcbit
+            ]
+            continue
+        for ls, le, vcbit, rs, re, lmasks, lpaths, rpairs in buckets:
+            if (le - ls) * (re - rs) >= _NP_PROBE_MIN:
+                if not np_checked:
+                    np = get_numpy()
+                    np_checked = True
+                if np is not None:
+                    _np_block_probe(np, out, lpk, rpk, ls, le, rs, re, vcbit)
+                    continue
+            for lmask, lp in zip(lmasks, lpaths):
+                for rmask, rtail in rpairs:
+                    if (lmask & rmask) == vcbit:
+                        append(lp + rtail)
+    return out
+
+
+def _np_block_probe(
+    np: Any,
+    out: List[Path],
+    lpk: PackedLevel,
+    rpk: PackedLevel,
+    ls: int,
+    le: int,
+    rs: int,
+    re: int,
+    vcbit: int,
+) -> None:
+    """Blocked vectorized mask probe for one large cut-vertex bucket.
+
+    Emits exactly what the scalar loop emits, in the same (row-major)
+    order: hit indexes come from ``nonzero`` on the per-block equality
+    matrix, which scans rows (left paths) then columns (right paths).
+    """
+    width = (max(lpk.bits_used, rpk.bits_used) + 63) // 64
+    lwords = lpk.words(np, width)
+    rwords = rpk.words(np, width)[rs:re]
+    target = np.frombuffer(vcbit.to_bytes(width * 8, "little"), dtype="<u8")
+    left_paths = lpk.flat_paths
+    right_tails = rpk.tails
+    assert right_tails is not None
+    append = out.append
+    rows_per_block = max(1, _NP_BLOCK_BYTES // (8 * width * max(1, re - rs)))
+    for block_start in range(ls, le, rows_per_block):
+        block_end = min(le, block_start + rows_per_block)
+        block = lwords[block_start:block_end]
+        hits = ((block[:, None, :] & rwords[None, :, :]) == target).all(axis=2)
+        li_idx, ri_idx = hits.nonzero()
+        for a, b in zip(li_idx.tolist(), ri_idx.tolist()):
+            append(left_paths[block_start + a] + right_tails[rs + b])
 
 
 def _enumerate_full_observed(index: PartialPathIndex) -> Iterator[Path]:
@@ -194,6 +277,7 @@ def count_full(index: PartialPathIndex) -> int:
 
 __all__ = [
     "enumerate_full",
+    "enumerate_full_list",
     "enumerate_delta",
     "count_full",
 ]

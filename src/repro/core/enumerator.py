@@ -25,7 +25,12 @@ from typing import Iterator, List, Optional
 from repro import obs
 from repro.core.construction import BuildResult, ConstructionStats, build_index
 from repro.core.distance import DistanceMap
-from repro.core.enumeration import count_full, enumerate_delta, enumerate_full
+from repro.core.enumeration import (
+    count_full,
+    enumerate_delta,
+    enumerate_full,
+    enumerate_full_list,
+)
 from repro.core.index import IndexMemoryStats, PartialPathIndex
 from repro.core.maintenance import IndexMaintainer, UpdateRecord
 from repro.core.paths import Path
@@ -185,7 +190,7 @@ class CpeEnumerator:
     def startup(self) -> List[Path]:
         """All current k-st paths (Algorithm 1 over the index)."""
         with obs.span("enumeration.full"):
-            return list(enumerate_full(self._index))
+            return enumerate_full_list(self._index)
 
     def iter_paths(self) -> Iterator[Path]:
         """Streaming variant of :meth:`startup`."""

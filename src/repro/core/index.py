@@ -17,14 +17,91 @@ so that joining is plain tuple concatenation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.paths import Path, hops
 from repro.core.plan import JoinPlan
 from repro.graph.digraph import Vertex
+from repro.graph.interning import VertexInterner
 
 Bucket = Dict[Vertex, Set[Path]]
+
+
+@dataclass
+class PackedLevel:
+    """One index level flattened for the join probe (offset-indexed).
+
+    The paths of every vertex bucket at one length are laid out
+    back-to-back in ``flat_paths``; ``slots[v]`` is the bucket's
+    ``(start, end, vcbit)`` window into the flat arrays, where ``vcbit``
+    is the key vertex's bit in the index's private bit-id space.
+    ``masks[p]`` is the vertex bitmask of ``flat_paths[p]`` — two
+    partial paths meeting at cut vertex ``v`` join into a *simple* path
+    iff ``left_mask & right_mask == vcbit`` (they share exactly the cut
+    vertex), which turns the per-probe disjointness test into one int
+    AND.  For right levels ``tails`` additionally pre-slices each path's
+    ``path[1:]`` so the emit is a single tuple concatenation.
+
+    A packed level is a cache owned by :class:`PathBuckets` (invalidated
+    by any mutation); everything in it must be treated as read-only
+    (lint rule R013).
+    """
+
+    slots: Dict[Vertex, Tuple[int, int, int]]
+    flat_paths: List[Path]
+    masks: List[int]
+    tails: Optional[List[Path]]
+    #: Bit-space size at pack time (every mask fits in this many bits).
+    bits_used: int
+    #: Lazy ``(words_per_mask, uint64 matrix)`` for the numpy block probe.
+    _words: Optional[Tuple[int, Any]] = field(default=None, repr=False)
+
+    def words(self, np: Any, width: int) -> Any:
+        """The masks as an ``(n, width)`` little-endian uint64 matrix.
+
+        Built once per requested width and cached; the numpy block probe
+        in :mod:`repro.core.enumeration` slices row windows out of it.
+        """
+        cached = self._words
+        if cached is not None and cached[0] == width:
+            return cached[1]
+        nbytes = width * 8
+        data = b"".join(m.to_bytes(nbytes, "little") for m in self.masks)
+        matrix = np.frombuffer(data, dtype="<u8").reshape(
+            len(self.masks), width
+        )
+        self._words = (width, matrix)
+        return matrix
+
+
+#: One pre-resolved cut-vertex bucket of a join step:
+#: ``(left start, left end, vc bit, right start, right end,
+#:    left mask slice, left path slice, right (mask, tail) pairs)`` —
+#: the slices/pairs are materialized once per index version so the probe
+#: loop runs on plain lists with no per-call slicing.
+BucketStep = Tuple[
+    int, int, int, int, int, List[int], List[Path], List[Tuple[int, Path]]
+]
+
+#: One linearized probe of a small join step:
+#: ``(left mask, left path, right mask, right tail, vc bit)``.
+ProbeStep = Tuple[int, Path, int, Path, int]
+
+#: Per-step probe-count ceiling for linearization: a step whose total
+#: probe count stays under this is stored as one flat probe list (one
+#: tuple per ``(lp, rp)`` combination, in emission order), so the join
+#: runs as a single comprehension; bigger steps keep the per-bucket
+#: nested layout (and qualify for the numpy block probe instead).
+PACK_FLAT_STEP_MAX = 4096
+
+#: One resolved join step: the two packed levels (kept for the numpy
+#: word-matrix probe), the flat probe list (small steps; None
+#: otherwise), and the per-cut-vertex bucket ranges (big steps; empty
+#: when the flat list is used).
+JoinStep = Tuple[
+    PackedLevel, PackedLevel, Optional[List[ProbeStep]], List[BucketStep]
+]
 
 
 class PathBuckets:
@@ -36,11 +113,17 @@ class PathBuckets:
     (and the maintenance delta records).
     """
 
-    __slots__ = ("_by_len", "_count")
+    __slots__ = ("_by_len", "_count", "_version", "_packed")
 
     def __init__(self) -> None:
         self._by_len: Dict[int, Bucket] = {}
         self._count = 0
+        # Mutation counter + per-length packed-level cache.  Every write
+        # (add/remove, or a bulk construction write reported through
+        # note_added) bumps the version; packed() rebuilds lazily when
+        # its stamp is stale.
+        self._version = 0
+        self._packed: Dict[int, Tuple[int, PackedLevel]] = {}
 
     def add(self, vertex: Vertex, path: Path) -> bool:
         """Insert ``path`` under ``(hops(path), vertex)``; True if new."""
@@ -50,6 +133,7 @@ class PathBuckets:
             return False
         paths.add(path)
         self._count += 1
+        self._version += 1
         return True
 
     def remove(self, vertex: Vertex, path: Path) -> bool:
@@ -63,6 +147,7 @@ class PathBuckets:
             return False
         paths.discard(path)
         self._count -= 1
+        self._version += 1
         if not paths:
             del bucket[vertex]
             if not bucket:
@@ -91,8 +176,66 @@ class PathBuckets:
         return self._by_len.setdefault(length, {})
 
     def note_added(self, count: int) -> None:
-        """Adjust the path counter after direct ``level_dict`` writes."""
+        """Adjust the path counter after direct ``level_dict`` writes.
+
+        Also invalidates the packed-level caches: the construction level
+        search writes buckets directly and *always* reports through this
+        hook, so the bump keeps the caches exact without a per-path cost.
+        """
         self._count += count
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation stamp; changes whenever the stored paths change."""
+        return self._version
+
+    def packed(
+        self,
+        length: int,
+        intern: Callable[[Vertex], int],
+        with_tails: bool = False,
+    ) -> Optional[PackedLevel]:
+        """The level at ``length`` as a :class:`PackedLevel` (cached).
+
+        ``intern`` maps a vertex to its bit index in the owning index's
+        private bit space (both sides of one index must share it so the
+        masks are comparable).  Returns ``None`` for an empty level.
+        The result is rebuilt only after a mutation; bucket and
+        within-bucket path order follow the live containers, so the
+        packed probe enumerates in exactly the order the dict/set walk
+        would.
+        """
+        bucket = self._by_len.get(length)
+        if not bucket:
+            return None
+        cached = self._packed.get(length)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        slots: Dict[Vertex, Tuple[int, int, int]] = {}
+        flat_paths: List[Path] = []
+        masks: List[int] = []
+        tails: Optional[List[Path]] = [] if with_tails else None
+        for vertex, paths in bucket.items():
+            start = len(flat_paths)
+            for path in paths:
+                mask = 0
+                for v in path:
+                    mask |= 1 << intern(v)
+                flat_paths.append(path)
+                masks.append(mask)
+                if tails is not None:
+                    tails.append(path[1:])
+            slots[vertex] = (start, len(flat_paths), 1 << intern(vertex))
+        packed = PackedLevel(
+            slots=slots,
+            flat_paths=flat_paths,
+            masks=masks,
+            tails=tails,
+            bits_used=max(m.bit_length() for m in masks),
+        )
+        self._packed[length] = (self._version, packed)
+        return packed
 
     def at(self, vertex: Vertex, length: int) -> Set[Path]:
         """Paths at ``(vertex, length)`` (live set; may be empty)."""
@@ -173,7 +316,17 @@ class IndexMemoryStats:
 class PartialPathIndex:
     """The partial path index for one query ``q(s, t, k)``."""
 
-    __slots__ = ("s", "t", "k", "plan", "left", "right", "direct_edge")
+    __slots__ = (
+        "s",
+        "t",
+        "k",
+        "plan",
+        "left",
+        "right",
+        "direct_edge",
+        "_bits",
+        "_program",
+    )
 
     def __init__(self, s: Vertex, t: Vertex, k: int, plan: JoinPlan) -> None:
         if s == t:
@@ -187,6 +340,17 @@ class PartialPathIndex:
         self.left = PathBuckets()
         self.right = PathBuckets()
         self.direct_edge = False
+        # The query-private bit-id space of the join masks: bits are
+        # assigned to vertices in first-packed order, shared by both
+        # sides so left/right masks are comparable.
+        self._bits = VertexInterner()
+        # Join-program cache: (left obj, right obj, left ver, right ver,
+        # program).  Identity + version checks catch both in-place
+        # mutation and wholesale bucket replacement (build_index assigns
+        # fresh PathBuckets).
+        self._program: Optional[
+            Tuple[Any, Any, int, int, List[JoinStep]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Left side (paths s -> v, keyed by their last vertex)
@@ -219,6 +383,88 @@ class PartialPathIndex:
         return self.right.contains(path[0], path)
 
     # ------------------------------------------------------------------
+    # Packed join views
+    # ------------------------------------------------------------------
+    def packed_left(self, length: int) -> Optional[PackedLevel]:
+        """``LP_length`` flattened for the join probe (None if empty)."""
+        return self.left.packed(length, self._bits.intern)
+
+    def packed_right(self, length: int) -> Optional[PackedLevel]:
+        """``RP_length`` flattened, with pre-sliced tails (None if empty)."""
+        return self.right.packed(length, self._bits.intern, with_tails=True)
+
+    def packed_program(self) -> List[JoinStep]:
+        """The join plan resolved against the packed levels.
+
+        One step per plan pair with live buckets: the two packed levels
+        plus, per cut vertex present on both sides, its
+        ``(left start, left end, vc bit, right start, right end)`` slot
+        ranges — middle-vertex intersection order preserved (driven from
+        the smaller side, exactly as the legacy nested join iterates).
+        Cached until either side's buckets change or are replaced.
+        """
+        cached = self._program
+        if (
+            cached is not None
+            and cached[0] is self.left
+            and cached[1] is self.right
+            and cached[2] == self.left.version
+            and cached[3] == self.right.version
+        ):
+            return cached[4]
+        program: List[JoinStep] = []
+        for i, j in self.plan:
+            lpk = self.packed_left(i)
+            rpk = self.packed_right(j)
+            if lpk is None or rpk is None:
+                continue
+            left_slots = lpk.slots
+            right_slots = rpk.slots
+            if len(left_slots) <= len(right_slots):
+                middles = (v for v in left_slots if v in right_slots)
+            else:
+                middles = (v for v in right_slots if v in left_slots)
+            assert rpk.tails is not None
+            buckets: List[BucketStep] = []
+            probe_total = 0
+            for vc in middles:
+                ls, le, vcbit = left_slots[vc]
+                rs, re, _ = right_slots[vc]
+                probe_total += (le - ls) * (re - rs)
+                buckets.append(
+                    (
+                        ls,
+                        le,
+                        vcbit,
+                        rs,
+                        re,
+                        lpk.masks[ls:le],
+                        lpk.flat_paths[ls:le],
+                        list(zip(rpk.masks[rs:re], rpk.tails[rs:re])),
+                    )
+                )
+            if not buckets:
+                continue
+            if probe_total < PACK_FLAT_STEP_MAX:
+                probes: List[ProbeStep] = [
+                    (lmask, lp, rmask, rtail, vcbit)
+                    for _ls, _le, vcbit, _rs, _re, lms, lps, rpairs in buckets
+                    for lmask, lp in zip(lms, lps)
+                    for rmask, rtail in rpairs
+                ]
+                program.append((lpk, rpk, probes, []))
+            else:
+                program.append((lpk, rpk, None, buckets))
+        self._program = (
+            self.left,
+            self.right,
+            self.left.version,
+            self.right.version,
+            program,
+        )
+        return program
+
+    # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     def memory_stats(self) -> IndexMemoryStats:
@@ -242,6 +488,7 @@ class PartialPathIndex:
 
 __all__ = [
     "Bucket",
+    "PackedLevel",
     "PathBuckets",
     "IndexMemoryStats",
     "PartialPathIndex",

@@ -31,7 +31,7 @@ _FORMAT = "repro/cpe-snapshot"
 _VERSION = 1
 
 _GRAPH_FORMAT = "repro/graph-snapshot"
-_GRAPH_VERSION = 1
+_GRAPH_VERSION = 2
 
 
 def graph_snapshot(graph: DynamicDiGraph) -> dict:
@@ -41,27 +41,51 @@ def graph_snapshot(graph: DynamicDiGraph) -> dict:
     (:mod:`repro.parallel`): each worker process rebuilds its private
     graph copy from this dict via :func:`restore_graph` and then stays
     in sync by replaying the same update stream as the parent.
+
+    Version 2 is the packed CSR form produced by
+    :meth:`~repro.graph.digraph.DynamicDiGraph.packed_adjacency` — one
+    bulk copy out of the interned adjacency arrays instead of a
+    per-edge Python loop: ``vertices`` in graph insertion order,
+    ``indptr``/``indices`` the out-adjacency in CSR layout with
+    neighbors as *positions* into ``vertices``, so the payload is
+    self-contained regardless of vertex labels.
     """
+    vertices, indptr, indices = graph.packed_adjacency()
     return {
         "format": _GRAPH_FORMAT,
         "version": _GRAPH_VERSION,
-        "vertices": list(graph.vertices()),
-        "edges": [list(edge) for edge in graph.edges()],
+        "vertices": vertices,
+        "indptr": indptr,
+        "indices": indices,
     }
 
 
 def restore_graph(state: dict) -> DynamicDiGraph:
-    """Rebuild a graph from a :func:`graph_snapshot` dict."""
+    """Rebuild a graph from a :func:`graph_snapshot` dict (v1 or v2).
+
+    Vertices are registered first (in payload order), then edges in CSR
+    walk order — the same sequence either snapshot version encodes, so
+    every replica restored from one payload has identical insertion
+    ordering and therefore byte-identical iteration behavior.
+    """
     if state.get("format") != _GRAPH_FORMAT:
         raise ValueError("not a graph snapshot")
-    if state.get("version") != _GRAPH_VERSION:
-        raise ValueError(
-            f"unsupported graph snapshot version {state.get('version')!r}"
+    version = state.get("version")
+    if version == 1:
+        return DynamicDiGraph(
+            edges=(tuple(edge) for edge in state["edges"]),
+            vertices=state["vertices"],
         )
-    return DynamicDiGraph(
-        edges=(tuple(edge) for edge in state["edges"]),
-        vertices=state["vertices"],
-    )
+    if version != _GRAPH_VERSION:
+        raise ValueError(f"unsupported graph snapshot version {version!r}")
+    vertices = state["vertices"]
+    indptr = state["indptr"]
+    indices = state["indices"]
+    graph = DynamicDiGraph(vertices=vertices)
+    for pos, u in enumerate(vertices):
+        for slot in range(indptr[pos], indptr[pos + 1]):
+            graph.add_edge(u, vertices[indices[slot]])
+    return graph
 
 
 def snapshot(cpe: CpeEnumerator) -> dict:

@@ -17,6 +17,7 @@ Vertices are arbitrary hashable objects; the experiment harness uses
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import (
     AbstractSet,
@@ -25,13 +26,20 @@ from typing import (
     Hashable,
     Iterable,
     Iterator,
+    List,
     Optional,
     Set,
     Tuple,
 )
 
+from repro.graph.interning import VertexInterner
+from repro.graph.npcompat import get_numpy
+
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
+
+#: Array typecode of the interned adjacency (C ``long long``, 8 bytes).
+ID_TYPECODE = "q"
 
 _EMPTY: FrozenSet[Vertex] = frozenset()
 
@@ -82,7 +90,7 @@ class DynamicDiGraph:
         are legal).
     """
 
-    __slots__ = ("_out", "_in", "_num_edges")
+    __slots__ = ("_out", "_in", "_num_edges", "_interner", "_out_ids", "_in_ids")
 
     def __init__(
         self,
@@ -99,6 +107,15 @@ class DynamicDiGraph:
         self._out: Dict[Vertex, Dict[Vertex, None]] = {}
         self._in: Dict[Vertex, Dict[Vertex, None]] = {}
         self._num_edges = 0
+        # The interned plane: every vertex gets a dense int id at
+        # registration time, and the adjacency is mirrored as flat int-id
+        # arrays (one growable ``array('q')`` per vertex id, same neighbor
+        # order as the dict plane).  The array plane is what the
+        # hop-capped BFS and the bulk snapshot read; the dict plane stays
+        # the compatibility view for arbitrary-hashable callers.
+        self._interner = VertexInterner()
+        self._out_ids: List[array[int]] = []
+        self._in_ids: List[array[int]] = []
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -115,6 +132,10 @@ class DynamicDiGraph:
             return False
         self._out[v] = {}
         self._in[v] = {}
+        iid = self._interner.intern(v)
+        if iid == len(self._out_ids):
+            self._out_ids.append(array(ID_TYPECODE))
+            self._in_ids.append(array(ID_TYPECODE))
         return True
 
     def remove_vertex(self, v: Vertex) -> bool:
@@ -157,6 +178,10 @@ class DynamicDiGraph:
             return False
         out_u[v] = None
         self._in[v][u] = None
+        uid = self._interner.id_of(u)
+        vid = self._interner.id_of(v)
+        self._out_ids[uid].append(vid)
+        self._in_ids[vid].append(uid)
         self._num_edges += 1
         return True
 
@@ -167,6 +192,10 @@ class DynamicDiGraph:
             return False
         del out_u[v]
         del self._in[v][u]
+        uid = self._interner.id_of(u)
+        vid = self._interner.id_of(v)
+        self._out_ids[uid].remove(vid)
+        self._in_ids[vid].remove(uid)
         self._num_edges -= 1
         return True
 
@@ -242,6 +271,9 @@ class DynamicDiGraph:
         g._out = {v: dict(succ) for v, succ in self._out.items()}
         g._in = {v: dict(pred) for v, pred in self._in.items()}
         g._num_edges = self._num_edges
+        g._interner = self._interner.clone()
+        g._out_ids = [array(ID_TYPECODE, a) for a in self._out_ids]
+        g._in_ids = [array(ID_TYPECODE, a) for a in self._in_ids]
         return g
 
     def induced_subgraph(self, keep: Set[Vertex]) -> "DynamicDiGraph":
@@ -252,6 +284,94 @@ class DynamicDiGraph:
                 if v in keep:
                     g.add_edge(u, v)
         return g
+
+    # ------------------------------------------------------------------
+    # Interned array plane
+    # ------------------------------------------------------------------
+    @property
+    def interner(self) -> VertexInterner:
+        """The graph's vertex interner (read-only use expected).
+
+        Every registered vertex has a dense id; ids are assigned in
+        registration order and survive vertex removal (a re-added vertex
+        keeps its id), so they are stable array indexes.
+        """
+        return self._interner
+
+    def int_adjacency(
+        self, reverse: bool = False
+    ) -> Tuple[List[array[int]], VertexInterner]:
+        """The live interned adjacency: ``(id_arrays, interner)``.
+
+        ``id_arrays[i]`` is the flat ``array('q')`` of neighbor ids of
+        the vertex with id ``i`` — out-neighbors by default,
+        in-neighbors with ``reverse=True`` — in the same order as the
+        dict-plane neighbor views.  The arrays are the graph's own
+        internals: callers must treat them as read-only (lint rule R013
+        enforces this outside the graph/maintenance layers).
+        """
+        return (self._in_ids if reverse else self._out_ids), self._interner
+
+    def packed_adjacency(
+        self, reverse: bool = False
+    ) -> Tuple[List[Vertex], List[int], List[int]]:
+        """A CSR copy of the adjacency: ``(vertices, indptr, indices)``.
+
+        ``vertices`` lists the registered vertices in insertion order;
+        ``indices[indptr[p]:indptr[p + 1]]`` are the neighbor
+        *positions* (indexes into ``vertices``) of the vertex at
+        position ``p``, in neighbor insertion order.  Positions — not
+        interned ids — make the payload self-contained: it can be
+        serialized and rebuilt in a process with a different id history
+        (see :func:`repro.core.serialize.graph_snapshot`).  With numpy
+        available the flattening/translation is a bulk array copy.
+        """
+        verts = list(self._out)
+        n = len(verts)
+        id_arrays = self._in_ids if reverse else self._out_ids
+        interner = self._interner
+        ids_in_order = [interner.id_of(v) for v in verts]
+        aligned = ids_in_order == list(range(n))
+        np = get_numpy()
+        if np is not None and n:
+            degrees = np.fromiter(
+                (len(id_arrays[i]) for i in ids_in_order),
+                dtype=np.int64,
+                count=n,
+            )
+            indptr_arr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr_arr[1:])
+            chunks = [
+                np.frombuffer(id_arrays[i], dtype=np.int64)
+                for i in ids_in_order
+                if len(id_arrays[i])
+            ]
+            if chunks:
+                flat_ids = np.concatenate(chunks)
+            else:
+                flat_ids = np.zeros(0, dtype=np.int64)
+            if aligned:
+                flat = flat_ids
+            else:
+                pos_of = np.zeros(len(interner), dtype=np.int64)
+                pos_of[np.asarray(ids_in_order, dtype=np.int64)] = np.arange(
+                    n, dtype=np.int64
+                )
+                flat = pos_of[flat_ids]
+            return verts, indptr_arr.tolist(), flat.tolist()
+        indptr: List[int] = [0]
+        indices: List[int] = []
+        if aligned:
+            for iid in ids_in_order:
+                indices.extend(id_arrays[iid])
+                indptr.append(len(indices))
+        else:
+            position = {iid: p for p, iid in enumerate(ids_in_order)}
+            for iid in ids_in_order:
+                for wid in id_arrays[iid]:
+                    indices.append(position[wid])
+                indptr.append(len(indices))
+        return verts, indptr, indices
 
     # ------------------------------------------------------------------
     # Dunder / diagnostics
@@ -303,6 +423,12 @@ class _ReverseView:
         """Same vertex set as the underlying graph."""
         return self._g.has_vertex(v)
 
+    def int_adjacency(
+        self, reverse: bool = False
+    ) -> Tuple[List[array[int]], VertexInterner]:
+        """The interned adjacency with in/out roles swapped."""
+        return self._g.int_adjacency(not reverse)
+
     def vertices(self) -> Iterator[Vertex]:
         """Same vertex set as the underlying graph."""
         return self._g.vertices()
@@ -327,6 +453,7 @@ class _ReverseView:
 __all__ = [
     "Vertex",
     "Edge",
+    "ID_TYPECODE",
     "EdgeUpdate",
     "DynamicDiGraph",
 ]

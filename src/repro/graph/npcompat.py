@@ -1,0 +1,64 @@
+"""Optional-numpy shim: one switch for every array fast path.
+
+The array-backed core never *requires* numpy: every structure has a
+pure ``array``/``bytearray`` fallback that produces byte-identical
+results.  When numpy is importable, bulk transformations (CSR snapshot
+assembly, blocked join probes) take a vectorized path instead.
+
+``get_numpy()`` is the single gate:
+
+- returns the :mod:`numpy` module when it imports cleanly;
+- returns ``None`` when numpy is missing **or** when the environment
+  variable ``REPRO_NO_NUMPY`` is set to a non-empty value other than
+  ``0`` — the switch the CI matrix uses to exercise the pure-array
+  fallback on interpreters that do have numpy installed.
+
+The import result is cached; the environment variable is re-read on
+every call so a test can flip the fallback on and off with
+``monkeypatch.setenv`` without reloading modules.
+"""
+
+from __future__ import annotations
+
+import os
+from types import ModuleType
+from typing import Optional
+
+_NUMPY: Optional[ModuleType] = None
+_PROBED = False
+
+#: Environment variable forcing the pure-``array`` fallback.
+NO_NUMPY_ENV = "REPRO_NO_NUMPY"
+
+
+def _probe() -> Optional[ModuleType]:
+    global _NUMPY, _PROBED
+    if not _PROBED:
+        try:
+            import numpy
+        except ImportError:
+            _NUMPY = None
+        else:
+            _NUMPY = numpy
+        _PROBED = True
+    return _NUMPY
+
+
+def get_numpy() -> Optional[ModuleType]:
+    """The numpy module, or ``None`` (missing or fallback forced)."""
+    flag = os.environ.get(NO_NUMPY_ENV, "")
+    if flag and flag != "0":
+        return None
+    return _probe()
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized fast paths are active for this process."""
+    return get_numpy() is not None
+
+
+__all__ = [
+    "NO_NUMPY_ENV",
+    "get_numpy",
+    "numpy_available",
+]

@@ -122,6 +122,22 @@ RULE_FIXTURES = {
         1,
         'def helper():\n    return 1\n\n\n__all__ = ["helper"]\n',
     ),
+    "R013": (
+        textwrap.dedent(
+            """\
+            def leak(graph, uid, vid):
+                graph._out_ids[uid].append(vid)
+            """
+        ),
+        2,
+        textwrap.dedent(
+            """\
+            def read(graph, u, v):
+                graph.add_edge(u, v)
+                return list(graph.out_neighbors(u))
+            """
+        ),
+    ),
 }
 
 
@@ -192,6 +208,27 @@ def test_r001_allows_the_maintenance_layer(tmp_path):
     (pkg / "maintenance.py").write_text(bad, encoding="utf-8")
     report = run_lint([str(pkg / "maintenance.py")], select=["R001"])
     assert report.findings == (), "maintenance layer may mutate the index"
+
+
+def test_r013_allows_the_owning_modules(tmp_path):
+    bad, _, _ = RULE_FIXTURES["R013"]
+    target = _scoped_module(tmp_path, "repro/graph", "digraph.py", bad)
+    report = run_lint([str(target)], select=["R013"])
+    assert report.findings == (), "the graph may write its own id plane"
+
+
+def test_r013_flags_packed_level_writes(tmp_path):
+    source = textwrap.dedent(
+        """\
+        def poke(level, i):
+            level.masks[i] = 0
+            level.flat_paths.clear()
+            level.tails = None
+        """
+    )
+    report = lint_source(tmp_path, source, select=["R013"])
+    lines = [f.line for f in report.for_rule("R013")]
+    assert lines == [2, 3, 4]
 
 
 def _scoped_module(tmp_path, dotted_dir, filename, source):
