@@ -17,8 +17,16 @@ compares the structured event log off vs on
 (:mod:`repro.obs.events`) — bounding the *enabled* emission cost, which
 in turn bounds the disabled one-boolean path.
 
-Runs are recorded under ``benchmarks/results/bench_obs.json`` and
-``benchmarks/results/bench_obs_events.json``.
+The third benchmark bounds the always-on forensic plane: the same
+engine traffic with the flight recorder and the metrics time-series
+ring off vs on (:mod:`repro.obs.flight` / :mod:`repro.obs.timeseries`).
+The on side pays one deque append per span plus one lock-and-compare
+per request for the ring tick — the budget for leaving the recorder on
+in production is the same 5%.
+
+Runs are recorded under ``benchmarks/results/bench_obs.json``,
+``benchmarks/results/bench_obs_events.json`` and
+``benchmarks/results/bench_obs_flight.json``.
 """
 
 from __future__ import annotations
@@ -169,9 +177,98 @@ def bench_events_overhead_under_budget():
     )
 
 
+def _run_engine_recorder_once(
+    graph, queries, updates, k, flight_window, timeseries_interval
+) -> float:
+    """Engine traffic with the forensic plane configured as given.
+
+    Mirrors production ticking: the server/worker loops call
+    ``timeseries.maybe_sample()`` once per handled request, so the
+    measured cost includes the per-request decline path plus the
+    periodic full samples.
+    """
+    from repro.obs import timeseries
+    from repro.service.engine import PathQueryEngine
+
+    working = graph.copy()
+    engine = PathQueryEngine(
+        working,
+        default_k=k,
+        flight_window=flight_window,
+        timeseries_interval=timeseries_interval,
+    )
+    try:
+        start = time.perf_counter()
+        for _ in range(3):
+            for query in queries:
+                engine.handle(
+                    "query", {"s": query.s, "t": query.t, "k": query.k}
+                )
+                timeseries.maybe_sample()
+        for update in updates:
+            engine.handle(
+                "update",
+                {"u": update.u, "v": update.v, "insert": update.insert},
+            )
+            timeseries.maybe_sample()
+        return time.perf_counter() - start
+    finally:
+        engine.close()
+
+
+def bench_flight_overhead_under_budget():
+    """Flight recorder + time-series ring stay within the tolerance.
+
+    Both sides run with metrics enabled, so the ratio isolates exactly
+    what the always-on forensic plane adds on top of ordinary
+    instrumentation: the span-ring append and the ring tick.
+    """
+    graph, query, updates, config = _workload()
+    queries = hot_queries(graph, 4, config.k, 0.05, seed=config.seed)
+    previous_obs = obs.set_enabled(True)
+    disabled_times = []
+    enabled_times = []
+    try:
+        _run_engine_recorder_once(  # warm-up
+            graph, queries, updates, config.k, 0.0, 0.0
+        )
+        for _ in range(REPEATS):
+            obs.reset()
+            disabled_times.append(_run_engine_recorder_once(
+                graph, queries, updates, config.k, 0.0, 0.0
+            ))
+            obs.reset()
+            enabled_times.append(_run_engine_recorder_once(
+                graph, queries, updates, config.k, 30.0, 0.25
+            ))
+    finally:
+        obs.set_enabled(previous_obs)
+        obs.reset()
+    disabled = statistics.median(disabled_times)
+    enabled = statistics.median(enabled_times)
+    ratio = enabled / disabled
+    print(f"\nflight overhead: recorder off {disabled * 1e3:.2f} ms, "
+          f"on {enabled * 1e3:.2f} ms, ratio {ratio:.3f} "
+          f"(tolerance {TOLERANCE:.2f})")
+    publish_json(
+        "bench_obs_flight",
+        {
+            "disabled_s": metric(disabled),
+            "enabled_s": metric(enabled),
+            "flight_overhead_ratio": metric(ratio, unit="ratio"),
+        },
+        config=config,
+    )
+    assert ratio < TOLERANCE, (
+        f"flight-recorder overhead ratio {ratio:.3f} exceeds "
+        f"{TOLERANCE:.2f}"
+    )
+
+
 __all__ = [
     "TOLERANCE",
     "REPEATS",
     "bench_obs_overhead_under_budget",
     "bench_events_overhead_under_budget",
+    "bench_flight_overhead_under_budget",
 ]

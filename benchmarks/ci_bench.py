@@ -10,12 +10,14 @@ axes the paper cares about:
 
 Usage::
 
-    python benchmarks/ci_bench.py [--out FILE] [--root-out FILE]
+    python benchmarks/ci_bench.py [--out FILE] [--dated-out FILE]
                                   [--repeats N]
 
 Defaults write ``benchmarks/results/ci_bench.json`` plus a dated
-``BENCH_<YYYY-MM-DD>.json`` at the repo root (the CI artifact).  Compare
-two runs with ``benchmarks/check_regression.py``.
+``benchmarks/results/BENCH_<YYYY-MM-DD>.json`` (the CI artifact).
+Dated copies no longer land at the repo root — that location is
+gitignored to keep strays out of commits.  Compare two runs with
+``benchmarks/check_regression.py``.
 """
 
 from __future__ import annotations
@@ -207,9 +209,9 @@ def main(argv=None) -> int:
         "--out", default=str(ROOT / "benchmarks" / "results" / "ci_bench.json")
     )
     parser.add_argument(
-        "--root-out", default=None,
-        help="dated copy at the repo root (default BENCH_<today>.json; "
-             "'none' to skip)",
+        "--dated-out", "--root-out", dest="dated_out", default=None,
+        help="dated copy (default benchmarks/results/BENCH_<today>.json; "
+             "'none' to skip; --root-out is the legacy spelling)",
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -227,12 +229,14 @@ def main(argv=None) -> int:
     for name, entry in sorted(payload["metrics"].items()):
         print(f"{name:28s} {entry['value']:12.4f} {entry['unit']}")
     _write(Path(args.out), payload)
-    root_out = args.root_out
-    if root_out != "none":
-        if root_out is None:
+    dated_out = args.dated_out
+    if dated_out != "none":
+        if dated_out is None:
             stamp = time.strftime("%Y-%m-%d")
-            root_out = str(ROOT / f"BENCH_{stamp}.json")
-        _write(Path(root_out), payload)
+            dated_out = str(
+                ROOT / "benchmarks" / "results" / f"BENCH_{stamp}.json"
+            )
+        _write(Path(dated_out), payload)
     return 0
 
 

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Crash a shard under ``repro serve --workers N`` and collect the dump.
+
+The CI flight-recorder smoke: start a real server subprocess with the
+flight recorder on, learn the shard worker pids from an on-demand
+``flight`` bundle, SIGKILL one shard, then issue an update so the
+coordinator trips over the dead pipe — the engine's crash hook must
+write ``repro-flight-shard-crash.json`` into ``--flight-dir`` before
+the error reaches the client.
+
+Usage::
+
+    python benchmarks/flight_smoke.py --out-dir flight-smoke --port 7497
+
+Prints the dump path on success (exit 0); exits 1 with a diagnostic if
+the server never comes up, the shard survives, or no dump appears.
+Validate the dump itself with ``check_flight.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import ServiceError
+
+CRASH_DUMP = "repro-flight-shard-crash.json"
+
+
+def _connect(port: int, deadline: float) -> ServiceClient:
+    last: Optional[Exception] = None
+    while time.perf_counter() < deadline:
+        try:
+            return ServiceClient("127.0.0.1", port, timeout=10.0)
+        except OSError as exc:
+            last = exc
+            time.sleep(0.2)
+    raise RuntimeError(f"server never accepted a connection: {last}")
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--out-dir", default="flight-smoke",
+        help="--flight-dir for the server (dump lands here)",
+    )
+    parser.add_argument("--port", type=int, default=7497)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--timeout", type=float, default=90.0,
+        help="overall deadline in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    dump_path = out_dir / CRASH_DUMP
+    if dump_path.exists():
+        dump_path.unlink()
+
+    deadline = time.perf_counter() + args.timeout
+    log_path = out_dir / "flight-smoke-server.log"
+    log = open(log_path, "w", encoding="utf-8")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "EP",
+            "--scale", "0.1",
+            "--workers", str(args.workers),
+            "--port", str(args.port),
+            "--metrics", "--events", "--tracing",
+            "--flight-window", "30",
+            "--flight-dir", str(out_dir),
+            "--history-interval", "0.2",
+            "--watch", "23:4",
+        ],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+    )
+    try:
+        client = _connect(args.port, deadline)
+        with client:
+            # Real traffic so the recorders have spans to dump.
+            client.query(23, 4, 6)
+            client.insert_edge(23, 4)
+
+            bundle = client.flight(reason="smoke")["bundle"]
+            shard_pids = [
+                record["pid"]
+                for record in bundle["processes"]
+                if record.get("role") == "shard"
+            ]
+            if len(shard_pids) < args.workers:
+                print(
+                    "FLIGHT SMOKE PROBLEM: expected "
+                    f"{args.workers} shard records, got {shard_pids}"
+                )
+                return 1
+
+            os.kill(shard_pids[0], signal.SIGKILL)
+
+            # The broadcast to the dead shard surfaces as an internal
+            # error — the crash dump is written before it is returned.
+            try:
+                client.delete_edge(23, 4)
+            except (ServiceError, ConnectionError):
+                pass
+
+        while not dump_path.exists() and time.perf_counter() < deadline:
+            time.sleep(0.2)
+        if not dump_path.exists():
+            print(f"FLIGHT SMOKE PROBLEM: no {CRASH_DUMP} in {out_dir}")
+            return 1
+        print(dump_path)
+        return 0
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            server.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+        log.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
+
+
+__all__ = [
+    "CRASH_DUMP",
+    "main",
+]

@@ -11,7 +11,14 @@ Commands:
 - ``serve`` — run the path-query service (newline-delimited JSON over
   TCP; see :mod:`repro.service`); ``--metrics`` turns on the
   :mod:`repro.obs` instrumentation and the ``metrics`` protocol op
-  then serves live JSON/Prometheus dumps;
+  then serves live JSON/Prometheus dumps; ``--tracing`` stitches
+  coordinator and shard spans into one trace (``trace`` op), the
+  flight recorder and time-series ring run by default
+  (``--flight-window`` / ``--history-interval``), and ``SIGUSR2``
+  dumps a ``repro-flight/1`` bundle on demand;
+- ``flight-dump`` — pull a ``repro-flight/1`` bundle (the last seconds
+  of spans, events, metrics and time-series from the coordinator and
+  every shard) from a running server and write it to a file;
 - ``bench-serve`` — load-test an in-process server and report
   throughput and p50/p99 latency;
 - ``profile`` — run a small construction/enumeration/maintenance
@@ -23,7 +30,10 @@ Commands:
   join-pair cardinalities, as text, JSON, or Chrome trace-event JSON
   (``--format trace``, loadable in ``chrome://tracing`` / Perfetto);
 - ``top`` — plain-terminal live dashboard for a running server: QPS,
-  p95 latency, cache hit rate, in-flight requests, recent events;
+  p95 latency, cache hit rate, in-flight requests, recent events,
+  time-series sparklines (``history`` op), per-shard metrics with
+  ``--per-shard``, and a stable-key one-shot snapshot via
+  ``--once --format json``;
 - ``lint`` — run the project-specific static analysis
   (:mod:`repro.analysis`, rules R001–R007; see docs/ANALYSIS.md).
 """
@@ -188,6 +198,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable the structured event log; clients can poll the "
              "'events' op (and 'repro top' shows the tail)",
     )
+    sv.add_argument(
+        "--tracing", action="store_true",
+        help="capture spans here and in every shard worker, stitched "
+             "into one coordinator-rooted trace (poll the 'trace' op "
+             "for merged Chrome trace JSON)",
+    )
+    sv.add_argument(
+        "--flight-window", type=float, default=30.0, metavar="S",
+        help="flight-recorder window in seconds — the last S seconds "
+             "of spans/events/metrics are dumpable on shard crash, "
+             "deadline bursts, SIGUSR2, the 'flight' op, or "
+             "'repro flight-dump' (0 disables; default: 30)",
+    )
+    sv.add_argument(
+        "--flight-dir", default=".", metavar="DIR",
+        help="directory spontaneous flight dumps are written to "
+             "(default: current directory)",
+    )
+    sv.add_argument(
+        "--history-interval", type=float, default=1.0, metavar="S",
+        help="metrics time-series sampling tick in seconds, behind "
+             "the 'history' op and 'repro top' sparklines "
+             "(0 disables; default: 1)",
+    )
+
+    fd = sub.add_parser(
+        "flight-dump",
+        help="pull a repro-flight/1 bundle from a running server",
+    )
+    fd.add_argument("--host", default="127.0.0.1")
+    fd.add_argument("--port", type=int, default=7471)
+    fd.add_argument("--out", metavar="FILE", default=None,
+                    help="output file (default: repro-flight-<reason>.json)")
+    fd.add_argument("--reason", default="manual",
+                    help="reason recorded in the bundle (default: manual)")
 
     bs = sub.add_parser(
         "bench-serve",
@@ -264,6 +309,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="'trace' emits Chrome trace-event JSON for "
              "chrome://tracing / Perfetto",
     )
+    xp.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="with --format trace: additionally run the query sharded "
+             "across N worker processes and merge their spans into the "
+             "trace (one labelled row per process, one trace id)",
+    )
     xp.add_argument("--out", metavar="FILE", default=None,
                     help="write the output to FILE instead of stdout")
 
@@ -281,6 +332,16 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="recent events to show (default: 8)")
     tp.add_argument("--no-clear", action="store_true",
                     help="append refreshes instead of clearing the screen")
+    tp.add_argument("--once", action="store_true",
+                    help="one refresh, no screen clear, then exit")
+    tp.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="'json' emits one machine-readable snapshot with stable "
+             "key order (implies --once)",
+    )
+    tp.add_argument("--per-shard", action="store_true",
+                    help="show each shard worker's own metrics "
+                         "alongside the fleet merge")
 
     ln = sub.add_parser(
         "lint",
@@ -348,6 +409,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "flight-dump":
+        return _cmd_flight_dump(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
     if args.command == "profile":
@@ -374,6 +437,9 @@ def _parse_pairs(raw_pairs):
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import json
+    import signal
+    from pathlib import Path
 
     from repro.graph import datasets
     from repro.service.engine import PathQueryEngine
@@ -403,7 +469,31 @@ def _cmd_serve(args) -> int:
         default_k=args.k,
         cache_budget_bytes=args.cache_budget,
         workers=args.workers,
+        tracing=args.tracing,
+        flight_window=max(args.flight_window, 0.0),
+        timeseries_interval=max(args.history_interval, 0.0),
     )
+    flight_dir = Path(args.flight_dir)
+
+    def _write_flight(reason: str, bundle: dict) -> None:
+        flight_dir.mkdir(parents=True, exist_ok=True)
+        target = flight_dir / f"repro-flight-{reason}.json"
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"flight: {reason} dump written to {target}")
+
+    engine.on_flight_dump = _write_flight
+    if args.tracing:
+        print("tracing: span capture on (poll the 'trace' op for the "
+              "merged Chrome trace)")
+    if args.flight_window > 0:
+        print(f"flight: recording the last {args.flight_window:g}s "
+              f"(dumps to {flight_dir}; trigger via SIGUSR2, the "
+              "'flight' op, or 'repro flight-dump')")
+    if args.history_interval > 0:
+        print(f"history: metrics sampled every {args.history_interval:g}s "
+              "(poll the 'history' op)")
     if args.workers > 1:
         print(f"parallel: watched pairs sharded across "
               f"{args.workers} worker processes")
@@ -426,6 +516,10 @@ def _cmd_serve(args) -> int:
             batch_window_ms=args.batch_window,
         )
         await server.start()
+        if hasattr(signal, "SIGUSR2"):
+            asyncio.get_running_loop().add_signal_handler(
+                signal.SIGUSR2, server.request_flight_dump, "sigusr2"
+            )
         print(f"serving {args.dataset} (scale {args.scale}) on "
               f"{server.host}:{server.port} — Ctrl-C to stop")
         try:
@@ -443,6 +537,38 @@ def _cmd_serve(args) -> int:
     finally:
         engine.close()
     print("\nshut down")
+    return 0
+
+
+def _cmd_flight_dump(args) -> int:
+    import json
+
+    from repro.obs.flight import validate_flight_bundle
+    from repro.service.client import ServiceClient
+
+    try:
+        client = ServiceClient(args.host, args.port)
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    with client:
+        result = client.flight(reason=args.reason)
+    bundle = result.get("bundle", {})
+    problems = validate_flight_bundle(bundle)
+    if problems:
+        for problem in problems:
+            print(f"error: malformed bundle: {problem}", file=sys.stderr)
+        return 1
+    target = args.out or f"repro-flight-{args.reason}.json"
+    with open(target, "w", encoding="utf-8") as fh:
+        json.dump(bundle, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    processes = bundle.get("processes", [])
+    spans = sum(len(p.get("spans", [])) for p in processes)
+    recorder = "on" if result.get("enabled") else "off"
+    print(f"wrote {target}: {len(processes)} process records, "
+          f"{spans} spans (recorder {recorder})")
     return 0
 
 
@@ -643,6 +769,12 @@ def _cmd_explain(args) -> int:
     elif not (graph.has_vertex(s) and graph.has_vertex(t)):
         print("error: s/t not in the graph", file=sys.stderr)
         return 2
+    if args.workers > 1 and args.format != "trace":
+        print("error: --workers requires --format trace", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
     try:
         if args.format == "trace":
             # Spans only fire with obs enabled; the trace buffer needs
@@ -653,11 +785,15 @@ def _cmd_explain(args) -> int:
                     report = obs.explain_query(
                         graph, s, t, args.k, analyze=args.analyze
                     )
+                if args.workers > 1:
+                    payload = _sharded_explain_trace(
+                        graph, report, buffer, s, t, args.k, args.workers
+                    )
+                else:
+                    payload = report.to_chrome_trace(buffer)
             finally:
                 obs.set_enabled(previous)
-            rendered = json.dumps(
-                report.to_chrome_trace(buffer), indent=2, sort_keys=True
-            )
+            rendered = json.dumps(payload, indent=2, sort_keys=True)
         else:
             report = obs.explain_query(graph, s, t, args.k,
                                        analyze=args.analyze)
@@ -683,6 +819,42 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _sharded_explain_trace(graph, report, buffer, s, t, k, workers) -> dict:
+    """Merge the local explain capture with a sharded run of the same
+    query: one trace id, one labelled row per process.
+
+    The local run supplies the explain instants and report; the sharded
+    run supplies worker-side construction/dispatch spans, rebased onto
+    this process's clock by :meth:`ShardedMonitor.collect_traces`.
+    """
+    import os
+
+    from repro.obs import distributed
+    from repro.parallel import ShardedMonitor
+
+    report.annotate_trace(buffer)
+    context = distributed.TraceContext.new_root()
+    with ShardedMonitor(graph, k, workers=workers, tracing=True) as sharded:
+        with distributed.bind_context(context):
+            sharded.watch(s, t, k)
+        shard_traces = sharded.collect_traces()
+    processes = [distributed.ProcessTrace(
+        "coordinator", os.getpid(), buffer.spans(), buffer.instants()
+    )]
+    for shard_trace in shard_traces:
+        processes.append(distributed.ProcessTrace(
+            f"shard {shard_trace['shard']}",
+            shard_trace["pid"],
+            shard_trace["spans"],
+            shard_trace["instants"],
+        ))
+    return distributed.merge_chrome_trace(processes, metadata={
+        "explain": report.to_dict(),
+        "trace_id": context.trace_id,
+        "workers": workers,
+    })
+
+
 def _counter_total(snapshot: dict, prefix: str) -> float:
     return sum(
         value for name, value in snapshot.get("counters", {}).items()
@@ -690,8 +862,86 @@ def _counter_total(snapshot: dict, prefix: str) -> float:
     )
 
 
+#: Eight-level bar glyphs for the ``repro top`` history sparklines.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values) -> str:
+    """``values`` scaled onto the eight block glyphs (max = full bar)."""
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    scale = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[min(int(round(max(v, 0.0) / top * scale)), scale)]
+        for v in values
+    )
+
+
+def _history_series(history, kind, name, field=""):
+    """One value per retained sample for a metric in a ``history``
+    snapshot (0.0 where the metric is missing), oldest first."""
+    out = []
+    for sample in history.get("samples", []):
+        entry = sample.get(kind, {}).get(name)
+        if entry is None:
+            out.append(0.0)
+        elif kind == "histograms":
+            out.append(float(entry.get(field, 0.0)))
+        else:
+            out.append(float(entry))
+    return out
+
+
+def _render_history_lines(history_payload, width=60) -> list:
+    """Sparkline rows for the dashboard, from the ``history`` op."""
+    history = history_payload.get("history") or {}
+    samples = history.get("samples", [])
+    if not samples:
+        return ["  history: no samples yet"]
+    interval = history.get("interval", 0.0)
+    rows = [
+        ("req/tick", _history_series(history, "counters",
+                                     "service.requests.query")),
+        ("p95 ms", [v * 1000.0 for v in _history_series(
+            history, "histograms", "service.op.query.seconds", "p95")]),
+    ]
+    span = interval * (len(samples) - 1)
+    lines = [f"  history ({len(samples)} samples, {span:g}s window):"]
+    for label, series in rows:
+        series = series[-width:]
+        latest = series[-1] if series else 0.0
+        lines.append(f"    {label:<9s} {_sparkline(series)}  now {latest:g}")
+    return lines
+
+
+def _render_shard_lines(metrics_payload) -> list:
+    """Per-shard dispatch latency rows from ``metrics --per-shard``."""
+    shards = metrics_payload.get("shards", [])
+    if not shards:
+        return ["  per-shard: no shard workers reporting"]
+    lines = ["  per-shard dispatch latency:"]
+    for entry in shards:
+        histogram = entry.get("metrics", {}).get("histograms", {}).get(
+            "parallel.shard.dispatch.seconds"
+        )
+        if histogram and histogram.get("count"):
+            lines.append(
+                f"    shard {entry['shard']}: "
+                f"{int(histogram['count'])} dispatches   "
+                f"p50 {histogram['p50'] * 1000.0:.2f} ms   "
+                f"p95 {histogram['p95'] * 1000.0:.2f} ms"
+            )
+        else:
+            lines.append(f"    shard {entry['shard']}: no dispatches yet")
+    return lines
+
+
 def _render_top_frame(address, iteration, interval, stats, snapshot,
-                      event_payload, max_events, qps) -> str:
+                      event_payload, max_events, qps,
+                      history_payload=None, shard_payload=None) -> str:
     """One dashboard refresh, as plain text (no curses, no ANSI)."""
     lines = [f"repro top — {address}   "
              f"refresh #{iteration} (every {interval:g}s)"]
@@ -754,6 +1004,10 @@ def _render_top_frame(address, iteration, interval, stats, snapshot,
             f"BFS saved {batching.get('bfs_saved', 0)}   "
             f"memo {batching.get('memo_answers', 0)}{window_text}"
         )
+    if history_payload is not None and history_payload.get("enabled"):
+        lines.extend(_render_history_lines(history_payload))
+    if shard_payload is not None:
+        lines.extend(_render_shard_lines(shard_payload))
     if event_payload.get("enabled"):
         tail = event_payload.get("events", [])[-max_events:]
         lines.append(f"  recent events ({event_payload.get('total_emitted', 0)}"
@@ -774,10 +1028,12 @@ def _render_top_frame(address, iteration, interval, stats, snapshot,
 
 
 def _cmd_top(args) -> int:
+    import json
     import time
 
     from repro.service.client import ServiceClient
 
+    once = args.once or args.format == "json"
     try:
         client = ServiceClient(args.host, args.port)
     except OSError as exc:
@@ -792,8 +1048,10 @@ def _cmd_top(args) -> int:
             while True:
                 iteration += 1
                 stats = client.stats()
-                snapshot = client.metrics().get("metrics", {})
+                metrics_payload = client.metrics(per_shard=args.per_shard)
+                snapshot = metrics_payload.get("metrics", {})
                 event_payload = client.events(limit=args.events)
+                history_payload = client.history()
                 now = time.monotonic()
                 requests = _counter_total(snapshot, "service.requests.")
                 qps = None
@@ -802,14 +1060,31 @@ def _cmd_top(args) -> int:
                         now - previous_at
                     )
                 previous_requests, previous_at = requests, now
-                frame = _render_top_frame(
-                    f"{args.host}:{args.port}", iteration, args.interval,
-                    stats, snapshot, event_payload, args.events, qps,
-                )
-                if not args.no_clear and sys.stdout.isatty():
-                    print("\x1b[2J\x1b[H", end="")
-                print(frame)
-                if args.iterations and iteration >= args.iterations:
+                if args.format == "json":
+                    # One machine-readable snapshot; sort_keys makes the
+                    # key order stable for scripted consumers.
+                    payload = {
+                        "address": f"{args.host}:{args.port}",
+                        "stats": stats,
+                        "metrics": metrics_payload,
+                        "events": event_payload,
+                        "history": history_payload,
+                    }
+                    print(json.dumps(payload, indent=2, sort_keys=True))
+                else:
+                    frame = _render_top_frame(
+                        f"{args.host}:{args.port}", iteration, args.interval,
+                        stats, snapshot, event_payload, args.events, qps,
+                        history_payload=history_payload,
+                        shard_payload=(
+                            metrics_payload if args.per_shard else None
+                        ),
+                    )
+                    if (not once and not args.no_clear
+                            and sys.stdout.isatty()):
+                        print("\x1b[2J\x1b[H", end="")
+                    print(frame)
+                if once or (args.iterations and iteration >= args.iterations):
                     break
                 time.sleep(args.interval)
     except KeyboardInterrupt:

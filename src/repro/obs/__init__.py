@@ -22,14 +22,20 @@ The facade is intentionally tiny: counters (:func:`incr`), gauges
 :func:`render_prometheus` for a Prometheus scrape/dump).  The metric
 name catalog and naming convention live in docs/OBSERVABILITY.md.
 
-Three sibling namespaces ride along, each with the same off-by-default
+Six sibling namespaces ride along, each with the same off-by-default
 cost contract:
 
 - :mod:`repro.obs.events` — the structured event log (bounded ring of
   typed events with correlation IDs);
 - :mod:`repro.obs.explain` — per-query EXPLAIN/ANALYZE recording
   (dynamic-cut decisions, prune counters, join cardinalities);
-- :mod:`repro.obs.trace` — Chrome trace-event export built on spans.
+- :mod:`repro.obs.trace` — Chrome trace-event export built on spans;
+- :mod:`repro.obs.distributed` — cross-process trace contexts and the
+  multi-process merged Chrome trace;
+- :mod:`repro.obs.timeseries` — the bounded metrics time-series ring
+  behind the ``history`` wire op and ``repro top`` sparklines;
+- :mod:`repro.obs.flight` — the always-on flight recorder and the
+  ``repro-flight/1`` bundle format.
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_histogram_states,
+    merge_states,
     prometheus_name,
 )
 from repro.obs.report import render_profile, stage_rows
@@ -51,10 +59,16 @@ from repro.obs.spans import (
     NOOP_SPAN,
     NoopSpan,
     Span,
+    flight_sink,
+    set_flight_sink,
     set_trace_sink,
     trace_sink,
 )
 from repro.obs.trace import TraceBuffer, tracing, validate_chrome_trace
+from repro.obs import distributed, flight, timeseries
+from repro.obs.distributed import TraceContext, merge_chrome_trace
+from repro.obs.flight import FlightRecorder, validate_flight_bundle
+from repro.obs.timeseries import TimeSeriesRing
 
 _REGISTRY = MetricsRegistry()
 _ENABLED = os.environ.get("REPRO_OBS", "") not in ("", "0", "false", "no")
@@ -153,21 +167,33 @@ __all__ = [
     "Counter",
     "ExplainRecord",
     "ExplainReport",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NoopSpan",
     "NOOP_SPAN",
     "Span",
+    "TimeSeriesRing",
     "TraceBuffer",
+    "TraceContext",
+    "distributed",
     "events",
     "explain",
     "explain_query",
+    "flight",
+    "timeseries",
     "trace",
     "tracing",
     "set_trace_sink",
     "trace_sink",
+    "set_flight_sink",
+    "flight_sink",
     "validate_chrome_trace",
+    "validate_flight_bundle",
+    "merge_chrome_trace",
+    "merge_histogram_states",
+    "merge_states",
     "prometheus_name",
     "enabled",
     "enable",

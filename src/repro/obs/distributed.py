@@ -1,0 +1,245 @@
+"""Cross-process trace stitching: contexts, ids, and the merged trace.
+
+The per-process tracing stack (:mod:`repro.obs.spans` /
+:mod:`repro.obs.trace`) dies at the worker pipe: a span recorded inside
+a shard process lands in that process's buffer with that process's
+``perf_counter`` timeline, and nothing ties it back to the coordinator
+operation that caused it.  This module supplies the three missing
+pieces:
+
+1. :class:`TraceContext` — the propagation envelope.  The coordinator
+   binds one (``trace_id`` + optional parent span and correlation id)
+   around an operation; ``repro.parallel`` copies its fields onto every
+   command message, and ``worker.dispatch`` re-binds it shard-side so
+   shard spans and events are attributable to the same trace.
+
+2. Deterministic id minting — :func:`new_trace_id` /
+   :func:`new_span_id` derive from the pid and a process-local counter
+   (never wall clock or ``uuid``), so id generation stays off the
+   equivalence surface and two runs of a fixed-seed workload mint the
+   same ids.
+
+3. :func:`merge_chrome_trace` — folds per-process span/instant captures
+   (each already rebased onto the coordinator's ``perf_counter``
+   timeline, see :func:`perf_offset`) into **one** Chrome trace with a
+   ``process_name`` metadata event per process, so the viewer shows the
+   coordinator row and one row per shard on a shared clock.
+
+Clock alignment uses no wall clock at all: the coordinator records
+``perf_counter`` immediately before sending a collect command (``t0``)
+and after receiving the reply (``t1``); the worker stamps its own
+``perf_counter`` (``w``) while handling it.  ``perf_offset`` estimates
+the shard→coordinator timeline shift as ``(t0 + t1) / 2 - w`` — the
+NTP midpoint estimate, accurate to half the pipe round-trip.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from contextvars import ContextVar, Token
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import MARK_CATEGORY, SPAN_CATEGORY
+
+#: Process-local sequence feeding :func:`new_trace_id`/:func:`new_span_id`.
+_ID_SEQUENCE = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh trace id, unique per (process, mint order)."""
+    return f"t-{os.getpid():x}-{next(_ID_SEQUENCE):06x}"
+
+
+def new_span_id() -> str:
+    """A fresh span id from the same process-local sequence."""
+    return f"s-{os.getpid():x}-{next(_ID_SEQUENCE):06x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The envelope a trace crosses process boundaries in.
+
+    Plain strings only — instances ride inside pickled command
+    messages, so they must not drag the obs stack into the wire schema.
+    ``parent_span_id`` names the coordinator-side span that caused the
+    remote work (informational; nesting in the merged trace comes from
+    interval containment), ``corr_id`` is the event-log correlation id
+    to re-bind shard-side.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str] = None
+    corr_id: Optional[str] = None
+
+    @classmethod
+    def new_root(cls, corr_id: Optional[str] = None) -> "TraceContext":
+        """A fresh root context for one coordinator-side operation."""
+        return cls(trace_id=new_trace_id(), corr_id=corr_id)
+
+    def child(self) -> "TraceContext":
+        """The context to stamp onto an outgoing command: same trace,
+        a fresh parent span id marking this send."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            parent_span_id=new_span_id(),
+            corr_id=self.corr_id,
+        )
+
+
+#: The ambient trace context (``None`` = not inside a traced operation).
+_CONTEXT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The ambient :class:`TraceContext`, if one is bound."""
+    return _CONTEXT.get()
+
+
+def bind_context(context: Optional[TraceContext]) -> "_BoundContext":
+    """Context manager binding ``context`` as ambient; restores on exit."""
+    return _BoundContext(context)
+
+
+class _BoundContext:
+    """Save/restore wrapper around the ambient context variable."""
+
+    def __init__(self, context: Optional[TraceContext]) -> None:
+        self._context = context
+        self._token: Optional[Token[Optional[TraceContext]]] = None
+
+    def __enter__(self) -> Optional[TraceContext]:
+        self._token = _CONTEXT.set(self._context)
+        return self._context
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._token is not None:
+            _CONTEXT.reset(self._token)
+            self._token = None
+
+
+def perf_offset(t0: float, t1: float, worker_now: float) -> float:
+    """Shard→coordinator ``perf_counter`` shift (NTP midpoint estimate).
+
+    ``t0``/``t1`` are the coordinator's clock just before sending the
+    collect command and just after receiving the reply; ``worker_now``
+    is the worker's clock while handling it.  Add the returned offset
+    to any worker-side timestamp to place it on the coordinator's
+    timeline, with error bounded by half the round-trip.
+    """
+    return (t0 + t1) / 2.0 - worker_now
+
+
+@dataclass(frozen=True)
+class ProcessTrace:
+    """One process's span/instant capture, on the coordinator timeline.
+
+    ``spans`` are ``(name, started, duration, thread_id)`` and
+    ``instants`` are ``(name, ts, thread_id, args)`` — the accessor
+    shapes of :class:`repro.obs.trace.TraceBuffer` — with every
+    timestamp already shifted by the process's :func:`perf_offset`
+    (zero for the coordinator itself).
+    """
+
+    label: str
+    pid: int
+    spans: Sequence[Tuple[str, float, float, int]]
+    instants: Sequence[Tuple[str, float, int, Dict[str, Any]]]
+
+
+def shift_spans(
+    spans: Sequence[Sequence[Any]], offset: float
+) -> List[Tuple[str, float, float, int]]:
+    """Span tuples with ``started`` shifted by ``offset`` (wire-safe:
+    accepts lists, as pickled replies deliver them)."""
+    return [
+        (str(name), float(started) + offset, float(duration), int(tid))
+        for name, started, duration, tid in spans
+    ]
+
+
+def shift_instants(
+    instants: Sequence[Sequence[Any]], offset: float
+) -> List[Tuple[str, float, int, Dict[str, Any]]]:
+    """Instant tuples with ``ts`` shifted by ``offset``."""
+    return [
+        (str(name), float(ts) + offset, int(tid), dict(args))
+        for name, ts, tid, args in instants
+    ]
+
+
+def merge_chrome_trace(
+    processes: Sequence[ProcessTrace],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Fold per-process captures into one Chrome trace object.
+
+    Mirrors :meth:`TraceBuffer.to_chrome_trace` — timestamps rebase so
+    the earliest event across *all* processes sits at ``ts == 0``,
+    microsecond integers, spans as ``"X"`` and instants as ``"i"`` —
+    and adds one ``"M"`` ``process_name`` metadata event per process so
+    the viewer labels each pid row (``coordinator``, ``shard 0``, …).
+    """
+    starts: List[float] = []
+    for process in processes:
+        starts.extend(span[1] for span in process.spans)
+        starts.extend(instant[1] for instant in process.instants)
+    base = min(starts) if starts else 0.0
+    events: List[Dict[str, Any]] = []
+    names: List[Dict[str, Any]] = []
+    for process in processes:
+        names.append({
+            "name": "process_name",
+            "cat": "__metadata",
+            "ph": "M",
+            "ts": 0,
+            "pid": process.pid,
+            "tid": 0,
+            "args": {"name": process.label},
+        })
+        for name, started, duration, tid in process.spans:
+            events.append({
+                "name": name,
+                "cat": SPAN_CATEGORY,
+                "ph": "X",
+                "ts": int((started - base) * 1e6),
+                "dur": int(duration * 1e6),
+                "pid": process.pid,
+                "tid": tid,
+            })
+        for name, ts, tid, args in process.instants:
+            events.append({
+                "name": name,
+                "cat": MARK_CATEGORY,
+                "ph": "i",
+                "s": "t",
+                "ts": int((ts - base) * 1e6),
+                "pid": process.pid,
+                "tid": tid,
+                "args": dict(args),
+            })
+    events.sort(key=lambda e: (int(e["ts"]), e["ph"] != "X"))
+    payload: Dict[str, Any] = {
+        "traceEvents": names + events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        payload["metadata"] = dict(metadata)
+    return payload
+
+
+__all__ = [
+    "ProcessTrace",
+    "TraceContext",
+    "bind_context",
+    "current_context",
+    "merge_chrome_trace",
+    "new_span_id",
+    "new_trace_id",
+    "perf_offset",
+    "shift_instants",
+    "shift_spans",
+]

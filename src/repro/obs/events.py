@@ -55,6 +55,7 @@ SHARD_FANOUT = "shard.fanout"
 BATCH_FORMED = "batch.formed"
 BATCH_EXECUTED = "batch.executed"
 BATCH_MEMBER_EXPIRED = "batch.member_expired"
+FLIGHT_DUMPED = "flight.dumped"
 
 #: Every kind the service layer emits (the schema table's source of truth).
 EVENT_KINDS = (
@@ -76,6 +77,7 @@ EVENT_KINDS = (
     BATCH_FORMED,
     BATCH_EXECUTED,
     BATCH_MEMBER_EXPIRED,
+    FLIGHT_DUMPED,
 )
 
 
@@ -275,6 +277,7 @@ __all__ = [
     "BATCH_FORMED",
     "BATCH_EXECUTED",
     "BATCH_MEMBER_EXPIRED",
+    "FLIGHT_DUMPED",
     "Event",
     "EventLog",
     "correlation_id",

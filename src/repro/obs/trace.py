@@ -64,6 +64,14 @@ class TraceBuffer(TraceSink):
         with self._lock:
             return list(self._spans)
 
+    def instants(self) -> List[Tuple[str, float, int, Dict[str, Any]]]:
+        """Recorded ``(name, ts, thread_id, args)`` markers."""
+        with self._lock:
+            return [
+                (name, ts, tid, dict(args))
+                for name, ts, tid, args in self._instants
+            ]
+
     def clear(self) -> None:
         """Drop everything recorded so far."""
         with self._lock:

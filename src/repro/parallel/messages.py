@@ -13,6 +13,16 @@ killing the pipe — the pool re-raises them in the parent (see
 index-internal path buckets) is dropped before pickling, since the
 parent only needs the per-pair path delta, the changed flag and the
 timings.
+
+**Trace propagation.**  Work-bearing commands carry an optional trace
+envelope (``trace_id`` / ``parent_span_id`` / ``corr_id`` — plain
+strings, so the wire schema never imports the obs stack); the worker
+re-binds it around dispatch so shard-side spans and events stitch into
+the coordinator-rooted trace (see :mod:`repro.obs.distributed`).
+Observability plumbing commands (:class:`PullMetricsCmd`,
+:class:`CollectTraceCmd`, :class:`FlightCmd`) let the coordinator pull
+each shard's mergeable metric state, span capture, and flight record
+over the same pipes.
 """
 
 from __future__ import annotations
@@ -38,6 +48,15 @@ class ShardInit:
     shard: int
     graph_state: Dict[str, Any]
     default_k: int
+    #: Observability configuration mirrored from the parent: whether
+    #: metrics/events are recording, whether a span capture buffer
+    #: should be installed at boot, the flight-recorder window
+    #: (0.0 = no recorder), and the time-series tick (0.0 = no ring).
+    obs_enabled: bool = False
+    events_enabled: bool = False
+    tracing: bool = False
+    flight_window: float = 0.0
+    timeseries_interval: float = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -52,6 +71,9 @@ class WatchCmd:
     s: Vertex
     t: Vertex
     k: int
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+    corr_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -60,6 +82,9 @@ class UnwatchCmd:
 
     s: Vertex
     t: Vertex
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+    corr_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -67,6 +92,9 @@ class ApplyCmd:
     """Apply one edge update to the replica and repair every index."""
 
     update: EdgeUpdate
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+    corr_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -74,6 +102,31 @@ class ResultsCmd:
     """Fetch current result sets — all pairs, or just ``pairs``."""
 
     pairs: Optional[Tuple[PairKey, ...]] = None
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+    corr_id: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PullMetricsCmd:
+    """Fetch the worker's mergeable metrics-registry state."""
+
+
+@dataclass(frozen=True)
+class CollectTraceCmd:
+    """Fetch (and drain) the worker's span/instant capture.
+
+    The reply carries the worker's ``perf_counter`` reading so the
+    parent can rebase shard timestamps onto its own timeline
+    (:func:`repro.obs.distributed.perf_offset`).
+    """
+
+    clear: bool = True
+
+
+@dataclass(frozen=True)
+class FlightCmd:
+    """Fetch the worker's flight-recorder process record."""
 
 
 @dataclass(frozen=True)
@@ -81,7 +134,16 @@ class StopCmd:
     """Clean shutdown: the worker exits its loop after acknowledging."""
 
 
-Command = Union[WatchCmd, UnwatchCmd, ApplyCmd, ResultsCmd, StopCmd]
+Command = Union[
+    WatchCmd,
+    UnwatchCmd,
+    ApplyCmd,
+    ResultsCmd,
+    PullMetricsCmd,
+    CollectTraceCmd,
+    FlightCmd,
+    StopCmd,
+]
 
 
 # ---------------------------------------------------------------------------
@@ -130,6 +192,41 @@ class ResultsReply:
 
 
 @dataclass(frozen=True)
+class MetricsReply:
+    """One shard's mergeable registry state (see ``metrics.state()``)."""
+
+    shard: int
+    state: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TraceReply:
+    """One shard's span/instant capture plus clock-sync material.
+
+    ``spans``/``instants`` are the :class:`~repro.obs.trace.TraceBuffer`
+    accessor shapes (as plain tuples), timed on the *worker's*
+    ``perf_counter``; ``perf_now`` is the worker clock at reply time.
+    ``trace_ids`` lists every distinct trace id the worker observed
+    since the last drain, sorted.
+    """
+
+    shard: int
+    pid: int
+    perf_now: float
+    spans: Tuple[Tuple[str, float, float, int], ...] = ()
+    instants: Tuple[Tuple[str, float, int, Dict[str, Any]], ...] = ()
+    trace_ids: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FlightReply:
+    """One shard's flight-recorder process record."""
+
+    shard: int
+    record: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class StoppedReply:
     """Acknowledges :class:`StopCmd`; the worker exits right after."""
 
@@ -155,6 +252,9 @@ Reply = Union[
     UnwatchReply,
     ApplyReply,
     ResultsReply,
+    MetricsReply,
+    TraceReply,
+    FlightReply,
     StoppedReply,
     ErrorReply,
 ]
@@ -177,6 +277,9 @@ __all__ = [
     "UnwatchCmd",
     "ApplyCmd",
     "ResultsCmd",
+    "PullMetricsCmd",
+    "CollectTraceCmd",
+    "FlightCmd",
     "StopCmd",
     "Command",
     "ReadyReply",
@@ -184,6 +287,9 @@ __all__ = [
     "UnwatchReply",
     "ApplyReply",
     "ResultsReply",
+    "MetricsReply",
+    "TraceReply",
+    "FlightReply",
     "StoppedReply",
     "ErrorReply",
     "Reply",

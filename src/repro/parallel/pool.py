@@ -142,6 +142,37 @@ class WorkerPool:
         self.send(shard, command)
         return self.recv(shard)
 
+    def alive(self, shard: int) -> bool:
+        """Whether the shard's worker process is still running."""
+        return self._processes[shard].is_alive()
+
+    def gather(self, command: Command) -> List[Optional[Reply]]:
+        """Best-effort broadcast: one reply slot per shard, ``None``
+        where the worker is dead or errored.
+
+        This is the forensic counterpart of :meth:`broadcast`: flight
+        dumps and trace collection must salvage whatever shards still
+        answer — a crashed shard is often the *reason* for the gather —
+        so per-shard failures are swallowed instead of raised.
+        """
+        sent: List[bool] = []
+        for shard in range(len(self._connections)):
+            try:
+                self.send(shard, command)
+                sent.append(True)
+            except WorkerError:
+                sent.append(False)
+        replies: List[Optional[Reply]] = []
+        for shard in range(len(self._connections)):
+            if not sent[shard]:
+                replies.append(None)
+                continue
+            try:
+                replies.append(self.recv(shard))
+            except Exception:  # noqa: BLE001 - best-effort by design
+                replies.append(None)
+        return replies
+
     def broadcast(self, command: Command) -> List[Reply]:
         """Send to every shard, then collect every reply (concurrent).
 

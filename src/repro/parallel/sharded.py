@@ -29,13 +29,24 @@ Observability: fan-outs run under the ``parallel.fanout`` span, with
 per-shard repair time and parent-side fan-out wait recorded as
 histograms, shard/pair gauges kept current, and ``shard.*`` events
 narrating startup, placement, fan-out, and shutdown.
+
+Distribution-ready observability: when a
+:class:`~repro.obs.distributed.TraceContext` is ambient in the parent,
+every outgoing work command carries its trace envelope, so shard-side
+spans and events stitch into the coordinator-rooted trace.  The
+coordinator can also pull each shard's observability plane over the
+same pipes — :meth:`fleet_metric_states` (mergeable registry states),
+:meth:`collect_traces` (span captures rebased onto the parent's
+``perf_counter`` timeline), and :meth:`flight_records` (flight-recorder
+process records, gathered best-effort so a crashed shard does not
+block the forensic dump).
 """
 
 from __future__ import annotations
 
 from time import perf_counter
 from types import TracebackType
-from typing import Dict, Iterable, List, Optional, Tuple, Type, cast
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Type, cast
 
 from repro import obs
 from repro.core.enumerator import UpdateResult
@@ -44,18 +55,25 @@ from repro.core.paths import Path
 from repro.core.serialize import graph_snapshot
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
 from repro.obs import events
+from repro.obs import distributed
 from repro.parallel.messages import (
     ApplyCmd,
     ApplyReply,
+    CollectTraceCmd,
+    FlightCmd,
+    FlightReply,
+    MetricsReply,
+    PullMetricsCmd,
     ResultsCmd,
     ResultsReply,
     ShardInit,
+    TraceReply,
     UnwatchCmd,
     UnwatchReply,
     WatchCmd,
     WatchReply,
 )
-from repro.parallel.pool import WorkerPool
+from repro.parallel.pool import WorkerError, WorkerPool
 
 
 class ShardedMonitor:
@@ -76,6 +94,16 @@ class ShardedMonitor:
     start_method:
         ``multiprocessing`` start method; ``spawn`` (default) works on
         every platform and never inherits parent state by accident.
+    tracing:
+        Install a span capture buffer in every worker at boot, so
+        :meth:`collect_traces` can later drain shard-side spans for the
+        merged cross-process Chrome trace.
+    flight_window:
+        Seconds of flight-recorder history each worker keeps
+        (``0.0`` = no shard-side recorder).
+    timeseries_interval:
+        Tick of each worker's metrics time-series ring
+        (``0.0`` = no shard-side ring).
     """
 
     def __init__(
@@ -84,6 +112,9 @@ class ShardedMonitor:
         k: int,
         workers: int = 2,
         start_method: str = "spawn",
+        tracing: bool = False,
+        flight_window: float = 0.0,
+        timeseries_interval: float = 0.0,
     ) -> None:
         if k < 0:
             raise ValueError("k must be non-negative")
@@ -96,7 +127,19 @@ class ShardedMonitor:
         self._loads: List[int] = [0] * workers
         self._closed = False
         state = graph_snapshot(graph)
-        inits = [ShardInit(shard, state, k) for shard in range(workers)]
+        inits = [
+            ShardInit(
+                shard,
+                state,
+                k,
+                obs_enabled=obs.enabled(),
+                events_enabled=events.enabled(),
+                tracing=tracing,
+                flight_window=flight_window,
+                timeseries_interval=timeseries_interval,
+            )
+            for shard in range(workers)
+        ]
         with obs.span("parallel.startup"):
             self._pool = WorkerPool(inits, start_method=start_method)
         obs.set_gauge("parallel.shards", workers)
@@ -142,6 +185,19 @@ class ShardedMonitor:
         if self._closed:
             raise RuntimeError("ShardedMonitor is closed")
 
+    @staticmethod
+    def _envelope() -> Tuple[Optional[str], Optional[str], Optional[str]]:
+        """The ambient trace envelope as ``(trace_id, parent_span_id,
+        corr_id)`` — all ``None`` outside a traced operation, in which
+        case commands pickle byte-identically to the pre-tracing
+        protocol.  Each call mints a fresh ``parent_span_id`` marking
+        this particular send."""
+        context = distributed.current_context()
+        if context is None:
+            return (None, None, None)
+        child = context.child()
+        return (child.trace_id, child.parent_span_id, child.corr_id)
+
     # ------------------------------------------------------------------
     def watch(
         self, s: Vertex, t: Vertex, k: Optional[int] = None
@@ -153,8 +209,14 @@ class ShardedMonitor:
             raise ValueError(f"pair {key} is already watched")
         shard = self._pick_shard()
         effective_k = self.k if k is None else k
+        trace_id, span_id, corr_id = self._envelope()
         reply = cast(
-            WatchReply, self._pool.request(shard, WatchCmd(s, t, effective_k))
+            WatchReply,
+            self._pool.request(
+                shard,
+                WatchCmd(s, t, effective_k, trace_id=trace_id,
+                         parent_span_id=span_id, corr_id=corr_id),
+            ),
         )
         self._register(key, shard, effective_k, reply.build_seconds)
         return list(reply.paths)
@@ -187,7 +249,12 @@ class ShardedMonitor:
         out: Dict[PairKey, List[Path]] = {}
         with obs.span("parallel.watch_many"):
             for (s, t), shard in plan:
-                self._pool.send(shard, WatchCmd(s, t, effective_k))
+                trace_id, span_id, corr_id = self._envelope()
+                self._pool.send(
+                    shard,
+                    WatchCmd(s, t, effective_k, trace_id=trace_id,
+                             parent_span_id=span_id, corr_id=corr_id),
+                )
             first_error: Optional[BaseException] = None
             for key, shard in plan:
                 try:
@@ -228,7 +295,15 @@ class ShardedMonitor:
         self._pair_k.pop(key, None)
         self._loads[shard] -= 1
         obs.set_gauge("parallel.pairs", len(self._assignment))
-        reply = cast(UnwatchReply, self._pool.request(shard, UnwatchCmd(s, t)))
+        trace_id, span_id, corr_id = self._envelope()
+        reply = cast(
+            UnwatchReply,
+            self._pool.request(
+                shard,
+                UnwatchCmd(s, t, trace_id=trace_id,
+                           parent_span_id=span_id, corr_id=corr_id),
+            ),
+        )
         return reply.removed
 
     # ------------------------------------------------------------------
@@ -258,10 +333,14 @@ class ShardedMonitor:
         """Fan out an update already applied to the authoritative graph."""
         self._check_open()
         started = perf_counter()
+        trace_id, span_id, corr_id = self._envelope()
         with obs.span("parallel.fanout"):
             replies = [
                 cast(ApplyReply, reply)
-                for reply in self._pool.broadcast(ApplyCmd(update))
+                for reply in self._pool.broadcast(
+                    ApplyCmd(update, trace_id=trace_id,
+                             parent_span_id=span_id, corr_id=corr_id)
+                )
             ]
         if obs.enabled():
             roundtrip = perf_counter() - started
@@ -307,6 +386,67 @@ class ShardedMonitor:
             ResultsReply, self._pool.request(shard, ResultsCmd(pairs=(key,)))
         )
         return list(reply.results[key])
+
+    # ------------------------------------------------------------------
+    # Fleet observability: pull shard-side state over the pipes
+    # ------------------------------------------------------------------
+    def fleet_metric_states(self) -> List[Tuple[int, Dict[str, Any]]]:
+        """Every live shard's mergeable registry state, by shard id.
+
+        Best-effort: dead shards are simply absent, so a fleet metrics
+        view stays available while a crash is being handled.  Merge the
+        states (plus the coordinator's own) with
+        :func:`repro.obs.metrics.merge_states`.
+        """
+        out: List[Tuple[int, Dict[str, Any]]] = []
+        for reply in self._pool.gather(PullMetricsCmd()):
+            if isinstance(reply, MetricsReply):
+                out.append((reply.shard, reply.state))
+        return out
+
+    def collect_traces(self, clear: bool = True) -> List[Dict[str, Any]]:
+        """Drain every live shard's span capture, clock-aligned.
+
+        Shards are visited one at a time so each round trip yields a
+        tight ``(t0, t1)`` window for the NTP-midpoint offset estimate;
+        the returned spans/instants are already on the **parent's**
+        ``perf_counter`` timeline, ready for
+        :func:`repro.obs.distributed.merge_chrome_trace`.
+        """
+        out: List[Dict[str, Any]] = []
+        for shard in range(self.workers):
+            t0 = perf_counter()
+            try:
+                reply = self._pool.request(shard, CollectTraceCmd(clear=clear))
+            except WorkerError:
+                continue
+            t1 = perf_counter()
+            trace = cast(TraceReply, reply)
+            offset = distributed.perf_offset(t0, t1, trace.perf_now)
+            out.append({
+                "shard": trace.shard,
+                "pid": trace.pid,
+                "offset_seconds": offset,
+                "spans": distributed.shift_spans(trace.spans, offset),
+                "instants": distributed.shift_instants(
+                    trace.instants, offset
+                ),
+                "trace_ids": list(trace.trace_ids),
+            })
+        return out
+
+    def flight_records(self) -> List[Dict[str, Any]]:
+        """Every live shard's flight-recorder process record.
+
+        Best-effort by design: the most common reason to gather is that
+        one shard just crashed, and the survivors' rings are exactly
+        the forensic record wanted.
+        """
+        out: List[Dict[str, Any]] = []
+        for reply in self._pool.gather(FlightCmd()):
+            if isinstance(reply, FlightReply):
+                out.append(reply.record)
+        return out
 
     # ------------------------------------------------------------------
     def close(self) -> None:

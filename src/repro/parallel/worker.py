@@ -11,21 +11,43 @@ exception is shipped back as :class:`ErrorReply` and the loop continues,
 so one bad ``watch`` (say, ``s == t``) does not take down the shard's
 other pairs.  Only a broken pipe (parent died) or an explicit stop ends
 the process.
+
+Observability: :class:`ShardInit` mirrors the parent's obs
+configuration into the worker — metric/event gates, a span capture
+buffer for distributed tracing, the flight recorder, and the
+time-series ring.  Work-bearing commands carry an optional trace
+envelope which :func:`dispatch` re-binds (spans tagged
+``parallel.shard.dispatch``, correlation id restored) so shard activity
+stitches into the coordinator-rooted trace; the plumbing commands
+(:class:`PullMetricsCmd` / :class:`CollectTraceCmd` /
+:class:`FlightCmd`) let the parent drain shard-side state without
+touching the monitor.
 """
 
 from __future__ import annotations
 
+import os
 import signal
 from multiprocessing.connection import Connection
 from time import perf_counter
+from typing import Any, Dict, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.monitor import MultiPairMonitor
 from repro.core.serialize import restore_graph
+from repro.obs import events, flight, timeseries
+from repro.obs.distributed import TraceContext, bind_context
+from repro.obs.trace import TraceBuffer
 from repro.parallel.messages import (
     ApplyCmd,
     ApplyReply,
+    CollectTraceCmd,
     Command,
     ErrorReply,
+    FlightCmd,
+    FlightReply,
+    MetricsReply,
+    PullMetricsCmd,
     ReadyReply,
     Reply,
     ResultsCmd,
@@ -33,6 +55,7 @@ from repro.parallel.messages import (
     ShardInit,
     StopCmd,
     StoppedReply,
+    TraceReply,
     UnwatchCmd,
     UnwatchReply,
     WatchCmd,
@@ -66,6 +89,94 @@ def dispatch(monitor: MultiPairMonitor, command: Command) -> Reply:
     raise TypeError(f"unknown command {type(command).__name__}")
 
 
+def _command_context(command: Command) -> Optional[TraceContext]:
+    """The trace envelope riding on ``command``, if any."""
+    trace_id = getattr(command, "trace_id", None)
+    if trace_id is None:
+        return None
+    return TraceContext(
+        trace_id=trace_id,
+        parent_span_id=getattr(command, "parent_span_id", None),
+        corr_id=getattr(command, "corr_id", None),
+    )
+
+
+class _ShardObs:
+    """The worker-side observability plane, built from :class:`ShardInit`.
+
+    Owns the span capture buffer (when tracing), the set of trace ids
+    seen since the last drain, and the per-command tick of the
+    time-series ring.  Everything is per-process: the worker was
+    spawn-started, so no parent state leaks in.
+    """
+
+    def __init__(self, init: ShardInit) -> None:
+        self.shard = init.shard
+        self.capture: Optional[TraceBuffer] = None
+        self.trace_ids: Set[str] = set()
+        if init.obs_enabled:
+            obs.set_enabled(True)
+        if init.events_enabled:
+            events.set_enabled(True)
+        if init.tracing:
+            self.capture = TraceBuffer()
+            obs.set_trace_sink(self.capture)
+        if init.flight_window > 0:
+            flight.enable(window=init.flight_window)
+        if init.timeseries_interval > 0:
+            timeseries.install(timeseries.TimeSeriesRing(
+                obs.registry(), interval=init.timeseries_interval
+            ))
+
+    # ------------------------------------------------------------------
+    def serve(self, monitor: MultiPairMonitor, command: Command) -> Reply:
+        """One command, with the trace envelope bound around dispatch."""
+        context = _command_context(command)
+        if context is None:
+            return dispatch(monitor, command)
+        self.trace_ids.add(context.trace_id)
+        previous_corr = events.set_correlation_id(context.corr_id)
+        try:
+            with bind_context(context):
+                with obs.span("parallel.shard.dispatch"):
+                    return dispatch(monitor, command)
+        finally:
+            events.set_correlation_id(previous_corr)
+
+    # ------------------------------------------------------------------
+    def metrics_reply(self) -> MetricsReply:
+        return MetricsReply(shard=self.shard, state=obs.registry().state())
+
+    def trace_reply(self, command: CollectTraceCmd) -> TraceReply:
+        spans: Tuple[Tuple[str, float, float, int], ...] = ()
+        instants: Tuple[Tuple[str, float, int, Dict[str, Any]], ...] = ()
+        if self.capture is not None:
+            spans = tuple(self.capture.spans())
+            instants = tuple(
+                (name, ts, tid, dict(args))
+                for name, ts, tid, args in self.capture.instants()
+            )
+            if command.clear:
+                self.capture.clear()
+        trace_ids = tuple(sorted(self.trace_ids))
+        if command.clear:
+            self.trace_ids.clear()
+        return TraceReply(
+            shard=self.shard,
+            pid=os.getpid(),
+            perf_now=perf_counter(),
+            spans=spans,
+            instants=instants,
+            trace_ids=trace_ids,
+        )
+
+    def flight_reply(self) -> FlightReply:
+        record = flight.process_record(
+            obs.registry(), role="shard", shard=self.shard
+        )
+        return FlightReply(shard=self.shard, record=record)
+
+
 def shard_main(conn: Connection, init: ShardInit) -> None:
     """Run one shard worker until stopped (the process entry point)."""
     # Shutdown is parent-coordinated (StopCmd / terminate); a terminal
@@ -74,6 +185,7 @@ def shard_main(conn: Connection, init: ShardInit) -> None:
     # parent's clean shutdown message.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     started = perf_counter()
+    shard_obs = _ShardObs(init)
     graph = restore_graph(init.graph_state)
     monitor = MultiPairMonitor(graph, init.default_k)
     conn.send(ReadyReply(
@@ -92,11 +204,19 @@ def shard_main(conn: Connection, init: ShardInit) -> None:
                 conn.send(StoppedReply(init.shard))
                 break
             try:
-                reply = dispatch(monitor, command)
+                if isinstance(command, PullMetricsCmd):
+                    reply: Reply = shard_obs.metrics_reply()
+                elif isinstance(command, CollectTraceCmd):
+                    reply = shard_obs.trace_reply(command)
+                elif isinstance(command, FlightCmd):
+                    reply = shard_obs.flight_reply()
+                else:
+                    reply = shard_obs.serve(monitor, command)
             except Exception as exc:  # noqa: BLE001 - shipped to the parent
                 conn.send(ErrorReply(type(exc).__name__, str(exc)))
                 continue
             conn.send(reply)
+            timeseries.maybe_sample()
     finally:
         conn.close()
 

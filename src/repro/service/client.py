@@ -209,15 +209,24 @@ class ServiceClient:
     def metrics(
         self,
         format: str = "json",
+        per_shard: bool = False,
         deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
-        """The server's :mod:`repro.obs` metrics snapshot.
+        """The server's fleet-wide :mod:`repro.obs` metrics snapshot.
 
         ``format="json"`` returns the structured snapshot under
         ``"metrics"``; ``format="prometheus"`` returns the text
-        exposition dump under ``"text"``.
+        exposition dump under ``"text"``.  Under ``--workers N`` the
+        snapshot is the order-independent merge of every shard's
+        registry with the coordinator's; ``per_shard=True`` adds each
+        shard's own snapshot under ``"shards"``.
         """
-        return self.call("metrics", deadline_ms=deadline_ms, format=format)
+        return self.call(
+            "metrics",
+            deadline_ms=deadline_ms,
+            format=format,
+            per_shard=per_shard,
+        )
 
     def explain(
         self,
@@ -244,6 +253,40 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         """The tail of the server's structured event log."""
         return self.call("events", deadline_ms=deadline_ms, limit=limit)
+
+    def trace(
+        self, clear: bool = True, deadline_ms: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The merged multi-process Chrome trace accumulated server-side.
+
+        Returns ``enabled``, the ``trace`` object (coordinator plus one
+        labelled row per shard, on one clock), the contributing
+        ``trace_ids``, and the ``processes`` count; ``clear`` (default)
+        drains the server-side captures.
+        """
+        return self.call("trace", deadline_ms=deadline_ms, clear=clear)
+
+    def history(self, deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """The server's metrics time-series ring snapshot (for
+        sparklines and dashboards); ``history`` is ``None`` unless the
+        server runs with a sampling interval."""
+        return self.call("history", deadline_ms=deadline_ms)
+
+    def flight(
+        self,
+        reason: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """An on-demand ``repro-flight/1`` bundle under ``"bundle"``.
+
+        The fleet-wide flight-recorder dump: the last seconds of spans,
+        events, metrics and time-series from the coordinator and every
+        live shard.
+        """
+        fields: Dict[str, Any] = {}
+        if reason is not None:
+            fields["reason"] = reason
+        return self.call("flight", deadline_ms=deadline_ms, **fields)
 
 
 __all__ = [

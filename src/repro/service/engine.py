@@ -30,18 +30,41 @@ requests — the server layer only ever encodes.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro import obs
-from repro.obs import events
+from repro.obs import events, flight, timeseries
+from repro.obs.distributed import (
+    ProcessTrace,
+    TraceContext,
+    bind_context,
+    current_context,
+    merge_chrome_trace,
+)
 from repro.obs.explain import explain_query
+from repro.obs.metrics import MetricsRegistry, merge_states
+from repro.obs.spans import TraceSink
+from repro.obs.timeseries import TimeSeriesRing
+from repro.obs.trace import TraceBuffer
 from repro.batching.shared import SharedConstructionEngine
 from repro.core.batch import compress_stream
 from repro.core.monitor import MultiPairMonitor, PairKey
 from repro.core.paths import Path
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
 from repro.parallel import ShardedMonitor
+from repro.parallel.pool import WorkerCrashedError
 from repro.service.cache import IndexCache
 from repro.service.protocol import (
     AlreadyWatchedError,
@@ -72,6 +95,18 @@ class PathQueryEngine:
         :class:`~repro.parallel.sharded.ShardedMonitor`; ad-hoc queries
         keep the in-process cache path either way.  Call :meth:`close`
         when done to stop the shard processes.
+    tracing:
+        Install a span-capture buffer here and in every shard, and bind
+        a :class:`~repro.obs.distributed.TraceContext` root around each
+        request so shard-side spans stitch into one coordinator-rooted
+        trace, retrievable merged via the ``trace`` op.
+    flight_window:
+        When > 0, run the always-on flight recorder (here and in every
+        shard) holding the last this-many seconds of spans — the raw
+        material of ``flight`` dumps.
+    timeseries_interval:
+        When > 0, install the bounded metrics time-series ring sampling
+        on this tick (seconds); served by the ``history`` op.
     """
 
     def __init__(
@@ -80,15 +115,47 @@ class PathQueryEngine:
         default_k: int = 6,
         cache_budget_bytes: int = 4 << 20,
         workers: int = 1,
+        tracing: bool = False,
+        flight_window: float = 0.0,
+        timeseries_interval: float = 0.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.graph = graph
         self.default_k = default_k
         self.workers = workers
+        self._tracing = tracing
+        self._capture: Optional[TraceBuffer] = None
+        self._previous_sink: Optional[TraceSink] = None
+        self._flight_enabled_here = False
+        #: Sink for spontaneous flight dumps (shard crash, deadline
+        #: burst, SIGUSR2): called with ``(reason, bundle)``.  The CLI
+        #: installs a file writer here; ``None`` = dumps are dropped.
+        self.on_flight_dump: Optional[
+            Callable[[str, Dict[str, Any]], None]
+        ] = None
+        if tracing:
+            self._capture = TraceBuffer()
+            self._previous_sink = obs.set_trace_sink(self._capture)
+        if flight_window > 0:
+            flight.enable(window=flight_window)
+            self._flight_enabled_here = True
+        self._ring_installed_here = False
+        if timeseries_interval > 0:
+            timeseries.install(
+                TimeSeriesRing(obs.registry(), interval=timeseries_interval)
+            )
+            self._ring_installed_here = True
         self.monitor: Union[MultiPairMonitor, ShardedMonitor]
         if workers > 1:
-            self.monitor = ShardedMonitor(graph, default_k, workers=workers)
+            self.monitor = ShardedMonitor(
+                graph,
+                default_k,
+                workers=workers,
+                tracing=tracing,
+                flight_window=flight_window,
+                timeseries_interval=timeseries_interval,
+            )
         else:
             self.monitor = MultiPairMonitor(graph, default_k)
         self.cache = IndexCache(graph, budget_bytes=cache_budget_bytes)
@@ -114,12 +181,22 @@ class PathQueryEngine:
             events.emit(events.QUERY_STARTED, op=op)
             started = time.perf_counter()
         try:
-            if obs.enabled():
-                obs.incr(f"service.requests.{op}")
-                with obs.span(f"service.op.{op}"):
-                    result = handler(**args)
-            else:
-                result = handler(**args)
+            try:
+                if self._tracing:
+                    context = current_context()
+                    if context is None:
+                        context = TraceContext.new_root(
+                            corr_id=events.correlation_id()
+                        )
+                    with bind_context(context):
+                        result = self._invoke(op, handler, args)
+                else:
+                    result = self._invoke(op, handler, args)
+            except WorkerCrashedError:
+                # Freeze the last seconds before the crash propagates —
+                # this is exactly the moment the recorder exists for.
+                self._dump_on_crash()
+                raise
         except Exception as exc:
             if eventing:
                 events.emit(
@@ -138,6 +215,18 @@ class PathQueryEngine:
                 seconds=time.perf_counter() - started,
             )
         return result
+
+    def _invoke(
+        self,
+        op: str,
+        handler: Callable[..., Dict[str, Any]],
+        args: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        if obs.enabled():
+            obs.incr(f"service.requests.{op}")
+            with obs.span(f"service.op.{op}"):
+                return handler(**args)
+        return handler(**args)
 
     # ------------------------------------------------------------------
     # Queries
@@ -334,8 +423,19 @@ class PathQueryEngine:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def op_metrics(self, format: str = "json") -> Dict[str, Any]:
-        """The process-wide :mod:`repro.obs` metrics, JSON or Prometheus.
+    def op_metrics(
+        self, format: str = "json", per_shard: bool = False
+    ) -> Dict[str, Any]:
+        """Fleet-wide :mod:`repro.obs` metrics, JSON or Prometheus.
+
+        Under ``workers > 1`` every shard's mergeable registry state is
+        pulled over the worker pipes and merged with the coordinator's
+        (order-independently — see
+        :func:`repro.obs.metrics.merge_states`), so histogram counts
+        and percentiles cover the whole fleet; ``fleet`` reports how
+        many shards answered, and ``per_shard=True`` adds each shard's
+        own snapshot under ``shards``.  Single-process engines return
+        the local registry exactly as before.
 
         ``format="json"`` returns the snapshot dict; ``"prometheus"``
         returns the text exposition dump — a scrape target can poll the
@@ -344,21 +444,149 @@ class PathQueryEngine:
         observability is on (``repro serve --metrics`` / ``REPRO_OBS=1``);
         the ``enabled`` field says which mode the server runs in.
         """
+        shard_states: List[Tuple[int, Dict[str, Any]]] = []
+        if isinstance(self.monitor, ShardedMonitor):
+            shard_states = self.monitor.fleet_metric_states()
+        fleet_registry: Optional[MetricsRegistry] = None
+        if shard_states:
+            fleet_registry = MetricsRegistry.from_state(merge_states(
+                obs.registry().state(),
+                *(state for _, state in shard_states),
+            ))
         if format == "prometheus":
+            text = (
+                fleet_registry.render_prometheus()
+                if fleet_registry is not None
+                else obs.render_prometheus()
+            )
             return {
                 "format": "prometheus",
                 "enabled": obs.enabled(),
-                "text": obs.render_prometheus(),
+                "text": text,
             }
         if format != "json":
             raise BadRequestError(
                 f"metrics format must be 'json' or 'prometheus', got {format!r}"
             )
-        return {
+        if fleet_registry is None:
+            metrics = obs.snapshot()
+        else:
+            metrics = fleet_registry.snapshot()
+            metrics["enabled"] = obs.enabled()
+        result: Dict[str, Any] = {
             "format": "json",
             "enabled": obs.enabled(),
-            "metrics": obs.snapshot(),
+            "metrics": metrics,
         }
+        if shard_states:
+            result["fleet"] = {
+                "workers": self.workers,
+                "shards_reporting": len(shard_states),
+            }
+        if per_shard:
+            result["shards"] = [
+                {
+                    "shard": shard,
+                    "metrics": MetricsRegistry.from_state(state).snapshot(),
+                }
+                for shard, state in shard_states
+            ]
+        return result
+
+    def op_trace(self, clear: bool = True) -> Dict[str, Any]:
+        """The merged multi-process Chrome trace accumulated so far.
+
+        Collects every shard's span/instant capture (rebasing each onto
+        the coordinator's clock), folds them with the coordinator's own
+        capture into one Chrome trace object, and — with ``clear``, the
+        default — drains all captures so the next call starts fresh.
+        Requires the engine to run with ``tracing=True``.
+        """
+        if self._capture is None:
+            return {
+                "enabled": False,
+                "processes": 0,
+                "trace_ids": [],
+                "trace": {"traceEvents": [], "displayTimeUnit": "ms"},
+            }
+        processes = [ProcessTrace(
+            "coordinator",
+            os.getpid(),
+            self._capture.spans(),
+            self._capture.instants(),
+        )]
+        trace_ids: Set[str] = set()
+        if isinstance(self.monitor, ShardedMonitor):
+            for shard_trace in self.monitor.collect_traces(clear=clear):
+                processes.append(ProcessTrace(
+                    f"shard {shard_trace['shard']}",
+                    int(shard_trace["pid"]),
+                    shard_trace["spans"],
+                    shard_trace["instants"],
+                ))
+                trace_ids.update(shard_trace["trace_ids"])
+        if clear:
+            self._capture.clear()
+        return {
+            "enabled": True,
+            "processes": len(processes),
+            "trace_ids": sorted(trace_ids),
+            "trace": merge_chrome_trace(processes),
+        }
+
+    def op_history(self) -> Dict[str, Any]:
+        """The coordinator's metrics time-series ring snapshot."""
+        ring = timeseries.current()
+        if ring is None:
+            return {"enabled": False, "history": None}
+        ring.maybe_sample()
+        return {"enabled": True, "history": ring.snapshot()}
+
+    def op_flight(self, reason: str = "wire") -> Dict[str, Any]:
+        """A ``repro-flight/1`` bundle gathered on demand.
+
+        Unlike the spontaneous triggers this never writes a file — the
+        bundle travels back on the wire for the caller to keep.
+        """
+        return {
+            "enabled": flight.enabled(),
+            "bundle": self._flight_bundle(reason),
+        }
+
+    # ------------------------------------------------------------------
+    # Flight dumps
+    # ------------------------------------------------------------------
+    def _flight_bundle(self, reason: str) -> Dict[str, Any]:
+        """Gather one fleet-wide flight bundle (best-effort on shards)."""
+        processes = [
+            flight.process_record(obs.registry(), role="coordinator")
+        ]
+        if isinstance(self.monitor, ShardedMonitor):
+            processes.extend(self.monitor.flight_records())
+        payload = flight.bundle(reason, processes)
+        events.emit(
+            events.FLIGHT_DUMPED, reason=reason, processes=len(processes)
+        )
+        return payload
+
+    def dump_flight(self, reason: str) -> Dict[str, Any]:
+        """Gather a bundle and hand it to :attr:`on_flight_dump`.
+
+        The spontaneous-trigger entry point (shard crash, deadline
+        burst, SIGUSR2, ``repro flight-dump``'s local mode).
+        """
+        payload = self._flight_bundle(reason)
+        if self.on_flight_dump is not None:
+            self.on_flight_dump(reason, payload)
+        return payload
+
+    def _dump_on_crash(self) -> None:
+        if self.on_flight_dump is None:
+            return
+        try:
+            self.dump_flight("shard-crash")
+        except Exception:  # noqa: BLE001 - forensics must not mask the crash
+            pass
 
     def op_explain(
         self, s: Vertex, t: Vertex, k: int, analyze: bool = False
@@ -412,12 +640,23 @@ class PathQueryEngine:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release engine resources (shard worker processes, if any).
+        """Release engine resources (shard worker processes, if any)
+        and unhook whatever obs plane the constructor installed.
 
-        Idempotent; a single-process engine has nothing to release.
+        Idempotent; a single-process engine without obs options has
+        nothing to release.
         """
         if isinstance(self.monitor, ShardedMonitor):
             self.monitor.close()
+        if self._capture is not None:
+            obs.set_trace_sink(self._previous_sink)
+            self._capture = None
+        if self._flight_enabled_here:
+            flight.disable()
+            self._flight_enabled_here = False
+        if self._ring_installed_here:
+            timeseries.install(None)
+            self._ring_installed_here = False
 
 
 __all__ = [

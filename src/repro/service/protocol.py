@@ -38,14 +38,28 @@ stats       —                                            server/engine counter
                                                          (incl. ``parallel``
                                                          shard info)
 metrics     optional ``format``                          ``format``,
-            (``"json"``/``"prometheus"``)                ``enabled``,
-                                                         ``metrics``/``text``
+            (``"json"``/``"prometheus"``),               ``enabled``,
+            optional ``per_shard``                       ``metrics``/``text``,
+                                                         ``fleet``, ``shards``
 explain     ``s``, ``t``, ``k``, optional ``analyze``    ``explain`` (the
                                                          ``repro-explain/1``
                                                          report object)
 events      optional ``limit``                           ``enabled``, ``count``,
                                                          ``total_emitted``,
                                                          ``events``
+trace       optional ``clear``                           ``enabled``,
+                                                         ``processes``,
+                                                         ``trace_ids``,
+                                                         ``trace`` (a merged
+                                                         Chrome trace object)
+history     —                                            ``enabled``,
+                                                         ``history`` (the
+                                                         time-series ring
+                                                         snapshot)
+flight      optional ``reason``                          ``enabled``,
+                                                         ``bundle`` (a
+                                                         ``repro-flight/1``
+                                                         object)
 ========== ============================================= ====================
 
 Every request may carry ``deadline_ms``, a per-request latency budget
@@ -108,6 +122,9 @@ OPS = (
     "metrics",
     "explain",
     "events",
+    "trace",
+    "history",
+    "flight",
 )
 
 _REQUIRED_FIELDS = {
@@ -121,6 +138,9 @@ _REQUIRED_FIELDS = {
     "metrics": (),
     "explain": ("s", "t", "k"),
     "events": (),
+    "trace": (),
+    "history": (),
+    "flight": (),
 }
 
 
@@ -346,6 +366,21 @@ def decode_request(line: Wire) -> Request:
                 f"got {fmt!r}"
             )
         args["format"] = fmt
+    if op == "metrics" and "per_shard" in payload:
+        if not isinstance(payload["per_shard"], bool):
+            raise BadRequestError("field 'per_shard' must be a boolean")
+        args["per_shard"] = payload["per_shard"]
+    if op == "trace" and "clear" in payload:
+        if not isinstance(payload["clear"], bool):
+            raise BadRequestError("field 'clear' must be a boolean")
+        args["clear"] = payload["clear"]
+    if op == "flight" and "reason" in payload:
+        reason = payload["reason"]
+        if not isinstance(reason, str) or not reason:
+            raise BadRequestError(
+                "field 'reason' must be a non-empty string"
+            )
+        args["reason"] = reason
 
     deadline_ms = payload.get("deadline_ms")
     if deadline_ms is not None:

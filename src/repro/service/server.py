@@ -26,7 +26,8 @@ import time
 from typing import List, Optional, Set
 
 from repro import obs
-from repro.obs import events
+from repro.obs import events, timeseries
+from repro.obs.flight import BurstDetector
 from repro.batching.window import GatherWindow, PendingMember
 from repro.service.admission import AdmissionController
 from repro.service.engine import PathQueryEngine
@@ -107,6 +108,11 @@ class PathQueryServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         self._connections_total = 0
+        #: Deadline-miss burst trigger: enough windowed expirations in a
+        #: short horizon fire one flight dump (engine's on_flight_dump).
+        self._burst = BurstDetector()
+        self._ticker_task: Optional["asyncio.Task[None]"] = None
+        self._flight_tasks: Set["asyncio.Task[None]"] = set()
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -118,6 +124,11 @@ class PathQueryServer:
             limit=self.max_line_bytes,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        ring = timeseries.current()
+        if ring is not None:
+            self._ticker_task = asyncio.get_running_loop().create_task(
+                self._run_ticker(ring.interval)
+            )
 
     async def serve_forever(self) -> None:
         """Block serving until cancelled or :meth:`shutdown` is called."""
@@ -136,6 +147,10 @@ class PathQueryServer:
         ``shutting_down`` errors.  A gather window is flushed first, so
         queries waiting for a batch are answered, not dropped.
         """
+        if self._ticker_task is not None:
+            self._ticker_task.cancel()
+        for task in tuple(self._flight_tasks):
+            task.cancel()
         if self._batch_window is not None:
             await self._batch_window.close()
         self.admission.begin_shutdown()
@@ -335,6 +350,8 @@ class PathQueryServer:
             events.BATCH_MEMBER_EXPIRED,
             waited_seconds=round(now - member.enqueued_at, 6),
         )
+        if self._burst.note(now):
+            self._schedule_flight_dump("deadline-burst")
         if not member.future.done():
             member.future.set_result(
                 error_response(
@@ -356,6 +373,40 @@ class PathQueryServer:
                 member.future.set_result(
                     error_response(member.payload.id, exc)
                 )
+
+    # ------------------------------------------------------------------
+    # Observability background work
+    # ------------------------------------------------------------------
+    def request_flight_dump(self, reason: str) -> None:
+        """Queue one off-band flight dump — the SIGUSR2 / admin entry
+        point; a no-op unless the engine has an ``on_flight_dump``
+        sink installed."""
+        self._schedule_flight_dump(reason)
+
+    async def _run_ticker(self, interval: float) -> None:
+        """Drive the time-series ring even while no requests arrive."""
+        while True:
+            await asyncio.sleep(interval)
+            timeseries.maybe_sample()
+
+    def _schedule_flight_dump(self, reason: str) -> None:
+        """Run one engine flight dump off-band, serialized with engine
+        work via an admission slot (the worker pipes are strictly
+        one-reply-per-command, so a dump must never interleave with an
+        in-flight broadcast)."""
+        if self.engine.on_flight_dump is None:
+            return
+
+        async def dump() -> None:
+            try:
+                async with self.admission.admit(None):
+                    await asyncio.to_thread(self.engine.dump_flight, reason)
+            except Exception:  # noqa: BLE001 - forensic path, best-effort
+                pass
+
+        task = asyncio.get_running_loop().create_task(dump())
+        self._flight_tasks.add(task)
+        task.add_done_callback(self._flight_tasks.discard)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,288 @@
+"""Units for the flight recorder, the time-series ring, and trace
+stitching primitives (:mod:`repro.obs.flight`,
+:mod:`repro.obs.timeseries`, :mod:`repro.obs.distributed`)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import flight as flight_mod
+from repro.obs import spans as spans_mod
+from repro.obs import timeseries as timeseries_mod
+from repro.obs.distributed import (
+    ProcessTrace,
+    TraceContext,
+    bind_context,
+    current_context,
+    merge_chrome_trace,
+    new_span_id,
+    new_trace_id,
+    perf_offset,
+    shift_instants,
+    shift_spans,
+)
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    BurstDetector,
+    FlightRecorder,
+    validate_flight_bundle,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRing
+from repro.obs.trace import validate_chrome_trace
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.check_flight import check_flight  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_slots():
+    """Flight recorder and time-series slots start and end empty."""
+    flight_mod.disable()
+    previous_ring = timeseries_mod.install(None)
+    yield
+    flight_mod.disable()
+    timeseries_mod.install(previous_ring)
+
+
+# ---------------------------------------------------------------------------
+# Trace contexts and ids
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_ids_are_distinct_and_wall_clock_free(self):
+        ids = {new_trace_id() for _ in range(50)}
+        ids |= {new_span_id() for _ in range(50)}
+        assert len(ids) == 100
+        for value in ids:
+            assert value.startswith(("t-", "s-"))
+
+    def test_child_keeps_trace_id_and_mints_parent_span(self):
+        root = TraceContext.new_root(corr_id="q-1")
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.corr_id == "q-1"
+        assert child.parent_span_id is not None
+        assert child.parent_span_id != root.child().parent_span_id
+
+    def test_bind_context_restores_on_exit(self):
+        assert current_context() is None
+        outer = TraceContext.new_root()
+        inner = outer.child()
+        with bind_context(outer):
+            assert current_context() is outer
+            with bind_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+        assert current_context() is None
+
+    def test_perf_offset_is_the_ntp_midpoint(self):
+        # Coordinator clock 100.0..100.2 around a worker reading 40.05:
+        # midpoint 100.1, so worker time + offset lands there.
+        offset = perf_offset(100.0, 100.2, 40.05)
+        assert 40.05 + offset == pytest.approx(100.1)
+
+
+class TestMergeChromeTrace:
+    def _processes(self):
+        coordinator = ProcessTrace(
+            label="coordinator",
+            pid=1000,
+            spans=[("service.op.watch", 10.0, 0.5, 1)],
+            instants=[("explain.cut", 10.1, 1, {"side": "L"})],
+        )
+        shard = ProcessTrace(
+            label="shard 0",
+            pid=2000,
+            spans=shift_spans([["parallel.shard.dispatch", 3.0, 0.2, 1]], 7.1),
+            instants=shift_instants([["explain.level", 3.1, 1, {}]], 7.1),
+        )
+        return [coordinator, shard]
+
+    def test_merged_trace_validates_and_labels_processes(self):
+        trace = merge_chrome_trace(self._processes())
+        assert validate_chrome_trace(trace) == []
+        metadata = [
+            e for e in trace["traceEvents"] if e["name"] == "process_name"
+        ]
+        assert {e["pid"] for e in metadata} == {1000, 2000}
+        assert {e["args"]["name"] for e in metadata} == {
+            "coordinator", "shard 0",
+        }
+
+    def test_timestamps_rebase_to_global_minimum(self):
+        trace = merge_chrome_trace(self._processes())
+        events = [
+            e for e in trace["traceEvents"] if e["cat"] != "__metadata"
+        ]
+        assert min(e["ts"] for e in events) == 0
+        # The shard span started at 3.0 + 7.1 = 10.1 on the shared
+        # clock; rebased against the coordinator span at 10.0.
+        shard_span = next(e for e in events if e["pid"] == 2000 and
+                          e["ph"] == "X")
+        assert shard_span["ts"] == pytest.approx(0.1e6, abs=2)
+
+    def test_metadata_passthrough(self):
+        trace = merge_chrome_trace(self._processes(),
+                                   metadata={"trace_id": "t-1-000001"})
+        assert trace["metadata"]["trace_id"] == "t-1-000001"
+
+
+# ---------------------------------------------------------------------------
+# Time-series ring
+# ---------------------------------------------------------------------------
+
+
+class TestTimeSeriesRing:
+    def test_counter_deltas_per_tick(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("req")
+        ring = TimeSeriesRing(registry, interval=1.0, capacity=8)
+        counter.inc(3)
+        ring.sample(now=1.0)
+        counter.inc(2)
+        ring.sample(now=2.0)
+        ring.sample(now=3.0)
+        assert ring.series("counters", "req") == [3.0, 2.0, 0.0]
+
+    def test_histogram_percentiles_and_count_delta(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        ring = TimeSeriesRing(registry, interval=1.0, capacity=8)
+        for v in (0.1, 0.2, 0.3):
+            histogram.observe(v)
+        ring.sample(now=1.0)
+        histogram.observe(0.4)
+        ring.sample(now=2.0)
+        assert ring.series("histograms", "lat", "count") == [3.0, 1.0]
+        p50 = ring.series("histograms", "lat", "p50")
+        assert len(p50) == 2 and p50[0] > 0.0
+
+    def test_capacity_trims_oldest(self):
+        registry = MetricsRegistry()
+        ring = TimeSeriesRing(registry, interval=1.0, capacity=3)
+        for tick in range(6):
+            ring.sample(now=float(tick))
+        snapshot = ring.snapshot()
+        assert len(snapshot["samples"]) == 3
+        assert snapshot["total_samples"] == 6
+
+    def test_snapshot_timestamps_relative_to_newest(self):
+        registry = MetricsRegistry()
+        ring = TimeSeriesRing(registry, interval=1.0, capacity=8)
+        ring.sample(now=10.0)
+        ring.sample(now=11.5)
+        stamps = [s["ts"] for s in ring.snapshot()["samples"]]
+        assert stamps == [pytest.approx(-1.5), pytest.approx(0.0)]
+
+    def test_maybe_sample_respects_interval(self):
+        registry = MetricsRegistry()
+        ring = TimeSeriesRing(registry, interval=5.0, capacity=8)
+        assert ring.maybe_sample(now=0.0) is True
+        assert ring.maybe_sample(now=1.0) is False
+        assert ring.maybe_sample(now=5.0) is True
+        assert len(ring) == 2
+
+    def test_module_slot_install_and_tick(self):
+        registry = MetricsRegistry()
+        ring = TimeSeriesRing(registry, interval=0.0001, capacity=4)
+        assert timeseries_mod.maybe_sample() is False  # no ring installed
+        previous = timeseries_mod.install(ring)
+        assert previous is None
+        assert timeseries_mod.current() is ring
+        assert timeseries_mod.maybe_sample() is True
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder
+# ---------------------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_window_evicts_old_spans(self):
+        recorder = FlightRecorder(window=10.0)
+        recorder.record_span("old", 0.0, 1.0, 1)
+        recorder.record_span("new", 20.0, 1.0, 1)
+        names = [span[0] for span in recorder.spans(now=21.0)]
+        assert names == ["new"]
+
+    def test_max_spans_bounds_memory(self):
+        recorder = FlightRecorder(window=1e6, max_spans=4)
+        for i in range(10):
+            recorder.record_span(f"s{i}", float(i), 0.1, 1)
+        assert len(recorder) == 4
+
+    def test_process_record_and_bundle_validate(self):
+        recorder = FlightRecorder(window=30.0)
+        recorder.record_span("service.op.query", 1.0, 0.2, 7)
+        registry = MetricsRegistry()
+        registry.counter("req").inc()
+        record = recorder.process_record(registry, now=2.0)
+        bundle = recorder.bundle("manual", [record])
+        assert bundle["schema"] == FLIGHT_SCHEMA
+        assert validate_flight_bundle(bundle) == []
+        assert check_flight(bundle, reason="manual", min_processes=1) == []
+
+    def test_installed_recorder_captures_spans(self):
+        flight_mod.enable(window=30.0)
+        with spans_mod.Span("flight.test", MetricsRegistry()):
+            pass
+        recorder = flight_mod.recorder()
+        assert recorder is not None
+        assert any(s[0] == "flight.test" for s in recorder.spans())
+        flight_mod.disable()
+        assert spans_mod.flight_sink() is None
+
+    def test_disabled_process_record_is_still_bundleable(self):
+        registry = MetricsRegistry()
+        record = flight_mod.process_record(registry, role="shard", shard=3)
+        assert record["window_seconds"] == 0.0
+        bundle = flight_mod.bundle("wire", [record])
+        assert validate_flight_bundle(bundle) == []
+
+    def test_validate_rejects_malformed_bundles(self):
+        assert validate_flight_bundle([]) != []
+        assert validate_flight_bundle({"schema": "nope"}) != []
+        bad_proc = {
+            "schema": FLIGHT_SCHEMA,
+            "reason": "manual",
+            "generated_at": 0.0,
+            "processes": [{"pid": "x", "role": "pilot"}],
+        }
+        problems = validate_flight_bundle(bad_proc)
+        assert any("pid" in p for p in problems)
+        assert any("role" in p for p in problems)
+
+    def test_check_flight_reason_and_process_floor(self):
+        recorder = FlightRecorder()
+        registry = MetricsRegistry()
+        bundle = recorder.bundle(
+            "manual", [recorder.process_record(registry)]
+        )
+        assert check_flight(bundle, reason="shard-crash") != []
+        assert check_flight(bundle, min_processes=2) != []
+
+
+class TestBurstDetector:
+    def test_fires_on_threshold_within_horizon(self):
+        detector = BurstDetector(threshold=3, horizon=10.0)
+        assert detector.note(1.0) is False
+        assert detector.note(2.0) is False
+        assert detector.note(3.0) is True
+
+    def test_old_marks_age_out(self):
+        detector = BurstDetector(threshold=3, horizon=5.0)
+        detector.note(0.0)
+        detector.note(1.0)
+        # The first two fall outside the horizon by now.
+        assert detector.note(20.0) is False
+
+    def test_resets_after_firing(self):
+        detector = BurstDetector(threshold=2, horizon=10.0)
+        assert detector.note(1.0) is False
+        assert detector.note(2.0) is True
+        # A fresh burst is needed to fire again.
+        assert detector.note(3.0) is False
+        assert detector.note(4.0) is True

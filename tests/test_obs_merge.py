@@ -1,0 +1,185 @@
+"""Merge semantics for :mod:`repro.obs.metrics` fleet aggregation.
+
+The fleet-wide ``metrics`` surface folds per-shard registry states into
+one with :func:`merge_states`.  Everything downstream (Prometheus
+exposition, ``repro top``, regression dashboards) assumes that fold is
+a well-behaved monoid: associative, order-independent, with the empty
+registry as identity — and that rendering a merged state is
+byte-stable.  These tests pin each of those properties on fixed seeds.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    merge_histogram_states,
+    merge_states,
+)
+
+SEED = 20260809
+
+
+def dyadic(rng, lo=0, hi=4096, scale=1024.0):
+    """A random dyadic rational — float sums over these are exact, so
+    byte-identity assertions are about semantics, not rounding luck."""
+    return rng.randint(lo, hi) / scale
+
+
+def make_registry(seed, names=("alpha", "beta"), observations=25):
+    """A registry with seeded counter/gauge/histogram traffic."""
+    rng = random.Random(seed)
+    registry = MetricsRegistry()
+    for name in names:
+        counter = registry.counter(f"{name}.requests")
+        gauge = registry.gauge(f"{name}.inflight")
+        histogram = registry.histogram(f"{name}.seconds")
+        for _ in range(observations):
+            counter.inc(rng.randint(1, 5))
+            gauge.set(dyadic(rng))
+            histogram.observe(dyadic(rng, lo=1))
+    return registry
+
+
+@pytest.fixture()
+def shard_states():
+    """Three per-shard registry states with overlapping metric names."""
+    return [
+        make_registry(SEED).state(),
+        make_registry(SEED + 1).state(),
+        make_registry(SEED + 2, names=("alpha", "gamma")).state(),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Histogram state merging
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramMerge:
+    def test_counts_totals_and_extremes_combine(self):
+        left = Histogram("h")
+        right = Histogram("h")
+        for v in (0.2, 0.4, 0.9):
+            left.observe(v)
+        for v in (0.1, 0.6):
+            right.observe(v)
+        merged = merge_histogram_states(left.state(), right.state())
+        assert merged["count"] == 5
+        assert merged["total"] == pytest.approx(2.2)
+        assert merged["min"] == pytest.approx(0.1)
+        assert merged["max"] == pytest.approx(0.9)
+        assert merged["samples"] == sorted(merged["samples"])
+
+    def test_empty_histogram_is_identity(self):
+        live = Histogram("h")
+        for v in (0.3, 0.7):
+            live.observe(v)
+        alone = merge_histogram_states(live.state())
+        with_empty = merge_histogram_states(live.state(), Histogram("h").state())
+        assert with_empty == alone
+        # Merging only empties stays the canonical empty state.
+        both_empty = merge_histogram_states(
+            Histogram("h").state(), Histogram("h").state()
+        )
+        assert both_empty["count"] == 0
+        assert both_empty["min"] == 0.0
+        assert both_empty["max"] == 0.0
+
+    def test_same_multiset_different_order_is_byte_equal(self):
+        rng = random.Random(SEED)
+        values = [dyadic(rng) for _ in range(40)]
+        forward = Histogram("h")
+        backward = Histogram("h")
+        for v in values:
+            forward.observe(v)
+        for v in reversed(values):
+            backward.observe(v)
+        assert forward.state() == backward.state()
+
+    def test_from_state_restores_exact_quantiles(self):
+        source = Histogram("h")
+        rng = random.Random(SEED)
+        for _ in range(64):
+            source.observe(dyadic(rng))
+        restored = Histogram.from_state("h", source.state())
+        assert restored.count == source.count
+        assert restored.percentiles() == source.percentiles()
+        assert restored.as_dict() == source.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Registry state merging: the monoid laws
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryMerge:
+    def test_order_independence(self, shard_states):
+        a, b, c = shard_states
+        assert merge_states(a, b, c) == merge_states(c, b, a)
+        assert merge_states(a, b) == merge_states(b, a)
+
+    def test_associativity(self, shard_states):
+        a, b, c = shard_states
+        left = merge_states(merge_states(a, b), c)
+        right = merge_states(a, merge_states(b, c))
+        assert left == right == merge_states(a, b, c)
+
+    def test_empty_registry_is_identity(self, shard_states):
+        a = shard_states[0]
+        empty = MetricsRegistry().state()
+        assert merge_states(a, empty) == merge_states(a)
+        assert merge_states(empty, a) == merge_states(a)
+
+    def test_counter_and_histogram_counts_are_sums(self, shard_states):
+        merged = merge_states(*shard_states)
+        for name in merged["counters"]:
+            expected = sum(
+                state["counters"].get(name, 0) for state in shard_states
+            )
+            assert merged["counters"][name] == expected
+        for name, histogram in merged["histograms"].items():
+            expected = sum(
+                state["histograms"].get(name, {}).get("count", 0)
+                for state in shard_states
+            )
+            assert histogram["count"] == expected
+
+    def test_gauges_sum_across_processes(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.gauge("pool.inflight").set(2.0)
+        b.gauge("pool.inflight").set(3.5)
+        merged = merge_states(a.state(), b.state())
+        assert merged["gauges"]["pool.inflight"] == pytest.approx(5.5)
+
+    def test_metric_maps_are_name_sorted(self, shard_states):
+        merged = merge_states(*reversed(shard_states))
+        for kind in ("counters", "gauges", "histograms"):
+            assert list(merged[kind]) == sorted(merged[kind])
+
+
+# ---------------------------------------------------------------------------
+# Byte-stable exposition after merge
+# ---------------------------------------------------------------------------
+
+
+class TestMergedExposition:
+    def test_prometheus_bytes_stable_across_merge_order(self, shard_states):
+        a, b, c = shard_states
+        one = MetricsRegistry.from_state(merge_states(a, b, c))
+        other = MetricsRegistry.from_state(merge_states(c, a, b))
+        text = one.render_prometheus()
+        assert text.encode() == other.render_prometheus().encode()
+        # The merged exposition carries every metric family.
+        for name in ("alpha_requests", "beta_seconds", "gamma_inflight"):
+            assert name in text
+
+    def test_round_trip_through_from_state_is_stable(self, shard_states):
+        merged = merge_states(*shard_states)
+        rebuilt = MetricsRegistry.from_state(merged)
+        assert rebuilt.state() == merged
+        again = MetricsRegistry.from_state(rebuilt.state())
+        assert again.render_prometheus() == rebuilt.render_prometheus()
