@@ -1,0 +1,240 @@
+"""Planner benchmark: cost-based plan choice vs always-index on ad-hoc load.
+
+Models the workload the planner exists for: a stream of *distinct*
+one-shot queries (no key ever repeats) interleaved with graph updates.
+In legacy ``--planner index`` mode every query builds a full CPE index
+**through the cache**, so the entry is sized, inserted, and — the real
+tax — repaired by every subsequent update (`observe_all` walks all
+retained enumerators).  In ``--planner auto`` mode the cost model sees
+first-sight keys and picks the direct one-shot plan: same
+``build_index`` + ``enumerate_full_list`` pipeline, no retained state,
+nothing to repair.  Answers are asserted byte-identical during the run;
+only throughput differs:
+
+- ``planner_adhoc_per_s.index`` — ops/s with the legacy always-index
+  path;
+- ``planner_adhoc_per_s.auto`` — ops/s with cost-based planning;
+- ``planner_adhoc_speedup`` — the headline ratio;
+- ``cache_sizing_us.snapshot`` / ``cache_sizing_us.estimated`` /
+  ``cache_sizing_speedup`` — the retired JSON-serialization sizing
+  probe vs the estimated accounting the cache now uses on every miss.
+
+Usage::
+
+    python benchmarks/bench_planner.py [--out FILE] [--repeats N]
+        [--queries N]
+
+Writes ``benchmarks/results/bench_planner.json`` (repro-bench/1) and a
+human-readable ``bench_planner.txt``.  Compare against the committed
+baseline with ``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.enumerator import CpeEnumerator  # noqa: E402
+from repro.core.serialize import snapshot_size_bytes  # noqa: E402
+from repro.graph import datasets  # noqa: E402
+from repro.service.cache import estimated_entry_bytes  # noqa: E402
+from repro.service.engine import PathQueryEngine  # noqa: E402
+from repro.workloads.queries import random_queries  # noqa: E402
+
+DATASET = "WG"
+SCALE = 0.25
+K = 6
+SEED = 7
+NUM_QUERIES = 32
+#: One delete + re-insert pair of an existing edge after every
+#: UPDATE_EVERY queries — the graph is unchanged at each pair's end, so
+#: every repeat (and every planner mode) sees the identical stream.
+UPDATE_EVERY = 2
+SIZING_ITERATIONS = 200
+
+
+def _adhoc_ops(graph):
+    """The fixed-seed op stream: distinct one-shot queries + updates."""
+    queries = random_queries(graph, NUM_QUERIES, K, seed=SEED)
+    rng = random.Random(SEED)
+    edges = sorted(graph.edges())
+    ops = []
+    for idx, query in enumerate(queries):
+        ops.append(("query", query.s, query.t, query.k))
+        if (idx + 1) % UPDATE_EVERY == 0:
+            u, v = edges[rng.randrange(len(edges))]
+            ops.append(("update", u, v, False))
+            ops.append(("update", u, v, True))
+    return ops
+
+
+def _run_ops(engine, ops):
+    """Execute the stream; answers with the ``source`` label stripped."""
+    answers = []
+    for op in ops:
+        if op[0] == "query":
+            _, s, t, k = op
+            result = dict(engine.handle("query", {"s": s, "t": t, "k": k}))
+            result.pop("source", None)
+            answers.append(result)
+        else:
+            _, u, v, insert = op
+            answers.append(
+                engine.handle("update", {"u": u, "v": v, "insert": insert})
+            )
+    return answers
+
+
+def _measure_mode(graph, ops, mode, repeats, expected=None):
+    """Best-of-``repeats`` ops/s; a fresh (cold) engine every pass."""
+    answers = _run_ops(PathQueryEngine(graph, planner=mode), ops)
+    if expected is not None and answers != expected:
+        raise RuntimeError(f"planner mode {mode!r} diverged from index mode")
+    best = 0.0
+    for _ in range(repeats):
+        engine = PathQueryEngine(graph, planner=mode)
+        start = time.perf_counter()
+        _run_ops(engine, ops)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, len(ops) / elapsed)
+    return best, answers
+
+
+def _measure_sizing(graph, ops):
+    """Mean microseconds per sizing call, old probe vs estimated."""
+    s, t, k = next(op[1:] for op in ops if op[0] == "query")
+    enum = CpeEnumerator(graph, s, t, k)
+    timings = {}
+    for name, probe in (
+        ("snapshot", lambda: snapshot_size_bytes(enum, include_graph=False)),
+        ("estimated", lambda: estimated_entry_bytes(enum)),
+    ):
+        probe()  # warm-up
+        start = time.perf_counter()
+        for _ in range(SIZING_ITERATIONS):
+            probe()
+        elapsed = time.perf_counter() - start
+        timings[name] = elapsed / SIZING_ITERATIONS * 1e6
+    return timings
+
+
+def run_bench_planner(
+    repeats: int = 3, num_queries: int = NUM_QUERIES
+) -> dict:
+    """The fixed-seed measurement; returns a ``repro-bench/1`` payload."""
+    graph = datasets.load(DATASET, SCALE)
+    ops = _adhoc_ops(graph)
+    if num_queries != NUM_QUERIES:
+        kept = []
+        seen_queries = 0
+        for op in ops:
+            if op[0] == "query":
+                if seen_queries >= num_queries:
+                    break
+                seen_queries += 1
+            kept.append(op)
+        ops = kept
+
+    metrics = {}
+    queries = sum(1 for op in ops if op[0] == "query")
+    updates = len(ops) - queries
+    lines = [
+        f"Planner benchmark — {DATASET} scale {SCALE}, {queries} distinct "
+        f"one-shot queries + {updates} updates, k={K}",
+    ]
+
+    index_rate, expected = _measure_mode(graph, ops, "index", repeats)
+    metrics["planner_adhoc_per_s.index"] = {
+        "value": index_rate, "unit": "ops/s", "direction": "higher",
+    }
+    lines.append(f"planner index (legacy) {index_rate:10.1f} ops/s")
+
+    auto_rate, _ = _measure_mode(graph, ops, "auto", repeats, expected)
+    metrics["planner_adhoc_per_s.auto"] = {
+        "value": auto_rate, "unit": "ops/s", "direction": "higher",
+    }
+    lines.append(f"planner auto           {auto_rate:10.1f} ops/s")
+
+    speedup = auto_rate / index_rate if index_rate else 0.0
+    metrics["planner_adhoc_speedup"] = {
+        "value": speedup, "unit": "x", "direction": "higher",
+    }
+    lines.append(f"speedup auto vs index  {speedup:10.2f}x")
+
+    sizing = _measure_sizing(graph, ops)
+    for name, micros in sizing.items():
+        metrics[f"cache_sizing_us.{name}"] = {
+            "value": micros, "unit": "us", "direction": "lower",
+        }
+        lines.append(f"sizing {name:<9}       {micros:10.2f} us/call")
+    sizing_speedup = (
+        sizing["snapshot"] / sizing["estimated"] if sizing["estimated"] else 0.0
+    )
+    metrics["cache_sizing_speedup"] = {
+        "value": sizing_speedup, "unit": "x", "direction": "higher",
+    }
+    lines.append(f"sizing speedup         {sizing_speedup:10.2f}x")
+
+    return {
+        "schema": "repro-bench/1",
+        "benchmark": "bench_planner",
+        "config": {
+            "dataset": DATASET,
+            "scale": SCALE,
+            "k": K,
+            "seed": SEED,
+            "num_queries": queries,
+            "num_updates": updates,
+            "update_every": UPDATE_EVERY,
+            "sizing_iterations": SIZING_ITERATIONS,
+            "repeats": repeats,
+        },
+        "metrics": metrics,
+        "text": "\n".join(lines),
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(ROOT / "benchmarks" / "results" / "bench_planner.json"),
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--queries", type=int, default=NUM_QUERIES)
+    args = parser.parse_args(argv)
+
+    payload = run_bench_planner(
+        repeats=args.repeats, num_queries=args.queries
+    )
+    text = payload.pop("text")
+    print(text)
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    out.with_suffix(".txt").write_text(text + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+__all__ = [
+    "run_bench_planner",
+    "main",
+]

@@ -75,8 +75,9 @@ class EnumeratorCache(Protocol):
         t: Vertex,
         k: int,
         build: Optional[Callable[[], CpeEnumerator]] = None,
-    ) -> CpeEnumerator:
-        """The warm enumerator, built via ``build`` on a miss."""
+    ) -> Tuple[CpeEnumerator, str]:
+        """The warm enumerator (built via ``build`` on a miss) and the
+        call's own outcome label (``hit`` / ``miss`` / ``bypass``)."""
 
 
 @dataclass
@@ -238,15 +239,9 @@ class SharedConstructionEngine:
                     return CpeEnumerator.from_build(self.graph, result)
 
                 builder = build
-            key = (s, t, k)
-            warm = key in self.cache
-            enumerator = self.cache.get_or_build(s, t, k, build=builder)
-            if warm:
-                source = "hit"
-            elif key in self.cache:
-                source = "miss"
-            else:
-                source = "bypass"
+            enumerator, source = self.cache.get_or_build(
+                s, t, k, build=builder
+            )
             paths = memo.get(triple)
             if paths is None:
                 paths = enumerator.startup()

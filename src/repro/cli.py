@@ -183,6 +183,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pre-register a watched pair, repeatable (e.g. --watch 3:42)",
     )
     sv.add_argument(
+        "--planner", choices=("auto", "index", "direct"), default="index",
+        help="ad-hoc query planning: 'index' (default) always builds "
+             "through the warm cache, 'auto' cost-picks per query "
+             "between cached / full-index / direct one-shot join, "
+             "'direct' forces the index-free join; answers are "
+             "byte-identical across modes",
+    )
+    sv.add_argument(
         "--batch-window", type=float, default=None, metavar="MS",
         help="gather concurrent query requests for up to MS milliseconds "
              "and execute each batch through the shared-construction "
@@ -261,6 +269,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="zipf-skew query-pair popularity with exponent A "
              "(hot-pair traffic); default: uniform",
     )
+    bs.add_argument(
+        "--planner", choices=("auto", "index", "direct"), default="index",
+        help="ad-hoc query planning mode on the benched server "
+             "(see 'repro serve --planner')",
+    )
     bs.add_argument("--seed", type=int, default=7)
     bs.add_argument("--save", metavar="FILE", default=None,
                     help="also write the JSON summary to FILE")
@@ -304,6 +317,11 @@ def _build_parser() -> argparse.ArgumentParser:
     xp.add_argument("--analyze", action="store_true",
                     help="run the enumeration and report measured "
                          "probe/emit cardinalities")
+    xp.add_argument(
+        "--planner", choices=("auto", "index", "direct"), default=None,
+        help="also preview the cost-based planner in this mode: chosen "
+             "plan, per-plan costs, estimated vs. actual cardinalities",
+    )
     xp.add_argument(
         "--format", choices=("text", "json", "trace"), default="text",
         help="'trace' emits Chrome trace-event JSON for "
@@ -472,7 +490,10 @@ def _cmd_serve(args) -> int:
         tracing=args.tracing,
         flight_window=max(args.flight_window, 0.0),
         timeseries_interval=max(args.history_interval, 0.0),
+        planner=args.planner,
     )
+    if args.planner != "index":
+        print(f"planner: ad-hoc queries planned in {args.planner!r} mode")
     flight_dir = Path(args.flight_dir)
 
     def _write_flight(reason: str, bundle: dict) -> None:
@@ -593,7 +614,10 @@ def _cmd_bench_serve(args) -> int:
         seed=args.seed,
     )
     engine = PathQueryEngine(
-        graph, default_k=args.k, cache_budget_bytes=args.cache_budget
+        graph,
+        default_k=args.k,
+        cache_budget_bytes=args.cache_budget,
+        planner=args.planner,
     )
     watched = 0
     for op in ops:
@@ -629,6 +653,14 @@ def _cmd_bench_serve(args) -> int:
               f"{batching['grouped_members']} grouped members · "
               f"{batching['bfs_saved']} BFS saved · "
               f"{batching['memo_answers']} memo answers")
+    if args.planner != "index":
+        planner = engine.planner.stats()
+        by_plan = planner["by_plan"]
+        print(f"planner     mode {planner['mode']} · "
+              f"{planner['decisions']} decisions · "
+              f"index {by_plan['index']} / direct {by_plan['direct']} / "
+              f"cached {by_plan['cached']} · "
+              f"est err avg {planner['estimate_error_avg']:.2f}")
     if args.save:
         import json
 
@@ -775,6 +807,11 @@ def _cmd_explain(args) -> int:
     if args.workers < 1:
         print("error: --workers must be at least 1", file=sys.stderr)
         return 2
+    planner = None
+    if args.planner is not None:
+        from repro.planner import QueryPlanner
+
+        planner = QueryPlanner(graph, cache=None, mode=args.planner)
     try:
         if args.format == "trace":
             # Spans only fire with obs enabled; the trace buffer needs
@@ -783,7 +820,8 @@ def _cmd_explain(args) -> int:
             try:
                 with obs.tracing() as buffer:
                     report = obs.explain_query(
-                        graph, s, t, args.k, analyze=args.analyze
+                        graph, s, t, args.k, analyze=args.analyze,
+                        planner=planner,
                     )
                 if args.workers > 1:
                     payload = _sharded_explain_trace(
@@ -796,7 +834,8 @@ def _cmd_explain(args) -> int:
             rendered = json.dumps(payload, indent=2, sort_keys=True)
         else:
             report = obs.explain_query(graph, s, t, args.k,
-                                       analyze=args.analyze)
+                                       analyze=args.analyze,
+                                       planner=planner)
             if args.format == "json":
                 rendered = json.dumps(
                     report.to_dict(), indent=2, sort_keys=True
@@ -988,6 +1027,17 @@ def _render_top_frame(address, iteration, interval, stats, snapshot,
         lines.append(
             f"  parallel {parallel['workers']} workers   "
             f"pairs per shard {spread}"
+        )
+    planner = stats.get("planner", {})
+    if planner.get("decisions", 0):
+        by_plan = planner.get("by_plan", {})
+        lines.append(
+            f"  planner mode {planner.get('mode', '?')}   "
+            f"{planner.get('decisions', 0)} decisions   "
+            f"index {by_plan.get('index', 0)} / "
+            f"direct {by_plan.get('direct', 0)} / "
+            f"cached {by_plan.get('cached', 0)}   "
+            f"est err avg {planner.get('estimate_error_avg', 0.0):.2f}"
         )
     batching = stats.get("batching", {})
     if batching.get("batches", 0):

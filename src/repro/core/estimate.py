@@ -17,15 +17,41 @@ utility, plus an unbiased sampling estimator:
 
 These support capacity planning: deciding whether a monitored pair is
 cheap enough to watch at a given ``k`` *before* building its index.
+
+All three estimators share :class:`~repro.core.enumerator.CpeEnumerator`'s
+query contract: ``s == t`` and ``k < 0`` raise :class:`ValueError` (they
+are not valid queries), while ``k == 0`` and unreachable targets are
+legitimate queries whose answer is an empty path set, so the estimators
+return 0 for them.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Dict, List, Optional
 
 from repro.core.distance import DistanceMap
 from repro.graph.digraph import DynamicDiGraph, Vertex
+
+
+def derive_seed(s: Vertex, t: Vertex, k: int) -> int:
+    """A deterministic RNG seed for the query ``(s, t, k)``.
+
+    Stable across processes and runs (unlike ``hash()``, which varies
+    with ``PYTHONHASHSEED``), so estimator-backed decisions — the query
+    planner above all — are reproducible without threading an explicit
+    seed through every call site.
+    """
+    return zlib.crc32(repr((s, t, k)).encode("utf-8"))
+
+
+def _check_query(s: Vertex, t: Vertex, k: int) -> None:
+    """Enforce the enumerator's query contract on estimator inputs."""
+    if s == t:
+        raise ValueError("s and t must differ")
+    if k < 0:
+        raise ValueError("k must be non-negative")
 
 
 def walk_count_bound(
@@ -36,7 +62,8 @@ def walk_count_bound(
     Every simple path is a walk, so this upper-bounds ``|P|``; walks may
     repeat vertices, so the bound loosens on cyclic neighbourhoods.
     """
-    if s == t or k < 1:
+    _check_query(s, t, k)
+    if k == 0:
         return 0
     dist_t = DistanceMap(graph.reverse_view(), t, horizon=k)
     if dist_t.get(s) > k:
@@ -60,7 +87,8 @@ def exact_path_count(
     graph: DynamicDiGraph, s: Vertex, t: Vertex, k: int
 ) -> int:
     """|P| by (distance-pruned) exhaustive DFS — exponential, exact."""
-    if s == t or k < 1:
+    _check_query(s, t, k)
+    if k == 0:
         return 0
     dist_t = DistanceMap(graph.reverse_view(), t, horizon=k)
     count = 0
@@ -96,10 +124,18 @@ def estimate_path_count(
 
     Variance can be large on skewed trees; this is the estimator trade
     PathEnum's optimizer makes too.
+
+    With ``seed=None`` the RNG is seeded from :func:`derive_seed`, so
+    the estimate for a given ``(s, t, k)`` is deterministic — the same
+    value on every call, every process, every run.  Pass an explicit
+    seed to draw an independent sample.
     """
-    if s == t or k < 1 or samples < 1:
+    _check_query(s, t, k)
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    if k == 0:
         return 0.0
-    rng = random.Random(seed)
+    rng = random.Random(derive_seed(s, t, k) if seed is None else seed)
     dist_t = DistanceMap(graph.reverse_view(), t, horizon=k)
     if dist_t.get(s) > k:
         return 0.0
@@ -126,6 +162,7 @@ def estimate_path_count(
 
 
 __all__ = [
+    "derive_seed",
     "walk_count_bound",
     "exact_path_count",
     "estimate_path_count",

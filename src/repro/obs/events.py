@@ -55,6 +55,7 @@ SHARD_FANOUT = "shard.fanout"
 BATCH_FORMED = "batch.formed"
 BATCH_EXECUTED = "batch.executed"
 BATCH_MEMBER_EXPIRED = "batch.member_expired"
+PLAN_CHOSEN = "plan.chosen"
 FLIGHT_DUMPED = "flight.dumped"
 
 #: Every kind the service layer emits (the schema table's source of truth).
@@ -77,6 +78,7 @@ EVENT_KINDS = (
     BATCH_FORMED,
     BATCH_EXECUTED,
     BATCH_MEMBER_EXPIRED,
+    PLAN_CHOSEN,
     FLIGHT_DUMPED,
 )
 
@@ -277,6 +279,7 @@ __all__ = [
     "BATCH_FORMED",
     "BATCH_EXECUTED",
     "BATCH_MEMBER_EXPIRED",
+    "PLAN_CHOSEN",
     "FLIGHT_DUMPED",
     "Event",
     "EventLog",

@@ -1,0 +1,395 @@
+"""Cost-based per-query planning: cached, full-index, or direct execution.
+
+The CPE index pays a heavy ``CPE_startup`` construction that only
+amortizes over repeated or watched queries; PathEnum (Sun et al.,
+SIGMOD 2021 — reproduced in :mod:`repro.baselines.pathenum`) shows that
+one-shot ad-hoc traffic is often better served by a lightweight
+per-query cost model.  :class:`QueryPlanner` sits in front of
+:class:`~repro.core.enumerator.CpeEnumerator` and picks one of three
+plans per query:
+
+- ``cached`` — the warm :class:`~repro.service.cache.IndexCache` entry
+  already exists; pay only the output-linear enumeration;
+- ``index`` — build the full CPE index *through the cache* so the key
+  is retained for future arrivals (right for repeat-heavy keys, the
+  monitoring-shaped traffic the paper targets);
+- ``direct`` — a PathEnum-style one-shot bidirectional join: the same
+  construction and enumeration, but no reusable state — no sizing, no
+  cache insertion, no retention, and no repair cost on later updates.
+
+Cost estimates come from an ``O(k)`` degree-based frontier profile
+(:func:`frontier_profile`; no BFS in the serving hot path) plus a
+bounded per-key repeat history that stands in for the repeat
+probability.  ``direct`` executes the *same* ``build_index`` +
+``enumerate_full_list`` pipeline as the index plans, so answers are
+byte-identical across planner modes by construction — only latency and
+the reply's ``source`` label differ.  The walk-count DP ground truth
+(:func:`repro.core.estimate.walk_count_bound`) is deliberately kept to
+explain-time validation, where its extra BFS is affordable.
+
+Every decision is recorded: ``planner.plan.<plan>`` counters, the
+``planner.decide`` span, the ``plan.chosen`` event, and — once the
+actual cardinality is known — the ``planner.estimate.error`` histogram
+that EXPLAIN ANALYZE and ``repro top`` surface.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Tuple
+
+from repro import obs
+from repro.obs import events
+from repro.core.construction import build_index
+from repro.core.enumeration import enumerate_full_list
+from repro.core.paths import Path
+from repro.graph.digraph import DynamicDiGraph, Vertex
+
+#: The three executable plans, and the planner modes that force them.
+PLAN_CACHED = "cached"
+PLAN_INDEX = "index"
+PLAN_DIRECT = "direct"
+PLANNER_MODES = ("auto", "index", "direct")
+
+#: Cost-model calibration, in "expansion" units (one frontier touch).
+#: Retention covers the cache insert plus the expected repair cost the
+#: entry accrues from later updates; the repeat credit refunds the
+#: construction a future warm hit would otherwise pay again.
+ENUM_COST_PER_PATH = 1.0
+RETENTION_COST_RATIO = 0.35
+#: Bound on the per-key repeat history (LRU, oldest keys forgotten).
+REPEAT_HISTORY = 4096
+#: Estimated bytes per retained partial path of length ~k/2 (mirrors
+#: :attr:`repro.core.index.IndexMemoryStats.approx_bytes` accounting).
+_PATH_RECORD_BYTES = 16
+_VERTEX_SLOT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class FrontierProfile:
+    """Degree-based frontier estimate for one query (no BFS).
+
+    ``forward[i]`` approximates the size of the level-``i`` BFS
+    frontier out of ``s`` (``backward[j]`` likewise into ``t``),
+    seeded with the endpoints' true degrees and grown geometrically by
+    the graph's average out-degree, capped at ``|V|``.
+    """
+
+    forward: Tuple[float, ...]
+    backward: Tuple[float, ...]
+    est_paths: float
+    build_cost: float
+    est_index_paths: float
+
+    def est_entry_bytes(self, k: int) -> float:
+        """Estimated cache-entry size if this query were retained."""
+        per_path = _PATH_RECORD_BYTES + _VERTEX_SLOT_BYTES * (k // 2 + 1)
+        return 256.0 + self.est_index_paths * per_path
+
+
+def frontier_profile(
+    graph: DynamicDiGraph, s: Vertex, t: Vertex, k: int
+) -> FrontierProfile:
+    """The ``O(k)`` cost profile the planner prices plans from.
+
+    The first hop uses the endpoints' actual degrees; deeper levels
+    grow by the average out-degree (``|E| / |V|``) and saturate at
+    ``|V|``.  ``est_paths`` is the walk-DP shape collapsed onto the
+    profile: ``Σ_l forward[l] · backward[k-l] / |V|`` — the expected
+    number of forward/backward meets at each split.  ``build_cost``
+    sums the frontier levels each index side actually expands (the
+    ``l + r = k`` split lands near ``k/2`` per side), which is also the
+    estimate of retained partial paths.
+    """
+    if s == t:
+        raise ValueError("s and t must differ")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    n = float(max(graph.num_vertices, 1))
+    avg_out = graph.num_edges / n
+    forward: List[float] = [1.0]
+    backward: List[float] = [1.0]
+    if k >= 1:
+        forward.append(float(min(graph.out_degree(s), graph.num_vertices)))
+        backward.append(float(min(graph.in_degree(t), graph.num_vertices)))
+    for _ in range(2, k + 1):
+        forward.append(min(forward[-1] * avg_out, n))
+        backward.append(min(backward[-1] * avg_out, n))
+    est_paths = sum(
+        forward[left] * backward[k - left] for left in range(k + 1)
+    ) / n if k >= 1 else 0.0
+    left_depth = (k + 1) // 2
+    right_depth = k // 2
+    est_index_paths = (
+        sum(forward[1:left_depth + 1]) + sum(backward[1:right_depth + 1])
+    )
+    return FrontierProfile(
+        forward=tuple(forward),
+        backward=tuple(backward),
+        est_paths=est_paths,
+        build_cost=est_index_paths,
+        est_index_paths=est_index_paths,
+    )
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """One candidate plan's priced-out cost."""
+
+    plan: str
+    cost: float
+    feasible: bool
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (EXPLAIN's ``planner.plans`` rows)."""
+        return {
+            "plan": self.plan,
+            "cost": round(self.cost, 3),
+            "feasible": self.feasible,
+            "detail": {key: round(val, 3) for key, val in self.detail.items()},
+        }
+
+
+@dataclass
+class PlannerDecision:
+    """The outcome of pricing one query's three candidate plans."""
+
+    s: Vertex
+    t: Vertex
+    k: int
+    mode: str
+    chosen: str
+    estimates: List[PlanEstimate]
+    est_paths: float
+    repeat_count: int
+    warm: bool
+
+    def losing(self) -> List[PlanEstimate]:
+        """The plans not chosen, cheapest first."""
+        return [e for e in self.estimates if e.plan != self.chosen]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (the EXPLAIN planner section's core)."""
+        return {
+            "mode": self.mode,
+            "chosen": self.chosen,
+            "est_paths": round(self.est_paths, 3),
+            "repeat_count": self.repeat_count,
+            "warm": self.warm,
+            "plans": [e.as_dict() for e in self.estimates],
+        }
+
+
+class WarmCache(Protocol):
+    """The slice of :class:`~repro.service.cache.IndexCache` the
+    planner consults (membership + budget; never mutation)."""
+
+    budget_bytes: int
+
+    def __contains__(self, key: Tuple[Vertex, Vertex, int]) -> bool:
+        """Whether ``(s, t, k)`` is currently cached."""
+
+
+class QueryPlanner:
+    """Pick and account a per-query plan; execute the direct one.
+
+    Parameters
+    ----------
+    graph:
+        The served graph (shared with the cache and monitor).
+    cache:
+        The warm-index cache the ``cached``/``index`` plans run
+        through; ``None`` (e.g. the standalone ``repro explain`` path)
+        prices every query as cold with an unlimited retention budget.
+    mode:
+        ``"index"`` — legacy behavior, every ad-hoc query takes the
+        cache path (the planner never decides); ``"direct"`` — force
+        the one-shot join for every ad-hoc query; ``"auto"`` — the
+        cost model picks per query.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        cache: Optional[WarmCache] = None,
+        mode: str = "auto",
+    ) -> None:
+        if mode not in PLANNER_MODES:
+            raise ValueError(
+                f"planner mode must be one of {PLANNER_MODES}, got {mode!r}"
+            )
+        self.graph = graph
+        self.cache = cache
+        self.mode = mode
+        self._seen: "OrderedDict[Tuple[Vertex, Vertex, int], int]" = (
+            OrderedDict()
+        )
+        self._decisions = 0
+        self._by_plan = {PLAN_CACHED: 0, PLAN_INDEX: 0, PLAN_DIRECT: 0}
+        self._error_sum = 0.0
+        self._error_count = 0
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def preview(self, s: Vertex, t: Vertex, k: int) -> PlannerDecision:
+        """Price the plans without recording anything.
+
+        The diagnostic entry point (EXPLAIN): repeat history, counters,
+        metrics and events are all left untouched, so explaining a
+        query never perturbs what the serving path would decide.
+        """
+        profile = frontier_profile(self.graph, s, t, k)
+        key = (s, t, k)
+        warm = self.cache is not None and key in self.cache
+        repeats = self._seen.get(key, 0)
+        repeat_prob = repeats / (repeats + 1.0)
+        enum_cost = ENUM_COST_PER_PATH * profile.est_paths
+        build_cost = profile.build_cost
+        retention = RETENTION_COST_RATIO * build_cost
+        entry_bytes = profile.est_entry_bytes(k)
+        budget = float(
+            self.cache.budget_bytes if self.cache is not None else float("inf")
+        )
+        fits = entry_bytes <= budget
+
+        estimates = [
+            PlanEstimate(
+                PLAN_CACHED,
+                enum_cost,
+                feasible=warm,
+                detail={"enum_cost": enum_cost},
+            ),
+            PlanEstimate(
+                PLAN_INDEX,
+                build_cost + enum_cost + retention
+                - repeat_prob * build_cost,
+                feasible=fits,
+                detail={
+                    "build_cost": build_cost,
+                    "enum_cost": enum_cost,
+                    "retention_cost": retention,
+                    "repeat_credit": repeat_prob * build_cost,
+                    "est_entry_bytes": entry_bytes,
+                },
+            ),
+            PlanEstimate(
+                PLAN_DIRECT,
+                build_cost + enum_cost,
+                feasible=True,
+                detail={"build_cost": build_cost, "enum_cost": enum_cost},
+            ),
+        ]
+        estimates.sort(key=lambda e: (not e.feasible, e.cost, e.plan))
+        chosen = self._choose(estimates, warm)
+        return PlannerDecision(
+            s=s,
+            t=t,
+            k=k,
+            mode=self.mode,
+            chosen=chosen,
+            estimates=estimates,
+            est_paths=profile.est_paths,
+            repeat_count=repeats,
+            warm=warm,
+        )
+
+    def _choose(self, estimates: List[PlanEstimate], warm: bool) -> str:
+        if self.mode == "index":
+            return PLAN_CACHED if warm else PLAN_INDEX
+        if self.mode == "direct":
+            return PLAN_DIRECT
+        if warm:
+            return PLAN_CACHED
+        for estimate in estimates:  # sorted: feasible plans first, cheapest
+            if estimate.feasible and estimate.plan != PLAN_CACHED:
+                return estimate.plan
+        return PLAN_DIRECT
+
+    def decide(self, s: Vertex, t: Vertex, k: int) -> PlannerDecision:
+        """Price the plans for one served query and record the choice."""
+        with obs.span("planner.decide"):
+            decision = self.preview(s, t, k)
+        key = (s, t, k)
+        self._seen[key] = self._seen.get(key, 0) + 1
+        self._seen.move_to_end(key)
+        while len(self._seen) > REPEAT_HISTORY:
+            self._seen.popitem(last=False)
+        self._decisions += 1
+        self._by_plan[decision.chosen] += 1
+        obs.incr(f"planner.plan.{decision.chosen}")
+        events.emit(
+            events.PLAN_CHOSEN,
+            s=s,
+            t=t,
+            k=k,
+            plan=decision.chosen,
+            mode=self.mode,
+            est_paths=round(decision.est_paths, 3),
+            repeat_count=decision.repeat_count,
+        )
+        return decision
+
+    def note_actual(
+        self, decision: PlannerDecision, actual_paths: int
+    ) -> float:
+        """Record the estimate's relative error once the truth is known.
+
+        Returns ``|est - actual| / max(actual, 1)`` and feeds the
+        ``planner.estimate.error`` histogram that ``repro top`` and the
+        estimate-error assertions read.
+        """
+        error = abs(decision.est_paths - actual_paths) / max(actual_paths, 1)
+        self._error_sum += error
+        self._error_count += 1
+        if obs.enabled():
+            obs.observe("planner.estimate.error", error)
+        return error
+
+    # ------------------------------------------------------------------
+    # The direct (index-free) executor
+    # ------------------------------------------------------------------
+    def run_direct(self, s: Vertex, t: Vertex, k: int) -> List[Path]:
+        """Execute the one-shot bidirectional join for ``(s, t, k)``.
+
+        Runs the identical ``build_index`` + ``enumerate_full_list``
+        pipeline the index plans use and discards all state — identical
+        construction yields identical enumeration order, which is what
+        makes planner modes answer byte-identically.
+        """
+        with obs.span("planner.direct"):
+            build = build_index(self.graph, s, t, k)
+        with obs.span("enumeration.full"):
+            return enumerate_full_list(build.index)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready counters (the ``stats`` op's ``planner`` section)."""
+        avg = self._error_sum / self._error_count if self._error_count else 0.0
+        return {
+            "mode": self.mode,
+            "decisions": self._decisions,
+            "by_plan": dict(self._by_plan),
+            "tracked_keys": len(self._seen),
+            "estimate_error_avg": round(avg, 4),
+            "estimate_error_count": self._error_count,
+        }
+
+
+__all__ = [
+    "PLAN_CACHED",
+    "PLAN_INDEX",
+    "PLAN_DIRECT",
+    "PLANNER_MODES",
+    "ENUM_COST_PER_PATH",
+    "RETENTION_COST_RATIO",
+    "REPEAT_HISTORY",
+    "FrontierProfile",
+    "frontier_profile",
+    "PlanEstimate",
+    "PlannerDecision",
+    "WarmCache",
+    "QueryPlanner",
+]

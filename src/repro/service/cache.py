@@ -4,11 +4,17 @@ Ad-hoc ``query`` requests pay the full ``CPE_startup`` construction on
 first contact; repeated queries for the same ``(s, t, k)`` — the common
 shape of monitoring traffic — should reuse the warm index and pay only
 the (output-linear) enumeration.  :class:`IndexCache` keeps recently
-used enumerators alive, bounded by the *serialized* size of their
-per-query state (:func:`repro.core.serialize.snapshot_size_bytes` with
-``include_graph=False``, since every cached entry shares the one service
-graph), and evicts least-recently-used entries once the budget is
-exceeded.
+used enumerators alive, bounded by the *estimated* resident size of
+their per-query state (:func:`estimated_entry_bytes` — the graph is
+excluded, since every cached entry shares the one service graph), and
+evicts least-recently-used entries once the budget is exceeded.
+
+Sizing used to go through
+:func:`repro.core.serialize.snapshot_size_bytes`, which serializes the
+whole index to JSON just to measure it — about a quarter of a cold
+query's cost.  :func:`estimated_entry_bytes` reads the index's own
+memory accounting instead; budgets are therefore expressed in the same
+units as :attr:`repro.core.index.IndexMemoryStats.approx_bytes`.
 
 The cache does not keep entries consistent by itself: the owning engine
 must replay every graph update into each cached enumerator (via
@@ -20,15 +26,47 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, NamedTuple, Optional, Tuple
 
 from repro import obs
 from repro.obs import events
 from repro.core.enumerator import CpeEnumerator, UpdateResult
-from repro.core.serialize import snapshot_size_bytes
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
 
 CacheKey = Tuple[Vertex, Vertex, int]
+
+#: Fixed per-entry overhead charged on top of the index-proportional
+#: cost: the join plan, the two distance maps' bookkeeping, and the
+#: cache's own per-key records.
+ENTRY_BASE_BYTES = 256
+
+
+def estimated_entry_bytes(entry: CpeEnumerator) -> int:
+    """Estimated resident size of one entry's per-query state.
+
+    Derived from the index's own memory accounting
+    (:meth:`~repro.core.index.PartialPathIndex.memory_stats`) plus a
+    fixed :data:`ENTRY_BASE_BYTES` overhead — one pass over the stored
+    partial paths, no serialization.  Deterministic for a given index
+    state, so sizing decisions (cache vs. bypass, eviction pressure)
+    are reproducible.
+    """
+    return ENTRY_BASE_BYTES + entry.memory_stats().approx_bytes
+
+
+class CacheLookup(NamedTuple):
+    """One :meth:`IndexCache.get_or_build` result: the enumerator plus
+    how this very call obtained it.
+
+    ``outcome`` is authoritative — ``"hit"`` (served warm), ``"miss"``
+    (built and cached) or ``"bypass"`` (built, too big to retain).
+    Callers must not re-derive it by probing cache state afterwards: a
+    ``build=`` hook or an eviction can change what ``key in cache``
+    reports between the decision and the probe.
+    """
+
+    enumerator: CpeEnumerator
+    outcome: str
 
 
 @dataclass
@@ -112,13 +150,16 @@ class IndexCache:
         t: Vertex,
         k: int,
         build: Optional[Callable[[], CpeEnumerator]] = None,
-    ) -> CpeEnumerator:
+    ) -> CacheLookup:
         """The warm enumerator for ``(s, t, k)``, building it on a miss.
 
         A hit refreshes recency; a miss constructs the index
-        (``CPE_startup``'s build phase), measures it, and either caches
-        it (evicting LRU entries past the budget) or bypasses the cache
-        when the entry alone is larger than the whole budget.
+        (``CPE_startup``'s build phase), estimates its size, and either
+        caches it (evicting LRU entries past the budget) or bypasses
+        the cache when the entry alone is larger than the whole budget.
+        The returned :class:`CacheLookup` carries the outcome this call
+        took (``hit`` / ``miss`` / ``bypass``) explicitly, so callers
+        never have to infer it from post-call cache state.
 
         ``build`` substitutes the miss-path construction — the hook
         :mod:`repro.batching` uses to inject shared distance maps.  It
@@ -135,7 +176,7 @@ class IndexCache:
             obs.incr("service.cache.hits")
             events.emit(events.CACHE_HIT, s=s, t=t, k=k)
             self._note_lookup()
-            return entry
+            return CacheLookup(entry, "hit")
         self._misses += 1
         obs.incr("service.cache.misses")
         events.emit(events.CACHE_MISS, s=s, t=t, k=k)
@@ -144,16 +185,16 @@ class IndexCache:
             entry = (
                 CpeEnumerator(self.graph, s, t, k) if build is None else build()
             )
-        size = snapshot_size_bytes(entry, include_graph=False)
+        size = estimated_entry_bytes(entry)
         if size > self.budget_bytes:
             self._bypasses += 1
             obs.incr("service.cache.bypasses")
-            return entry
+            return CacheLookup(entry, "bypass")
         self._entries[key] = entry
         self._sizes[key] = size
         self._current_bytes += size
         self._shrink_to_budget()
-        return entry
+        return CacheLookup(entry, "miss")
 
     def invalidate(self, key: CacheKey) -> bool:
         """Drop one entry; True if it was cached."""
@@ -195,7 +236,7 @@ class IndexCache:
             result = entry.observe(update)
             results[key] = result
             if result.record is None or result.record.changed:
-                size = snapshot_size_bytes(entry, include_graph=False)
+                size = estimated_entry_bytes(entry)
                 self._current_bytes += size - self._sizes[key]
                 self._sizes[key] = size
                 resized = True
@@ -248,6 +289,9 @@ class IndexCache:
 
 __all__ = [
     "CacheKey",
+    "CacheLookup",
     "CacheStats",
+    "ENTRY_BASE_BYTES",
     "IndexCache",
+    "estimated_entry_bytes",
 ]

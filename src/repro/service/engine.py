@@ -65,6 +65,7 @@ from repro.core.paths import Path
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate, Vertex
 from repro.parallel import ShardedMonitor
 from repro.parallel.pool import WorkerCrashedError
+from repro.planner import PLAN_DIRECT, QueryPlanner
 from repro.service.cache import IndexCache
 from repro.service.protocol import (
     AlreadyWatchedError,
@@ -107,6 +108,14 @@ class PathQueryEngine:
     timeseries_interval:
         When > 0, install the bounded metrics time-series ring sampling
         on this tick (seconds); served by the ``history`` op.
+    planner:
+        Ad-hoc query planning mode (see
+        :class:`~repro.planner.QueryPlanner`): ``"index"`` (default)
+        keeps the legacy always-through-the-cache path byte-identical
+        to previous releases, ``"auto"`` lets the cost model pick per
+        query, ``"direct"`` forces the one-shot index-free join.
+        Answers are byte-identical across modes; only latency and the
+        reply's ``source`` label differ.
     """
 
     def __init__(
@@ -118,6 +127,7 @@ class PathQueryEngine:
         tracing: bool = False,
         flight_window: float = 0.0,
         timeseries_interval: float = 0.0,
+        planner: str = "index",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -159,6 +169,7 @@ class PathQueryEngine:
         else:
             self.monitor = MultiPairMonitor(graph, default_k)
         self.cache = IndexCache(graph, budget_bytes=cache_budget_bytes)
+        self.planner = QueryPlanner(graph, self.cache, mode=planner)
         self.batcher = SharedConstructionEngine(
             graph, self.cache, monitor=self.monitor
         )
@@ -245,19 +256,26 @@ class PathQueryEngine:
     ) -> Tuple[List[Path], str]:
         if self.monitor.watched_k(s, t) == k:
             return self.monitor.results_for(s, t), "watched"
-        key = (s, t, k)
-        warm = key in self.cache
+        if self.planner.mode == "index":
+            # Legacy path: every ad-hoc query goes through the cache.
+            try:
+                lookup = self.cache.get_or_build(s, t, k)
+            except ValueError as exc:  # s == t, k < 0
+                raise BadRequestError(str(exc)) from exc
+            return lookup.enumerator.startup(), lookup.outcome
         try:
-            enumerator = self.cache.get_or_build(s, t, k)
+            decision = self.planner.decide(s, t, k)
+            if decision.chosen == PLAN_DIRECT:
+                paths = self.planner.run_direct(s, t, k)
+                source = "direct"
+            else:
+                lookup = self.cache.get_or_build(s, t, k)
+                paths = lookup.enumerator.startup()
+                source = lookup.outcome
         except ValueError as exc:  # s == t, k < 0
             raise BadRequestError(str(exc)) from exc
-        if warm:
-            source = "hit"
-        elif key in self.cache:
-            source = "miss"
-        else:
-            source = "bypass"
-        return enumerator.startup(), source
+        self.planner.note_actual(decision, len(paths))
+        return paths, source
 
     def op_batch_query(
         self, queries: Sequence[Sequence[Any]]
@@ -595,10 +613,14 @@ class PathQueryEngine:
 
         Runs :func:`repro.obs.explain.explain_query` on a throwaway
         index — the warm cache and watched indexes are left untouched so
-        a diagnostic query never perturbs serving state.
+        a diagnostic query never perturbs serving state.  The planner
+        section previews the plan this engine's planner would pick
+        (without touching its repeat history or counters).
         """
         try:
-            report = explain_query(self.graph, s, t, k, analyze=analyze)
+            report = explain_query(
+                self.graph, s, t, k, analyze=analyze, planner=self.planner
+            )
         except ValueError as exc:  # s == t, k < 0
             raise BadRequestError(str(exc)) from exc
         return {"explain": report.to_dict()}
@@ -636,6 +658,7 @@ class PathQueryEngine:
             "cache": self.cache.stats().as_dict(),
             "parallel": parallel,
             "batching": self.batcher.stats(),
+            "planner": self.planner.stats(),
         }
 
     # ------------------------------------------------------------------

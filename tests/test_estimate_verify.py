@@ -7,6 +7,7 @@ import pytest
 from repro.baselines.bruteforce import count_paths
 from repro.core.enumerator import CpeEnumerator
 from repro.core.estimate import (
+    derive_seed,
     estimate_path_count,
     exact_path_count,
     walk_count_bound,
@@ -34,9 +35,58 @@ class TestWalkCountBound:
 
     def test_degenerate_inputs(self):
         g = DynamicDiGraph([(0, 1)])
-        assert walk_count_bound(g, 0, 0, 3) == 0
         assert walk_count_bound(g, 0, 1, 0) == 0
         assert walk_count_bound(g, 1, 0, 3) == 0
+
+
+class TestEstimatorContract:
+    """All three estimators share ``CpeEnumerator``'s query contract:
+    ``s == t`` and ``k < 0`` raise ValueError instead of returning 0,
+    so the planner and the enumerator reject exactly the same queries.
+    """
+
+    ESTIMATORS = [
+        walk_count_bound,
+        exact_path_count,
+        lambda g, s, t, k: estimate_path_count(g, s, t, k, samples=10),
+    ]
+
+    @pytest.mark.parametrize("fn", ESTIMATORS)
+    def test_rejects_equal_endpoints(self, fn):
+        g = DynamicDiGraph([(0, 1)])
+        with pytest.raises(ValueError, match="s and t"):
+            fn(g, 0, 0, 3)
+
+    @pytest.mark.parametrize("fn", ESTIMATORS)
+    def test_rejects_negative_k(self, fn):
+        g = DynamicDiGraph([(0, 1)])
+        with pytest.raises(ValueError, match="non-negative"):
+            fn(g, 0, 1, -1)
+
+    @pytest.mark.parametrize("fn", ESTIMATORS)
+    def test_zero_hop_budget_is_zero(self, fn):
+        g = DynamicDiGraph([(0, 1)])
+        assert fn(g, 0, 1, 0) == 0
+
+    @pytest.mark.parametrize("fn", ESTIMATORS)
+    def test_single_hop_counts_direct_edge_only(self, fn):
+        g = DynamicDiGraph([(0, 1), (0, 2), (2, 1)])
+        assert fn(g, 0, 1, 1) == 1
+
+    @pytest.mark.parametrize("fn", ESTIMATORS)
+    def test_unreachable_target_is_zero(self, fn):
+        g = DynamicDiGraph([(0, 1)], vertices=[5])
+        assert fn(g, 0, 5, 4) == 0
+
+    @pytest.mark.parametrize("fn", ESTIMATORS)
+    def test_distance_beyond_budget_is_zero(self, fn):
+        g = DynamicDiGraph([(0, 1), (1, 2), (2, 3)])
+        assert fn(g, 0, 3, 2) == 0
+
+    def test_rejects_non_positive_samples(self):
+        g = DynamicDiGraph([(0, 1)])
+        with pytest.raises(ValueError, match="samples"):
+            estimate_path_count(g, 0, 1, 2, samples=0)
 
     def test_loose_on_cycles(self):
         g = DynamicDiGraph([(0, 1), (1, 0), (0, 2), (1, 2)])
@@ -64,6 +114,23 @@ class TestEstimator:
         a = estimate_path_count(g, s, t, 4, samples=100, seed=5)
         b = estimate_path_count(g, s, t, 4, samples=100, seed=5)
         assert a == b
+
+    def test_deterministic_without_seed(self):
+        # Regression: ``seed=None`` used to fall through to OS entropy,
+        # making unseeded estimates unreproducible run to run.  The
+        # default now derives a seed from the query triple itself.
+        g, s, t = layered_dag([2, 3, 2])
+        a = estimate_path_count(g, s, t, 6, samples=200)
+        b = estimate_path_count(g, s, t, 6, samples=200)
+        explicit = estimate_path_count(
+            g, s, t, 6, samples=200, seed=derive_seed(s, t, 6)
+        )
+        assert a == b == explicit
+
+    def test_derived_seed_is_stable_and_query_sensitive(self):
+        assert derive_seed(0, 4, 4) == derive_seed(0, 4, 4)
+        assert derive_seed(0, 4, 4) != derive_seed(0, 4, 5)
+        assert derive_seed("a", "b", 3) == derive_seed("a", "b", 3)
 
     def test_zero_when_unreachable(self):
         g = DynamicDiGraph([(0, 1)], vertices=[5])

@@ -1,0 +1,313 @@
+"""Tests for the cost-based query planner (repro.planner)."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.baselines.bruteforce import path_set
+from repro.core.enumerator import CpeEnumerator
+from repro.graph.digraph import DynamicDiGraph
+from repro.obs import events
+from repro.planner import (
+    PLAN_CACHED,
+    PLAN_DIRECT,
+    PLAN_INDEX,
+    PLANNER_MODES,
+    QueryPlanner,
+    frontier_profile,
+)
+from repro.service.cache import IndexCache
+from repro.service.engine import PathQueryEngine
+from repro.service.protocol import BadRequestError, decode_paths
+from tests.conftest import make_random_graph, random_query
+
+
+def chain_graph(n=8):
+    return DynamicDiGraph([(i, i + 1) for i in range(n)] +
+                          [(0, 2), (1, 3), (2, 4)])
+
+
+class TestFrontierProfile:
+    def test_shares_the_enumerator_contract(self):
+        g = chain_graph()
+        with pytest.raises(ValueError, match="s and t"):
+            frontier_profile(g, 0, 0, 3)
+        with pytest.raises(ValueError, match="non-negative"):
+            frontier_profile(g, 0, 4, -1)
+
+    def test_zero_hop_budget_estimates_zero_paths(self):
+        profile = frontier_profile(chain_graph(), 0, 4, 0)
+        assert profile.est_paths == 0.0
+        assert profile.forward == (1.0,)
+
+    def test_first_hop_uses_true_degrees(self):
+        g = chain_graph()
+        profile = frontier_profile(g, 0, 4, 4)
+        assert profile.forward[1] == g.out_degree(0)
+        assert profile.backward[1] == g.in_degree(4)
+
+    def test_frontiers_saturate_at_vertex_count(self):
+        # complete-ish digraph: avg out-degree > 1 everywhere
+        n = 6
+        g = DynamicDiGraph(
+            [(u, v) for u in range(n) for v in range(n) if u != v]
+        )
+        profile = frontier_profile(g, 0, n - 1, 8)
+        assert max(profile.forward) <= n
+        assert max(profile.backward) <= n
+
+    def test_build_cost_positive_for_reachable_query(self):
+        profile = frontier_profile(chain_graph(), 0, 4, 4)
+        assert profile.build_cost > 0
+        assert profile.est_entry_bytes(4) > 256.0
+
+
+class TestDecisionBoundaries:
+    """Graphs/workloads where each of the three plans should win."""
+
+    def test_first_sight_cold_query_goes_direct(self):
+        g = chain_graph()
+        planner = QueryPlanner(g, IndexCache(g), mode="auto")
+        decision = planner.decide(0, 4, 4)
+        assert decision.chosen == PLAN_DIRECT
+        assert decision.repeat_count == 0 and not decision.warm
+
+    def test_repeated_key_flips_to_index(self):
+        g = chain_graph()
+        planner = QueryPlanner(g, IndexCache(g), mode="auto")
+        first = planner.decide(0, 4, 4)
+        second = planner.decide(0, 4, 4)
+        assert first.chosen == PLAN_DIRECT
+        assert second.chosen == PLAN_INDEX
+        assert second.repeat_count == 1
+
+    def test_warm_cache_wins_outright(self):
+        g = chain_graph()
+        cache = IndexCache(g)
+        cache.get_or_build(0, 4, 4)
+        planner = QueryPlanner(g, cache, mode="auto")
+        decision = planner.decide(0, 4, 4)
+        assert decision.chosen == PLAN_CACHED
+        assert decision.warm
+
+    def test_oversized_entry_keeps_going_direct(self):
+        # With a 1-byte budget the index plan is infeasible (the entry
+        # could never be retained), so even repeat-heavy keys stay on
+        # the one-shot plan.
+        g = chain_graph()
+        planner = QueryPlanner(g, IndexCache(g, budget_bytes=1), mode="auto")
+        for _ in range(4):
+            assert planner.decide(0, 4, 4).chosen == PLAN_DIRECT
+        index_row = next(
+            e for e in planner.preview(0, 4, 4).estimates
+            if e.plan == PLAN_INDEX
+        )
+        assert not index_row.feasible
+
+    def test_index_mode_never_goes_direct(self):
+        g = chain_graph()
+        cache = IndexCache(g)
+        planner = QueryPlanner(g, cache, mode="index")
+        assert planner.decide(0, 4, 4).chosen == PLAN_INDEX
+        cache.get_or_build(0, 4, 4)
+        assert planner.decide(0, 4, 4).chosen == PLAN_CACHED
+
+    def test_direct_mode_always_goes_direct(self):
+        g = chain_graph()
+        cache = IndexCache(g)
+        cache.get_or_build(0, 4, 4)  # even a warm entry is ignored
+        planner = QueryPlanner(g, cache, mode="direct")
+        assert planner.decide(0, 4, 4).chosen == PLAN_DIRECT
+
+    def test_cacheless_planner_prices_unlimited_budget(self):
+        planner = QueryPlanner(chain_graph(), cache=None, mode="auto")
+        decision = planner.preview(0, 4, 4)
+        assert not decision.warm
+        assert all(
+            e.feasible for e in decision.estimates if e.plan != PLAN_CACHED
+        )
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="planner mode"):
+            QueryPlanner(chain_graph(), mode="bogus")
+        assert "auto" in PLANNER_MODES
+
+
+class TestPreviewIsPure:
+    def test_preview_records_nothing(self):
+        g = chain_graph()
+        planner = QueryPlanner(g, IndexCache(g), mode="auto")
+        for _ in range(3):
+            planner.preview(0, 4, 4)
+        stats = planner.stats()
+        assert stats["decisions"] == 0
+        assert stats["tracked_keys"] == 0
+        # repeat history untouched: the next decide is still first-sight
+        assert planner.decide(0, 4, 4).repeat_count == 0
+
+
+class TestAccounting:
+    def test_stats_counters_track_decisions(self):
+        g = chain_graph()
+        planner = QueryPlanner(g, IndexCache(g), mode="auto")
+        planner.decide(0, 4, 4)
+        planner.decide(0, 4, 4)
+        stats = planner.stats()
+        assert stats["decisions"] == 2
+        assert stats["by_plan"][PLAN_DIRECT] == 1
+        assert stats["by_plan"][PLAN_INDEX] == 1
+        assert stats["tracked_keys"] == 1
+
+    def test_note_actual_feeds_error_average(self):
+        g = chain_graph()
+        planner = QueryPlanner(g, IndexCache(g), mode="auto")
+        decision = planner.decide(0, 4, 4)
+        error = planner.note_actual(decision, actual_paths=5)
+        assert error == pytest.approx(abs(decision.est_paths - 5) / 5)
+        stats = planner.stats()
+        assert stats["estimate_error_count"] == 1
+        assert stats["estimate_error_avg"] == pytest.approx(error, abs=1e-4)
+
+    def test_losing_plans_exclude_the_winner(self):
+        planner = QueryPlanner(chain_graph(), mode="direct")
+        decision = planner.preview(0, 4, 4)
+        losing = {e.plan for e in decision.losing()}
+        assert decision.chosen not in losing
+        assert losing == {PLAN_CACHED, PLAN_INDEX}
+
+    def test_decision_dict_is_json_shaped(self):
+        planner = QueryPlanner(chain_graph(), mode="auto")
+        digest = planner.preview(0, 4, 4).as_dict()
+        assert set(digest) == {
+            "mode", "chosen", "est_paths", "repeat_count", "warm", "plans",
+        }
+        assert {row["plan"] for row in digest["plans"]} == {
+            PLAN_CACHED, PLAN_INDEX, PLAN_DIRECT,
+        }
+
+    def test_decide_emits_event_and_metric(self):
+        prev_obs = obs.set_enabled(True)
+        prev_events = events.set_enabled(True)
+        obs.reset()
+        events.reset()
+        try:
+            g = chain_graph()
+            planner = QueryPlanner(g, IndexCache(g), mode="auto")
+            decision = planner.decide(0, 4, 4)
+            planner.note_actual(decision, 5)
+            snap = obs.snapshot()
+            assert snap["counters"]["planner.plan.direct"] == 1
+            assert "planner.estimate.error" in snap["histograms"]
+            kinds = [event["kind"] for event in events.tail(10)]
+            assert events.PLAN_CHOSEN in kinds
+        finally:
+            obs.set_enabled(prev_obs)
+            events.set_enabled(prev_events)
+            obs.reset()
+            events.reset()
+
+
+class TestRunDirect:
+    def test_matches_bruteforce_and_index_order(self):
+        g = chain_graph()
+        planner = QueryPlanner(g, mode="direct")
+        paths = planner.run_direct(0, 4, 4)
+        assert set(paths) == path_set(g, 0, 4, 4)
+        assert paths == CpeEnumerator(g, 0, 4, 4).startup()
+
+    def test_randomized_equivalence(self):
+        rng = random.Random(77)
+        for _ in range(15):
+            g = make_random_graph(rng, max_edges=16)
+            s, t, k = random_query(rng, g)
+            planner = QueryPlanner(g, mode="direct")
+            assert planner.run_direct(s, t, k) == CpeEnumerator(
+                g, s, t, k
+            ).startup()
+
+    def test_leaves_no_state_behind(self):
+        g = chain_graph()
+        cache = IndexCache(g)
+        engine = PathQueryEngine(g, planner="direct")
+        engine.op_query(s=0, t=4, k=4)
+        assert len(engine.cache) == 0
+        assert len(cache) == 0
+
+
+class TestEngineIntegration:
+    def test_sources_per_mode(self):
+        sources = {}
+        for mode in PLANNER_MODES:
+            engine = PathQueryEngine(chain_graph(), planner=mode)
+            sources[mode] = [
+                engine.op_query(s=0, t=4, k=4)["source"] for _ in range(3)
+            ]
+        assert sources["index"] == ["miss", "hit", "hit"]
+        assert sources["auto"] == ["direct", "miss", "hit"]
+        assert sources["direct"] == ["direct", "direct", "direct"]
+
+    def test_default_mode_is_legacy_index(self):
+        engine = PathQueryEngine(chain_graph())
+        assert engine.planner.mode == "index"
+        assert engine.op_query(s=0, t=4, k=4)["source"] == "miss"
+        assert engine.planner.stats()["decisions"] == 0
+
+    def test_watched_pair_bypasses_the_planner(self):
+        engine = PathQueryEngine(chain_graph(), default_k=4, planner="direct")
+        engine.op_watch(s=0, t=4)
+        assert engine.op_query(s=0, t=4, k=4)["source"] == "watched"
+        assert engine.planner.stats()["decisions"] == 0
+
+    @pytest.mark.parametrize("mode", PLANNER_MODES)
+    def test_invalid_queries_stay_bad_requests(self, mode):
+        engine = PathQueryEngine(chain_graph(), planner=mode)
+        with pytest.raises(BadRequestError):
+            engine.op_query(s=0, t=0, k=3)
+        with pytest.raises(BadRequestError):
+            engine.op_query(s=0, t=4, k=-1)
+
+    def test_rejects_unknown_planner_mode(self):
+        with pytest.raises(ValueError):
+            PathQueryEngine(chain_graph(), planner="bogus")
+
+    def test_stats_op_carries_planner_section(self):
+        engine = PathQueryEngine(chain_graph(), planner="auto")
+        engine.op_query(s=0, t=4, k=4)
+        section = engine.op_stats()["planner"]
+        assert section["mode"] == "auto"
+        assert section["decisions"] == 1
+        assert section["by_plan"]["direct"] == 1
+
+    def test_explain_reports_plan_with_est_vs_actual(self):
+        engine = PathQueryEngine(chain_graph(), planner="auto")
+        report = engine.op_explain(s=0, t=4, k=4, analyze=True)["explain"]
+        section = report["planner"]
+        assert section["mode"] == "auto"
+        assert section["chosen"] == PLAN_DIRECT
+        assert {row["plan"] for row in section["plans"]} == {
+            PLAN_CACHED, PLAN_INDEX, PLAN_DIRECT,
+        }
+        assert section["actual_paths"] == report["total_paths"]
+        expected_error = abs(
+            section["est_paths"] - section["actual_paths"]
+        ) / max(section["actual_paths"], 1)
+        assert section["estimate_error"] == pytest.approx(
+            expected_error, abs=1e-3
+        )
+        assert section["walk_count_bound"] >= section["actual_paths"]
+
+    def test_explain_without_analyze_omits_actuals(self):
+        engine = PathQueryEngine(chain_graph(), planner="auto")
+        section = engine.op_explain(s=0, t=4, k=4)["explain"]["planner"]
+        assert "actual_paths" not in section
+        assert "estimate_error" not in section
+
+    def test_answers_identical_across_modes_spot_check(self):
+        baseline = None
+        for mode in PLANNER_MODES:
+            engine = PathQueryEngine(chain_graph(), planner=mode)
+            paths = decode_paths(engine.op_query(s=0, t=4, k=4)["paths"])
+            if baseline is None:
+                baseline = paths
+            assert paths == baseline

@@ -9,7 +9,9 @@ from repro.baselines.bruteforce import path_set
 from repro.core.serialize import snapshot_size_bytes
 from repro.graph.digraph import DynamicDiGraph, EdgeUpdate
 from repro.obs import events
-from repro.service.cache import IndexCache
+from repro.core.construction import build_index
+from repro.core.enumerator import CpeEnumerator
+from repro.service.cache import IndexCache, estimated_entry_bytes
 from tests.conftest import make_random_graph, random_query
 
 
@@ -23,7 +25,9 @@ class TestLookups:
         cache = IndexCache(chain_graph())
         first = cache.get_or_build(0, 4, 4)
         second = cache.get_or_build(0, 4, 4)
-        assert first is second
+        assert first.enumerator is second.enumerator
+        assert first.outcome == "miss"
+        assert second.outcome == "hit"
         stats = cache.stats()
         assert stats.misses == 1 and stats.hits == 1
         assert stats.entries == 1
@@ -33,23 +37,71 @@ class TestLookups:
         cache = IndexCache(chain_graph())
         a = cache.get_or_build(0, 4, 3)
         b = cache.get_or_build(0, 4, 4)
-        assert a is not b
+        assert a.enumerator is not b.enumerator
         assert len(cache) == 2
 
     def test_cached_results_are_correct(self):
         g = chain_graph()
         cache = IndexCache(g)
-        enum = cache.get_or_build(0, 4, 4)
+        enum = cache.get_or_build(0, 4, 4).enumerator
         assert set(enum.startup()) == path_set(g, 0, 4, 4)
+
+
+class TestOutcomeReporting:
+    """``get_or_build`` must report its own call's outcome explicitly.
+
+    Regression: callers used to infer the outcome from a post-call
+    ``key in cache`` check, which misreports whenever the call's own
+    path and the cache's final state disagree (e.g. an oversized entry
+    is bypassed while a nested build caches a fitting entry under the
+    same key).
+    """
+
+    def test_outcomes_cover_miss_hit_bypass(self):
+        g = chain_graph()
+        cache = IndexCache(g)
+        assert cache.get_or_build(0, 4, 4).outcome == "miss"
+        assert cache.get_or_build(0, 4, 4).outcome == "hit"
+        tiny = IndexCache(g, budget_bytes=1)
+        assert tiny.get_or_build(0, 4, 4).outcome == "bypass"
+
+    def test_bypass_outcome_survives_nested_same_key_insert(self):
+        # The build hook caches a fitting entry for the same key via a
+        # nested lookup, then hands back an oversized enumerator.  The
+        # outer call bypasses, yet ``key in cache`` is True afterwards —
+        # the old inference would have reported "miss".
+        g = chain_graph()
+        fitting = CpeEnumerator.from_build(g, build_index(g, 0, 4, 4))
+        budget = estimated_entry_bytes(fitting) + 1
+        cache = IndexCache(g, budget_bytes=budget)
+
+        from repro.core.index import IndexMemoryStats
+
+        class Oversized(CpeEnumerator):
+            def memory_stats(self):
+                return IndexMemoryStats(
+                    left_paths=budget, right_paths=budget, vertex_slots=budget
+                )
+
+        def build():
+            cache.get_or_build(0, 4, 4)  # nested: caches a fitting entry
+            return Oversized.from_build(g, build_index(g, 0, 4, 4))
+
+        lookup = cache.get_or_build(0, 4, 4, build=build)
+        assert (0, 4, 4) in cache
+        assert lookup.outcome == "bypass"
 
 
 class TestEvictionAndBudget:
     def test_lru_eviction_under_budget(self):
         g = chain_graph()
-        one_entry = snapshot_size_bytes(
-            IndexCache(g).get_or_build(0, 4, 4), include_graph=False
-        )
-        cache = IndexCache(g, budget_bytes=int(one_entry * 2.5))
+        probe = IndexCache(g)
+        sizes = [
+            estimated_entry_bytes(probe.get_or_build(s, t, 4).enumerator)
+            for s, t in [(0, 4), (1, 5), (2, 6)]
+        ]
+        # Holds the first two entries, overflows when the third lands.
+        cache = IndexCache(g, budget_bytes=sum(sizes) - 1)
         cache.get_or_build(0, 4, 4)
         cache.get_or_build(1, 5, 4)
         cache.get_or_build(0, 4, 4)          # refresh: (1,5,4) is now LRU
@@ -61,8 +113,9 @@ class TestEvictionAndBudget:
     def test_oversized_entry_is_bypassed(self):
         g = chain_graph()
         cache = IndexCache(g, budget_bytes=1)
-        enum = cache.get_or_build(0, 4, 4)
-        assert enum is not None
+        lookup = cache.get_or_build(0, 4, 4)
+        assert lookup.enumerator is not None
+        assert lookup.outcome == "bypass"
         assert len(cache) == 0
         assert cache.stats().bypasses == 1
 
@@ -150,7 +203,7 @@ class TestObserveAll:
     def test_cached_entries_follow_updates(self):
         g = chain_graph()
         cache = IndexCache(g)
-        enum = cache.get_or_build(0, 4, 4)
+        enum = cache.get_or_build(0, 4, 4).enumerator
         update = EdgeUpdate(0, 4, True)
         assert g.apply_update(update)
         cache.observe_all(update)
@@ -193,7 +246,7 @@ class TestSizingHook:
     def test_graphless_size_is_smaller(self):
         g = chain_graph()
         cache = IndexCache(g)
-        enum = cache.get_or_build(0, 4, 4)
+        enum = cache.get_or_build(0, 4, 4).enumerator
         with_graph = snapshot_size_bytes(enum)
         without = snapshot_size_bytes(enum, include_graph=False)
         assert 0 < without < with_graph
@@ -203,7 +256,7 @@ class TestSizingHook:
 
         from repro.core.serialize import snapshot
 
-        enum = IndexCache(chain_graph()).get_or_build(0, 4, 4)
+        enum = IndexCache(chain_graph()).get_or_build(0, 4, 4).enumerator
         expected = len(
             json.dumps(snapshot(enum), separators=(",", ":")).encode()
         )
